@@ -1,0 +1,57 @@
+// EXP FIG2 — Figure 2: per-phase runtime breakdown of a KBC run.
+//
+// The paper's Figure 2 annotates the TAC-KBP system with the wall-clock
+// cost of each phase (candidate generation + feature extraction,
+// supervision+grounding, learning and inference). This harness runs the
+// spouse application end to end over growing synthetic corpora and
+// prints the same breakdown. Expected shape (as in the paper): feature
+// extraction and learning/inference dominate; grounding is comparatively
+// cheap; all phases scale roughly linearly in corpus size.
+
+#include <cstdio>
+
+#include "core/error_analysis.h"
+#include "testdata/spouse_app.h"
+
+int main() {
+  std::printf("=== FIG2: phase runtime breakdown (spouse application) ===\n");
+  std::printf("%-8s %-10s %-12s %-12s %-12s %-12s %-8s %s\n", "docs", "factors",
+              "extract(s)", "ground(s)", "learn(s)", "infer(s)", "total(s)", "F1");
+
+  for (int num_docs : {50, 100, 200, 400, 800}) {
+    dd::SpouseCorpusOptions corpus_options;
+    corpus_options.num_documents = num_docs;
+    corpus_options.num_persons = 60;
+    corpus_options.seed = 31;
+    dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+
+    dd::PipelineOptions options;
+    options.learn.epochs = 200;
+    options.learn.learning_rate = 0.05;
+    options.inference.full_burn_in = 200;
+    options.inference.num_samples = 800;
+    options.threshold = 0.7;
+    options.strategy = dd::PipelineOptions::Strategy::kSampling;
+
+    auto pipeline = dd::MakeSpousePipeline(corpus, dd::SpouseAppOptions(), options);
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+      return 1;
+    }
+    dd::Status status = (*pipeline)->Run();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto extractions = (*pipeline)->Extractions("MarriedPair");
+    auto metrics = dd::Evaluate(*extractions, dd::SpouseTruthTuples(corpus));
+    const dd::PhaseTimings& t = (*pipeline)->timings();
+    std::printf("%-8d %-10zu %-12.3f %-12.3f %-12.3f %-12.3f %-8.3f %.3f\n",
+                num_docs, (*pipeline)->grounding_stats().num_factors,
+                t.extraction_seconds, t.grounding_seconds, t.learning_seconds,
+                t.inference_seconds, t.total_seconds(), metrics.f1);
+  }
+  std::printf("\npaper shape check: every phase grows ~linearly with corpus size;\n"
+              "learning+inference dominate at scale; quality stays high.\n");
+  return 0;
+}

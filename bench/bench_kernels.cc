@@ -1,0 +1,109 @@
+// EXP-KERN — google-benchmark microbenchmarks of the hot kernels behind
+// every number in §4.2: the CSR column-to-row access (PotentialDelta),
+// single-variable Gibbs steps, full sweeps at several densities, the
+// grounding join, and the mean-field update.
+
+#include <benchmark/benchmark.h>
+
+#include "inference/gibbs.h"
+#include "inference/meanfield.h"
+#include "query/evaluator.h"
+#include "storage/catalog.h"
+#include "testdata/synthetic_graphs.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+void BM_PotentialDelta(benchmark::State& state) {
+  SyntheticGraphOptions options;
+  options.num_variables = 10000;
+  options.factors_per_variable = state.range(0);
+  options.seed = 1;
+  FactorGraph graph = MakeRandomGraph(options);
+  std::vector<uint8_t> assignment(graph.num_variables(), 0);
+  Rng rng(2);
+  for (auto& a : assignment) a = rng.NextBernoulli(0.5);
+  uint32_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.PotentialDelta(v, assignment.data()));
+    v = (v + 1) % graph.num_variables();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PotentialDelta)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_GibbsSweep(benchmark::State& state) {
+  SyntheticGraphOptions options;
+  options.num_variables = state.range(0);
+  options.factors_per_variable = 3.0;
+  options.seed = 1;
+  FactorGraph graph = MakeRandomGraph(options);
+  GibbsOptions gibbs_options;
+  GibbsSampler sampler(&graph, gibbs_options);
+  if (!sampler.Init().ok()) state.SkipWithError("init failed");
+  for (auto _ : state) {
+    sampler.Sweep();
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_variables);
+}
+BENCHMARK(BM_GibbsSweep)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_MeanFieldUpdateRound(benchmark::State& state) {
+  SyntheticGraphOptions options;
+  options.num_variables = state.range(0);
+  options.factors_per_variable = 2.0;
+  options.seed = 1;
+  FactorGraph graph = MakeRandomGraph(options);
+  MeanFieldOptions mf_options;
+  mf_options.max_iterations = 1;  // one relaxation round per timing unit
+  for (auto _ : state) {
+    MeanFieldEngine engine(&graph, mf_options);
+    auto result = engine.Run();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * options.num_variables);
+}
+BENCHMARK(BM_MeanFieldUpdateRound)->Arg(1000)->Arg(10000);
+
+void BM_GroundingJoin(benchmark::State& state) {
+  // R(x, y) |><| S(y, z) with |R| = |S| = range(0).
+  Catalog catalog;
+  Schema two({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+  Table* r = *catalog.CreateTable("R", two);
+  Table* s = *catalog.CreateTable("S", two);
+  Rng rng(3);
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    (void)r->Insert(Tuple({Value::Int(i), Value::Int(rng.NextInt(0, n / 4))}));
+    (void)s->Insert(Tuple({Value::Int(rng.NextInt(0, n / 4)), Value::Int(i)}));
+  }
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x"), Term::Var("z")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  rule.body.push_back({"S", {Term::Var("y"), Term::Var("z")}, false});
+  RuleEvaluator evaluator(&catalog);
+  for (auto _ : state) {
+    size_t count = 0;
+    auto status = evaluator.Evaluate(rule, [&](const Tuple&) { ++count; });
+    benchmark::DoNotOptimize(count);
+    if (!status.ok()) state.SkipWithError("evaluate failed");
+  }
+}
+BENCHMARK(BM_GroundingJoin)->Arg(1000)->Arg(10000);
+
+void BM_SigmoidSample(benchmark::State& state) {
+  Rng rng(4);
+  double x = -4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBernoulli(Sigmoid(x)));
+    x += 0.001;
+    if (x > 4.0) x = -4.0;
+  }
+}
+BENCHMARK(BM_SigmoidSample);
+
+}  // namespace
+}  // namespace dd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,245 @@
+// ddlog_cli — a `deepdive run`-style command-line driver: a DDlog
+// program plus TSV base relations in, probabilistic marginal tables out.
+// This is the interface the open-source DeepDive shipped (program file +
+// database tables), for users whose candidate extraction already
+// happened upstream.
+//
+// Usage:
+//   ddlog_cli --program app.ddl --data Rel=path.tsv [--data ...]
+//             --output-dir out/ [--threshold 0.9] [--epochs 200]
+//             [--holdout 0.25]
+//   ddlog_cli --demo out/        # materialize + run a complete demo app
+//
+// Outputs <relation>__marginals.tsv per query relation, prints grounding
+// stats, phase timings, and (with --holdout) the Fig. 5 calibration.
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ddlog/parser.h"
+#include "storage/tsv.h"
+#include "testdata/spouse_app.h"
+#include "util/string_util.h"
+
+namespace {
+
+struct CliOptions {
+  std::string program_path;
+  std::vector<std::pair<std::string, std::string>> data;  // relation, path
+  std::string output_dir = ".";
+  double threshold = 0.9;
+  int epochs = 200;
+  double holdout = 0.0;
+  bool demo = false;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "ddlog_cli: %s\n", message.c_str());
+  return 1;
+}
+
+dd::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return dd::Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Write a ready-to-run spouse application (program + TSV data) into
+/// `dir` and return the CLI options that consume it.
+dd::Result<CliOptions> MaterializeDemo(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return dd::Status::Internal("cannot create directory: " + dir);
+  dd::SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = 100;
+  corpus_options.seed = 5;
+  dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+  dd::SpouseAppOptions app;
+
+  // Program file.
+  std::string program_path = dir + "/spouse.ddl";
+  {
+    std::ofstream out(program_path);
+    if (!out) return dd::Status::Internal("cannot write " + program_path);
+    out << dd::SpouseDdlog(app);
+  }
+
+  // Run the extractor offline to produce the base-relation TSVs (the
+  // "upstream ETL" this CLI assumes).
+  dd::Catalog catalog;
+  auto parsed = dd::ParseDdlog(dd::SpouseDdlog(app));
+  DD_RETURN_IF_ERROR(parsed.status());
+  dd::Extractor extractor = dd::MakeSpouseExtractor(app);
+  std::map<std::string, dd::Table*> tables;
+  for (const char* relation : {"MentionPair", "PairFeature", "KbMarried",
+                               "KbSiblings"}) {
+    const dd::RelationDecl* decl = parsed->FindDecl(relation);
+    DD_ASSIGN_OR_RETURN(dd::Table * table,
+                        catalog.CreateTable(relation, decl->schema));
+    tables[relation] = table;
+  }
+  for (const auto& [id, text] : corpus.documents) {
+    dd::Document doc = dd::AnnotateDocument(id, text);
+    dd::TupleEmitter emitter;
+    DD_RETURN_IF_ERROR(extractor(doc, &emitter));
+    for (const auto& [relation, tuples] : emitter.emitted()) {
+      for (const dd::Tuple& t : tuples) {
+        DD_RETURN_IF_ERROR(tables[relation]->Insert(t).status());
+      }
+    }
+  }
+  for (const auto& [a, b] : corpus.kb_married) {
+    DD_RETURN_IF_ERROR(tables["KbMarried"]
+                           ->Insert(dd::Tuple({dd::Value::String(a),
+                                               dd::Value::String(b)}))
+                           .status());
+  }
+  for (const auto& [a, b] : corpus.kb_siblings) {
+    DD_RETURN_IF_ERROR(tables["KbSiblings"]
+                           ->Insert(dd::Tuple({dd::Value::String(a),
+                                               dd::Value::String(b)}))
+                           .status());
+  }
+
+  CliOptions options;
+  options.program_path = program_path;
+  options.output_dir = dir;
+  options.threshold = 0.7;
+  options.holdout = 0.25;
+  for (const auto& [relation, table] : tables) {
+    std::string path = dir + "/" + relation + ".tsv";
+    DD_RETURN_IF_ERROR(dd::WriteTsvFile(*table, path));
+    options.data.emplace_back(relation, path);
+  }
+  std::printf("demo app materialized under %s\n", dir.c_str());
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Fail("--program needs a path");
+      options.program_path = v;
+    } else if (arg == "--data") {
+      const char* v = next();
+      if (!v) return Fail("--data needs Rel=path.tsv");
+      std::string spec = v;
+      size_t eq = spec.find('=');
+      if (eq == std::string::npos) return Fail("--data needs Rel=path.tsv");
+      options.data.emplace_back(spec.substr(0, eq), spec.substr(eq + 1));
+    } else if (arg == "--output-dir") {
+      const char* v = next();
+      if (!v) return Fail("--output-dir needs a path");
+      options.output_dir = v;
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (!v) return Fail("--threshold needs a number");
+      options.threshold = std::strtod(v, nullptr);
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (!v) return Fail("--epochs needs a number");
+      options.epochs = std::atoi(v);
+    } else if (arg == "--holdout") {
+      const char* v = next();
+      if (!v) return Fail("--holdout needs a fraction");
+      options.holdout = std::strtod(v, nullptr);
+    } else if (arg == "--demo") {
+      const char* v = next();
+      if (!v) return Fail("--demo needs an output directory");
+      options.demo = true;
+      options.output_dir = v;
+    } else {
+      return Fail("unknown flag: " + arg);
+    }
+  }
+
+  if (options.demo) {
+    auto demo = MaterializeDemo(options.output_dir);
+    if (!demo.ok()) return Fail(demo.status().ToString());
+    options = std::move(demo).value();
+  }
+  if (options.program_path.empty()) {
+    return Fail("--program is required (or use --demo DIR)");
+  }
+
+  auto program_text = ReadFile(options.program_path);
+  if (!program_text.ok()) return Fail(program_text.status().ToString());
+
+  dd::PipelineOptions pipeline_options;
+  pipeline_options.learn.epochs = options.epochs;
+  pipeline_options.learn.learning_rate = 0.05;
+  pipeline_options.threshold = options.threshold;
+  pipeline_options.holdout_fraction = options.holdout;
+  dd::DeepDivePipeline pipeline(pipeline_options);
+
+  dd::Status status = pipeline.LoadProgram(*program_text);
+  if (!status.ok()) return Fail(status.ToString());
+
+  // Load the TSV base relations straight into the catalog.
+  auto parsed = dd::ParseDdlog(*program_text);
+  for (const auto& [relation, path] : options.data) {
+    const dd::RelationDecl* decl = parsed->FindDecl(relation);
+    if (decl == nullptr) return Fail("undeclared relation in --data: " + relation);
+    auto table = pipeline.catalog()->GetOrCreateTable(relation, decl->schema);
+    if (!table.ok()) return Fail(table.status().ToString());
+    auto loaded = dd::LoadTsvFile(*table, path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    std::printf("loaded %-20s %6zu rows from %s\n", relation.c_str(), *loaded,
+                path.c_str());
+  }
+
+  status = pipeline.Run();
+  if (!status.ok()) return Fail(status.ToString());
+
+  const dd::GroundingStats& stats = pipeline.grounding_stats();
+  const dd::PhaseTimings& timings = pipeline.timings();
+  std::printf("\ngrounded %zu variables, %zu factors, %zu weights "
+              "(%zu evidence, %zu held out)\n",
+              stats.num_variables, stats.num_factors, stats.num_weights,
+              stats.num_evidence, stats.num_holdout);
+  std::printf("phases: extract %.3fs  ground %.3fs  learn %.3fs  infer %.3fs\n",
+              timings.extraction_seconds, timings.grounding_seconds,
+              timings.learning_seconds, timings.inference_seconds);
+
+  status = pipeline.WriteMarginalTables();
+  if (!status.ok()) return Fail(status.ToString());
+  for (const dd::RelationDecl& decl : parsed->declarations) {
+    if (!decl.is_query) continue;
+    std::string name = decl.name + "__marginals";
+    auto table = pipeline.catalog()->GetTable(name);
+    if (!table.ok()) continue;
+    std::string path = options.output_dir + "/" + name + ".tsv";
+    status = dd::WriteTsvFile(**table, path);
+    if (!status.ok()) return Fail(status.ToString());
+    auto extractions = pipeline.Extractions(decl.name);
+    std::printf("wrote %-34s %6zu rows (%zu above threshold %.2f)\n", path.c_str(),
+                (*table)->size(), extractions.ok() ? extractions->size() : 0,
+                options.threshold);
+
+    if (options.holdout > 0) {
+      auto calibration = pipeline.Calibration(decl.name);
+      if (calibration.ok() && calibration->num_test > 0) {
+        std::printf("\n%s held-out calibration (%zu items):\n%s", decl.name.c_str(),
+                    calibration->num_test, calibration->test.ToText().c_str());
+      }
+    }
+  }
+  return 0;
+}

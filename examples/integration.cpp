@@ -1,0 +1,130 @@
+// Integrated processing (§2.4): extraction, cleaning, and integration in
+// ONE program. The paper's motivating story: a book catalog built from
+// review pages, where ~2% of extractions are actually movies (an NLP
+// failure upstream). In a siloed architecture the integration team
+// cannot fix the extractor; in DeepDive the fix is one declarative
+// cleaning rule — filter candidates against a freely available movie
+// dictionary — applied "where it is easiest to solve".
+//
+// Build & run:  ./build/examples/integration
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/error_analysis.h"
+#include "core/pipeline.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace {
+
+// The single integrated program. Note the two variants of the candidate
+// rule: the "siloed" one keeps every extraction; the "integrated" one
+// adds the cleaning join (!MovieTitle) and the integration signal
+// (already-cataloged books get positive supervision).
+const char* Program(bool with_cleaning) {
+  static std::string program;
+  program = R"(
+    # Raw extractor output from the review pages (title, price-ish number).
+    Extracted(page: text, title: text, price: int).
+    # A free movie-title dictionary (the "easy fix" of the §2.4 story).
+    MovieTitle(title: text).
+    # The partial existing catalog to integrate with.
+    Catalog(title: text).
+
+    Book?(title: text, price: int).
+    Book_Ev(title: text, price: int, label: bool).
+  )";
+  if (with_cleaning) {
+    program += R"(
+    # Cleaning rule: movie titles are not books, however well extracted.
+    Book(title, price) :- Extracted(page, title, price), !MovieTitle(title).
+    )";
+  } else {
+    program += R"(
+    Book(title, price) :- Extracted(page, title, price).
+    )";
+  }
+  program += R"(
+    # Integration: the existing catalog supervises known books positively.
+    Book_Ev(title, price, true) :-
+        Extracted(page, title, price), Catalog(title).
+    # A weak positive prior: extractions are mostly right (98% precision).
+    Book(title, price) :- Extracted(page, title, price) weight = 2.0.
+  )";
+  return program.c_str();
+}
+
+}  // namespace
+
+int main() {
+  // Synthetic world: 60 real books (30 already cataloged), 8 movies that
+  // the flawed extractor also emits.
+  dd::Rng rng(7);
+  std::vector<std::string> books, movies;
+  for (int i = 0; i < 60; ++i) books.push_back(dd::StrFormat("Book Title %02d", i));
+  for (int i = 0; i < 8; ++i) movies.push_back(dd::StrFormat("Movie Film %02d", i));
+
+  for (bool with_cleaning : {false, true}) {
+    dd::PipelineOptions options;
+    options.learn.epochs = 150;
+    options.threshold = 0.7;
+    dd::DeepDivePipeline pipeline(options);
+    dd::Status status = pipeline.LoadProgram(Program(with_cleaning));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    // Load the dictionary and catalog KBs.
+    for (const std::string& movie : movies) {
+      pipeline.QueueDelta("MovieTitle", dd::Tuple({dd::Value::String(movie)}), 1);
+    }
+    for (int i = 0; i < 30; ++i) {
+      pipeline.QueueDelta("Catalog", dd::Tuple({dd::Value::String(books[i])}), 1);
+    }
+    // The "extractor": 98% of its output is books, 2%-ish movies.
+    dd::Rng page_rng(9);
+    for (int page = 0; page < 200; ++page) {
+      bool is_movie = page_rng.NextBernoulli(0.1);
+      const std::string& title =
+          is_movie ? movies[page_rng.NextBounded(movies.size())]
+                   : books[page_rng.NextBounded(books.size())];
+      pipeline.QueueDelta(
+          "Extracted",
+          dd::Tuple({dd::Value::String(dd::StrFormat("page%03d", page)),
+                     dd::Value::String(title),
+                     dd::Value::Int(10 + static_cast<int64_t>(
+                                             page_rng.NextBounded(40)))}),
+          1);
+    }
+    status = pipeline.Run();
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto extractions = pipeline.Extractions("Book");
+    if (!extractions.ok()) return 1;
+    size_t movie_leaks = 0;
+    std::set<std::string> extracted_titles;
+    for (const dd::Tuple& t : *extractions) {
+      const std::string& title = t.at(0).AsString();
+      extracted_titles.insert(title);
+      if (title.rfind("Movie", 0) == 0) ++movie_leaks;
+    }
+    size_t book_titles_found = 0;
+    for (const std::string& book : books) {
+      if (extracted_titles.count(book) > 0) ++book_titles_found;
+    }
+    std::printf("%s pipeline: %zu (title, price) tuples in the catalog; "
+                "%zu/%zu book titles covered; %zu movie rows leaked\n",
+                with_cleaning ? "integrated (with cleaning rule)"
+                              : "siloed     (no cleaning rule) ",
+                extractions->size(), book_titles_found, books.size(), movie_leaks);
+  }
+  std::printf("\nThe fix is ONE datalog line joining a free dictionary — possible\n"
+              "only because extraction, cleaning, and integration live in the\n"
+              "same program judged by end-to-end quality (the point of §2.4).\n");
+  return 0;
+}

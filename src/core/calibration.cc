@@ -1,0 +1,88 @@
+#include "core/calibration.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+double CalibrationBucket::Accuracy() const {
+  if (num_with_truth == 0) return std::nan("");
+  return static_cast<double>(num_actually_true) / num_with_truth;
+}
+
+CalibrationReport CalibrationReport::Build(const std::vector<double>& probabilities,
+                                           const std::vector<int>& truth,
+                                           int num_buckets) {
+  CalibrationReport report;
+  if (num_buckets < 1) num_buckets = 1;
+  report.buckets_.resize(static_cast<size_t>(num_buckets));
+  for (int b = 0; b < num_buckets; ++b) {
+    report.buckets_[b].lo = static_cast<double>(b) / num_buckets;
+    report.buckets_[b].hi = static_cast<double>(b + 1) / num_buckets;
+  }
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    double p = probabilities[i];
+    int b = static_cast<int>(p * num_buckets);
+    if (b >= num_buckets) b = num_buckets - 1;
+    if (b < 0) b = 0;
+    CalibrationBucket& bucket = report.buckets_[static_cast<size_t>(b)];
+    bucket.num_predictions++;
+    if (i < truth.size() && truth[i] >= 0) {
+      bucket.num_with_truth++;
+      if (truth[i] == 1) bucket.num_actually_true++;
+    }
+  }
+  return report;
+}
+
+double CalibrationReport::MaxCalibrationGap() const {
+  double gap = 0.0;
+  for (const CalibrationBucket& b : buckets_) {
+    if (b.num_with_truth == 0) continue;
+    double mid = (b.lo + b.hi) / 2;
+    double diff = std::fabs(b.Accuracy() - mid);
+    if (diff > gap) gap = diff;
+  }
+  return gap;
+}
+
+double CalibrationReport::ExtremeMassFraction() const {
+  size_t total = 0, extreme = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    total += buckets_[i].num_predictions;
+    if (i == 0 || i + 1 == buckets_.size()) extreme += buckets_[i].num_predictions;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(extreme) / total;
+}
+
+std::string CalibrationReport::ToText() const {
+  std::string out;
+  out += "(a) Calibration: predicted bucket -> empirical accuracy\n";
+  for (const CalibrationBucket& b : buckets_) {
+    out += StrFormat("  [%.1f,%.1f) ", b.lo, b.hi);
+    if (b.num_with_truth == 0) {
+      out += "(no labeled predictions)\n";
+      continue;
+    }
+    double acc = b.Accuracy();
+    out += StrFormat("acc=%.2f  n=%-6zu |", acc, b.num_with_truth);
+    int stars = static_cast<int>(acc * 40 + 0.5);
+    out.append(static_cast<size_t>(stars), '*');
+    out += '\n';
+  }
+  size_t max_count = 1;
+  for (const CalibrationBucket& b : buckets_) {
+    if (b.num_predictions > max_count) max_count = b.num_predictions;
+  }
+  out += "(b/c) Probability histogram (all predictions)\n";
+  for (const CalibrationBucket& b : buckets_) {
+    out += StrFormat("  [%.1f,%.1f) %-7zu |", b.lo, b.hi, b.num_predictions);
+    int bars = static_cast<int>(40.0 * b.num_predictions / max_count + 0.5);
+    out.append(static_cast<size_t>(bars), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,52 @@
+#ifndef DEEPDIVE_CORE_CALIBRATION_H_
+#define DEEPDIVE_CORE_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+namespace dd {
+
+/// One probability bucket of a calibration report.
+struct CalibrationBucket {
+  double lo = 0.0;
+  double hi = 0.0;
+  size_t num_predictions = 0;   ///< predictions with prob in [lo, hi)
+  size_t num_with_truth = 0;    ///< of those, how many have known truth
+  size_t num_actually_true = 0; ///< of those, how many are true
+  /// Empirical accuracy of the bucket (NaN if no truth available).
+  double Accuracy() const;
+};
+
+/// The three diagrams DeepDive emits after every training run (Fig. 5):
+/// (a) a calibration plot — predicted probability vs empirical fraction
+/// correct on a held-out set; (b) a histogram of predicted probabilities
+/// on the test set; (c) the same histogram on the training set. Healthy
+/// histograms are U-shaped; a healthy calibration plot hugs the
+/// diagonal.
+class CalibrationReport {
+ public:
+  /// `probabilities[i]` is the system's P(true); `truth[i]` is 1 / 0 for
+  /// known labels and -1 for unknown. Buckets are equal-width.
+  static CalibrationReport Build(const std::vector<double>& probabilities,
+                                 const std::vector<int>& truth, int num_buckets = 10);
+
+  const std::vector<CalibrationBucket>& buckets() const { return buckets_; }
+
+  /// Maximum |bucket accuracy − bucket midpoint| over buckets with truth
+  /// (expected calibration gap; 0 = perfectly calibrated).
+  double MaxCalibrationGap() const;
+
+  /// Fraction of predictions in the two extreme buckets — the "U-shape"
+  /// health measure for Fig. 5(b)/(c).
+  double ExtremeMassFraction() const;
+
+  /// Render the three diagrams as ASCII (one figure per paper panel).
+  std::string ToText() const;
+
+ private:
+  std::vector<CalibrationBucket> buckets_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_CALIBRATION_H_

@@ -1,0 +1,37 @@
+#include "core/devloop.h"
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dd {
+
+Result<IterationRecord> DevelopmentLoop::RunIteration(const std::string& action) {
+  int iteration = static_cast<int>(history_.size());
+  Stopwatch watch;
+  DD_ASSIGN_OR_RETURN(last_pipeline_, factory_(iteration));
+  DD_RETURN_IF_ERROR(last_pipeline_->Run());
+  DD_ASSIGN_OR_RETURN(auto extractions, last_pipeline_->Extractions(relation_));
+
+  IterationRecord record;
+  record.iteration = iteration;
+  record.action = action;
+  record.metrics = Evaluate(extractions, truth_);
+  record.seconds = watch.Seconds();
+  record.num_factors = last_pipeline_->grounding_stats().num_factors;
+  record.num_weights = last_pipeline_->grounding_stats().num_weights;
+  history_.push_back(record);
+  return record;
+}
+
+std::string DevelopmentLoop::ToText() const {
+  std::string out =
+      "iter  precision  recall   F1      factors  weights  action\n";
+  for (const IterationRecord& r : history_) {
+    out += StrFormat("%-4d  %.3f      %.3f    %.3f   %-8zu %-8zu %s\n", r.iteration,
+                     r.metrics.precision, r.metrics.recall, r.metrics.f1,
+                     r.num_factors, r.num_weights, r.action.c_str());
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,67 @@
+#ifndef DEEPDIVE_CORE_DEVLOOP_H_
+#define DEEPDIVE_CORE_DEVLOOP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/error_analysis.h"
+#include "core/pipeline.h"
+
+namespace dd {
+
+/// One pass around Figure 1's engineering iteration loop.
+struct IterationRecord {
+  int iteration = 0;
+  std::string action;  ///< what the engineer changed ("added phrase features")
+  EvaluationResult metrics;
+  double seconds = 0.0;
+  size_t num_factors = 0;
+  size_t num_weights = 0;
+};
+
+/// Drives the §5 improvement iteration loop in scripted form: each
+/// iteration the "engineer" (a pipeline factory parameterized by the
+/// iteration number) enables one more fix — a new feature rule, a new
+/// supervision rule, a candidate-generator repair — then the loop
+/// reruns the system and records precision/recall. The paper's claim is
+/// that this process *reliably* improves quality; bench_iteration_quality
+/// regenerates that curve.
+class DevelopmentLoop {
+ public:
+  /// Builds the pipeline as it exists at iteration `i` (0-based) and
+  /// returns it ready to Run().
+  using PipelineFactory =
+      std::function<Result<std::unique_ptr<DeepDivePipeline>>(int iteration)>;
+
+  DevelopmentLoop(PipelineFactory factory, std::string relation,
+                  std::unordered_set<Tuple, TupleHash> truth)
+      : factory_(std::move(factory)),
+        relation_(std::move(relation)),
+        truth_(std::move(truth)) {}
+
+  /// Run iteration `history().size()` with a description of the change.
+  /// Returns the record (also appended to history()).
+  Result<IterationRecord> RunIteration(const std::string& action);
+
+  const std::vector<IterationRecord>& history() const { return history_; }
+
+  /// The last iteration's pipeline (for error analysis drill-down).
+  DeepDivePipeline* last_pipeline() { return last_pipeline_.get(); }
+
+  /// Render the quality-over-iterations table.
+  std::string ToText() const;
+
+ private:
+  PipelineFactory factory_;
+  std::string relation_;
+  std::unordered_set<Tuple, TupleHash> truth_;
+  std::vector<IterationRecord> history_;
+  std::unique_ptr<DeepDivePipeline> last_pipeline_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_DEVLOOP_H_

@@ -1,0 +1,95 @@
+#include "core/diagnostics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::vector<FeatureLabelStats> SupervisionDiagnostics::Analyze(
+    const Grounder& grounder, const Options& options) {
+  const FactorGraph& graph = grounder.graph();
+  const size_t nw = graph.num_weights();
+
+  std::vector<FeatureLabelStats> stats(nw);
+  for (uint32_t w = 0; w < nw; ++w) {
+    stats[w].weight_id = w;
+    stats[w].key = grounder.WeightKey(w);
+  }
+
+  uint64_t total_positive = 0;
+  uint64_t total_negative = 0;
+  for (uint32_t v = 0; v < graph.num_variables(); ++v) {
+    if (!graph.is_evidence(v)) continue;
+    if (graph.evidence_value(v)) {
+      ++total_positive;
+    } else {
+      ++total_negative;
+    }
+  }
+
+  // Attribute each factor to the evidence status of its first literal's
+  // variable (feature factors are unary istrue factors on the candidate).
+  for (uint32_t f = 0; f < graph.num_factors(); ++f) {
+    size_t arity = 0;
+    const Literal* literals = graph.factor_literals(f, &arity);
+    if (arity == 0) continue;
+    uint32_t v = literals[0].var;
+    FeatureLabelStats& s = stats[graph.factor_weight(f)];
+    if (!graph.is_evidence(v)) {
+      ++s.on_unlabeled;
+    } else if (graph.evidence_value(v)) {
+      ++s.on_positive;
+    } else {
+      ++s.on_negative;
+    }
+  }
+
+  for (FeatureLabelStats& s : stats) {
+    uint64_t labeled = s.on_positive + s.on_negative;
+    if (labeled > 0) {
+      s.purity = static_cast<double>(std::max(s.on_positive, s.on_negative)) / labeled;
+    }
+    if (total_positive > 0 && s.on_positive >= s.on_negative) {
+      s.positive_coverage = static_cast<double>(s.on_positive) / total_positive;
+    } else if (total_negative > 0) {
+      s.positive_coverage = static_cast<double>(s.on_negative) / total_negative;
+    }
+    s.suspicious = labeled >= options.min_observations &&
+                   s.purity >= options.min_purity &&
+                   s.positive_coverage >= options.min_coverage;
+  }
+
+  // Suspicious first, then by labeled observations.
+  std::sort(stats.begin(), stats.end(),
+            [](const FeatureLabelStats& a, const FeatureLabelStats& b) {
+              if (a.suspicious != b.suspicious) return a.suspicious;
+              return a.on_positive + a.on_negative > b.on_positive + b.on_negative;
+            });
+  // Drop never-labeled features from the report.
+  stats.erase(std::remove_if(stats.begin(), stats.end(),
+                             [](const FeatureLabelStats& s) {
+                               return s.on_positive + s.on_negative == 0;
+                             }),
+              stats.end());
+  return stats;
+}
+
+std::string SupervisionDiagnostics::Report(
+    const std::vector<FeatureLabelStats>& stats) {
+  std::string out;
+  for (const FeatureLabelStats& s : stats) {
+    if (!s.suspicious) continue;
+    if (out.empty()) {
+      out += "WARNING: features nearly identical to a supervision rule "
+             "(training will place all weight on them; see paper §8):\n";
+    }
+    out += StrFormat("  %s  (pos %llu, neg %llu, covers %.0f%% of its class)\n",
+                     s.key.c_str(), static_cast<unsigned long long>(s.on_positive),
+                     static_cast<unsigned long long>(s.on_negative),
+                     100.0 * s.positive_coverage);
+  }
+  return out;
+}
+
+}  // namespace dd

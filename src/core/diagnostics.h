@@ -1,0 +1,57 @@
+#ifndef DEEPDIVE_CORE_DIAGNOSTICS_H_
+#define DEEPDIVE_CORE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "grounding/grounder.h"
+
+namespace dd {
+
+/// Per-feature label-correlation statistics over the evidence variables.
+struct FeatureLabelStats {
+  uint32_t weight_id = 0;
+  std::string key;               ///< weight tying key (feature name)
+  uint64_t on_positive = 0;      ///< labeled-true variables carrying it
+  uint64_t on_negative = 0;      ///< labeled-false variables carrying it
+  uint64_t on_unlabeled = 0;
+  double positive_coverage = 0;  ///< fraction of ALL positives it covers
+  double purity = 0;             ///< max(pos, neg) / (pos + neg)
+  bool suspicious = false;
+};
+
+/// Detector for the §8 engineering failure mode: "if the distant
+/// supervision rule is identical to or extremely similar to a feature
+/// function, standard statistical training procedures will fail badly
+/// ... the training procedure will build a model that places all weight
+/// on the single feature that overlaps with the supervision rule."
+///
+/// A feature is flagged when it is (a) observed often enough to matter,
+/// (b) label-pure (appears on positives xor negatives), and (c) covers
+/// most of one label class — i.e. it *is* the supervision rule in
+/// disguise. The fix is the user's (drop the feature or the rule); the
+/// point, per the paper, is that the failure is otherwise "extremely
+/// hard to detect".
+class SupervisionDiagnostics {
+ public:
+  struct Options {
+    uint64_t min_observations = 10;
+    double min_coverage = 0.9;  ///< of the label class it is pure for
+    double min_purity = 0.999;
+  };
+
+  /// Analyze the grounder's current graph. Returns stats for every
+  /// weight with at least one labeled observation, suspicious first.
+  static std::vector<FeatureLabelStats> Analyze(const Grounder& grounder,
+                                                const Options& options);
+  static std::vector<FeatureLabelStats> Analyze(const Grounder& grounder) {
+    return Analyze(grounder, Options());
+  }
+
+  /// Render a warning report ("" when nothing is suspicious).
+  static std::string Report(const std::vector<FeatureLabelStats>& stats);
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,76 @@
+#ifndef DEEPDIVE_CORE_ERROR_ANALYSIS_H_
+#define DEEPDIVE_CORE_ERROR_ANALYSIS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "grounding/grounder.h"
+#include "storage/tuple.h"
+
+namespace dd {
+
+/// Precision/recall of an extraction against ground truth.
+struct EvaluationResult {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Score `extracted` against the complete `truth` set. Truth tuples the
+/// system never extracted count as false negatives — including those the
+/// candidate generator missed entirely (§5.2 bug category 1).
+EvaluationResult Evaluate(const std::vector<Tuple>& extracted,
+                          const std::unordered_set<Tuple, TupleHash>& truth);
+
+/// One failure-mode bucket of the error analysis document (§5.2): a
+/// semantic tag applied by the engineer (here: a tagging function),
+/// an error count, and sampled examples.
+struct FailureBucket {
+  std::string tag;
+  size_t count = 0;
+  std::vector<std::string> examples;  ///< rendered sample errors
+};
+
+/// The error analysis document of §5.2 — the engineer's "performance
+/// instrumentation tool": true precision/recall, failure modes sorted by
+/// frequency, and (when a Grounder is supplied) the per-feature weight
+/// and observation-count statistics of §2.5.
+class ErrorAnalysis {
+ public:
+  /// Classifies one error into a failure-mode bucket tag.
+  /// `is_false_positive` distinguishes wrong extractions from misses.
+  using TagFn = std::function<std::string(const Tuple&, bool is_false_positive)>;
+
+  /// `marginals` holds every candidate with its probability; extractions
+  /// are those >= threshold. Truth is the complete gold set.
+  static ErrorAnalysis Build(const std::vector<std::pair<Tuple, double>>& marginals,
+                             double threshold,
+                             const std::unordered_set<Tuple, TupleHash>& truth,
+                             const TagFn& tag_fn, size_t examples_per_bucket = 5);
+
+  const EvaluationResult& metrics() const { return metrics_; }
+
+  /// Buckets in descending error-count order — the engineer always
+  /// attacks the largest bucket first (§5.2).
+  const std::vector<FailureBucket>& buckets() const { return buckets_; }
+
+  /// Render the document; with a grounder, append the feature statistics
+  /// (weight value + observation count per feature, flagging features
+  /// with very few observations — the §5.2 "insufficient training data"
+  /// diagnostic).
+  std::string ToText(const Grounder* grounder = nullptr,
+                     size_t max_features = 20) const;
+
+ private:
+  EvaluationResult metrics_;
+  std::vector<FailureBucket> buckets_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_ERROR_ANALYSIS_H_

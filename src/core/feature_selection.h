@@ -1,0 +1,62 @@
+#ifndef DEEPDIVE_CORE_FEATURE_SELECTION_H_
+#define DEEPDIVE_CORE_FEATURE_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "grounding/grounder.h"
+#include "inference/learner.h"
+
+namespace dd {
+
+/// One feature's fate after regularized selection.
+struct SelectedFeature {
+  uint32_t weight_id = 0;
+  std::string key;
+  double learned_weight = 0.0;
+  uint64_t observations = 0;
+  bool kept = false;
+};
+
+struct FeatureSelectionOptions {
+  /// L2 strength for the selection pass (stronger than production
+  /// training: we want mass pulled off useless features).
+  double selection_l2 = 0.05;
+  /// |w| below this after the selection pass -> pruned.
+  double min_abs_weight = 0.05;
+  /// Features observed fewer times are pruned outright (they cannot be
+  /// estimated; §5.2's "insufficient training data" case).
+  uint64_t min_observations = 2;
+  LearnOptions learn;
+};
+
+/// The feature library system of §5.3: "automatically proposes a massive
+/// number of features that plausibly work across many domains, and then
+/// uses statistical regularization to throw away all but the most
+/// effective features. ... the hypothesized features are designed to
+/// always be human-understandable."
+///
+/// The proposal side is `RelationFeatureTemplates` (core/features.h);
+/// this class is the pruning side: train under strong regularization,
+/// rank by |learned weight|, and report which (human-readable) features
+/// survive. Callers can then restrict the production run to the kept
+/// set, or simply surface the report in error analysis.
+class FeatureSelector {
+ public:
+  /// Train the grounder's graph under the selection regime and classify
+  /// every learnable weight. The graph's weights are modified (call
+  /// Grounder::SaveWeights() only if you want to keep them).
+  static Result<std::vector<SelectedFeature>> Run(
+      Grounder* grounder, const FeatureSelectionOptions& options);
+
+  /// Keys of kept features.
+  static std::vector<std::string> KeptKeys(const std::vector<SelectedFeature>& all);
+
+  /// Render a report, most-effective-first.
+  static std::string Report(const std::vector<SelectedFeature>& all,
+                            size_t max_rows = 30);
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_FEATURE_SELECTION_H_

@@ -1,0 +1,109 @@
+#include "core/features.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+/// Orders the pair so the left mention comes first; returns the token
+/// gap [gap_begin, gap_end).
+void GapBetween(const Mention& m1, const Mention& m2, int* gap_begin, int* gap_end) {
+  const Mention& left = m1.token_begin <= m2.token_begin ? m1 : m2;
+  const Mention& right = m1.token_begin <= m2.token_begin ? m2 : m1;
+  *gap_begin = left.token_end;
+  *gap_end = right.token_begin;
+  if (*gap_end < *gap_begin) *gap_end = *gap_begin;  // overlapping mentions
+}
+
+}  // namespace
+
+std::string PhraseBetween(const Sentence& sentence, const Mention& m1,
+                          const Mention& m2) {
+  int begin = 0, end = 0;
+  GapBetween(m1, m2, &begin, &end);
+  std::string out;
+  for (int i = begin; i < end && i < static_cast<int>(sentence.tokens.size()); ++i) {
+    if (!out.empty()) out += ' ';
+    out += ToLower(sentence.tokens[static_cast<size_t>(i)].text);
+  }
+  return out;
+}
+
+std::vector<std::string> BagOfWordsBetween(const Sentence& sentence, const Mention& m1,
+                                           const Mention& m2) {
+  int begin = 0, end = 0;
+  GapBetween(m1, m2, &begin, &end);
+  std::vector<std::string> out;
+  for (int i = begin; i < end && i < static_cast<int>(sentence.tokens.size()); ++i) {
+    out.push_back("word=" + ToLower(sentence.tokens[static_cast<size_t>(i)].text));
+  }
+  return out;
+}
+
+std::vector<std::string> WindowFeatures(const Sentence& sentence, const Mention& m,
+                                        int window) {
+  std::vector<std::string> out;
+  const int n = static_cast<int>(sentence.tokens.size());
+  for (int k = 1; k <= window; ++k) {
+    int left = m.token_begin - k;
+    if (left >= 0) {
+      out.push_back(StrFormat("left%d=", k) +
+                    ToLower(sentence.tokens[static_cast<size_t>(left)].text));
+    }
+    int right = m.token_end + k - 1;
+    if (right < n) {
+      out.push_back(StrFormat("right%d=", k) +
+                    ToLower(sentence.tokens[static_cast<size_t>(right)].text));
+    }
+  }
+  return out;
+}
+
+std::string PosSequenceBetween(const Sentence& sentence, const Mention& m1,
+                               const Mention& m2) {
+  int begin = 0, end = 0;
+  GapBetween(m1, m2, &begin, &end);
+  std::string out = "pos_between=";
+  for (int i = begin; i < end && i < static_cast<int>(sentence.tokens.size()); ++i) {
+    if (i > begin) out += ' ';
+    out += sentence.tokens[static_cast<size_t>(i)].pos;
+  }
+  return out;
+}
+
+std::string DistanceFeature(const Mention& m1, const Mention& m2) {
+  int begin = 0, end = 0;
+  GapBetween(m1, m2, &begin, &end);
+  int gap = end - begin;
+  if (gap == 0) return "dist=adjacent";
+  if (gap <= 3) return "dist=short";
+  if (gap <= 8) return "dist=medium";
+  return "dist=long";
+}
+
+std::vector<std::string> RelationFeatureTemplates(const Sentence& sentence,
+                                                  const Mention& m1, const Mention& m2,
+                                                  int window) {
+  std::vector<std::string> out;
+  std::string phrase = PhraseBetween(sentence, m1, m2);
+  if (!phrase.empty() && phrase.size() < 64) out.push_back("phrase=" + phrase);
+  for (auto& f : BagOfWordsBetween(sentence, m1, m2)) out.push_back(std::move(f));
+  out.push_back(PosSequenceBetween(sentence, m1, m2));
+  out.push_back(DistanceFeature(m1, m2));
+  const Mention& left = m1.token_begin <= m2.token_begin ? m1 : m2;
+  const Mention& right = m1.token_begin <= m2.token_begin ? m2 : m1;
+  for (auto& f : WindowFeatures(sentence, left, window)) {
+    out.push_back("m1_" + std::move(f));
+  }
+  for (auto& f : WindowFeatures(sentence, right, window)) {
+    out.push_back("m2_" + std::move(f));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace dd

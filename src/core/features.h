@@ -1,0 +1,49 @@
+#ifndef DEEPDIVE_CORE_FEATURES_H_
+#define DEEPDIVE_CORE_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "nlp/document.h"
+#include "nlp/ner.h"
+
+namespace dd {
+
+/// The feature library (§5.3): human-understandable feature generators
+/// over sentence structure. Every feature is a readable string — that is
+/// a deliberate design choice of the system (§2.5 "debuggable decisions")
+/// — which becomes a weight-tying key during grounding.
+
+/// Tokens strictly between two mentions, joined by spaces; empty string
+/// if the mentions touch or overlap. Order-normalized (left one first).
+std::string PhraseBetween(const Sentence& sentence, const Mention& m1,
+                          const Mention& m2);
+
+/// "word=<w>" features for every token between the mentions.
+std::vector<std::string> BagOfWordsBetween(const Sentence& sentence, const Mention& m1,
+                                           const Mention& m2);
+
+/// Window features: "left1=<w>", "left2=<w>", "right1=<w>"... up to
+/// `window` tokens on each side of the mention.
+std::vector<std::string> WindowFeatures(const Sentence& sentence, const Mention& m,
+                                        int window);
+
+/// POS-tag sequence between mentions, e.g. "pos_between=CC PRP$ NN".
+std::string PosSequenceBetween(const Sentence& sentence, const Mention& m1,
+                               const Mention& m2);
+
+/// Distance bucket between the mentions: "dist=adjacent" (0 tokens),
+/// "dist=short" (1-3), "dist=medium" (4-8), "dist=long" (9+).
+std::string DistanceFeature(const Mention& m1, const Mention& m2);
+
+/// A feature-template expansion (the "feature library system" of §5.3):
+/// the union of phrase-between, bag-of-words, POS-sequence, distance,
+/// and window features for a candidate pair. Massive and noisy by
+/// design — statistical regularization (L2 in the learner) prunes it.
+std::vector<std::string> RelationFeatureTemplates(const Sentence& sentence,
+                                                  const Mention& m1, const Mention& m2,
+                                                  int window = 2);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_FEATURES_H_

@@ -1,0 +1,108 @@
+#include "core/mindtagger.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+/// Reservoir-sample `k` indexes from [0, n).
+std::vector<size_t> SampleIndexes(size_t n, size_t k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<size_t> out;
+  for (size_t i = 0; i < n; ++i) {
+    if (out.size() < k) {
+      out.push_back(i);
+    } else {
+      size_t j = static_cast<size_t>(rng.NextBounded(i + 1));
+      if (j < k) out[j] = i;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+AnnotationSession AnnotationSession::ForPrecision(
+    const std::vector<std::pair<Tuple, double>>& marginals, double threshold,
+    size_t sample_size, uint64_t seed) {
+  std::vector<std::pair<Tuple, double>> extracted;
+  for (const auto& [tuple, prob] : marginals) {
+    if (prob >= threshold) extracted.emplace_back(tuple, prob);
+  }
+  AnnotationSession session;
+  for (size_t i : SampleIndexes(extracted.size(), sample_size, seed)) {
+    session.items_.push_back(AnnotationItem{extracted[i].first, extracted[i].second,
+                                            -1});
+  }
+  return session;
+}
+
+AnnotationSession AnnotationSession::ForRecall(
+    const std::vector<Tuple>& known_true,
+    const std::vector<std::pair<Tuple, double>>& marginals, double threshold,
+    size_t sample_size, uint64_t seed) {
+  AnnotationSession session;
+  for (size_t i : SampleIndexes(known_true.size(), sample_size, seed)) {
+    const Tuple& fact = known_true[i];
+    double prob = 0.0;
+    for (const auto& [tuple, p] : marginals) {
+      if (tuple == fact) {
+        prob = p;
+        break;
+      }
+    }
+    // Prefill: extracted iff above threshold; the human may override.
+    session.items_.push_back(AnnotationItem{fact, prob, prob >= threshold ? 1 : 0});
+  }
+  return session;
+}
+
+size_t AnnotationSession::num_annotated() const {
+  size_t n = 0;
+  for (const AnnotationItem& item : items_) n += item.label >= 0;
+  return n;
+}
+
+Status AnnotationSession::Annotate(size_t index, bool correct) {
+  if (index >= items_.size()) {
+    return Status::OutOfRange(StrFormat("item %zu of %zu", index, items_.size()));
+  }
+  items_[index].label = correct ? 1 : 0;
+  return Status::OK();
+}
+
+Result<std::pair<double, double>> AnnotationSession::Estimate() const {
+  size_t annotated = 0, correct = 0;
+  for (const AnnotationItem& item : items_) {
+    if (item.label < 0) continue;
+    ++annotated;
+    correct += item.label == 1;
+  }
+  if (annotated == 0) return Status::Internal("no annotations yet");
+  double p = static_cast<double>(correct) / annotated;
+  double stderr_ = std::sqrt(p * (1 - p) / annotated);
+  return std::make_pair(p, stderr_);
+}
+
+std::string AnnotationSession::ToText() const {
+  std::string out = StrFormat("annotation session: %zu items (%zu annotated)\n",
+                              items_.size(), num_annotated());
+  for (size_t i = 0; i < items_.size(); ++i) {
+    const AnnotationItem& item = items_[i];
+    out += StrFormat("  [%3zu] %-8s p=%.3f %s\n", i,
+                     item.label < 0 ? "?" : (item.label == 1 ? "correct" : "wrong"),
+                     item.probability, item.tuple.ToString().c_str());
+  }
+  auto estimate = Estimate();
+  if (estimate.ok()) {
+    out += StrFormat("estimate: %.3f +/- %.3f\n", estimate->first, estimate->second);
+  }
+  return out;
+}
+
+}  // namespace dd

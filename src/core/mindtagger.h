@@ -1,0 +1,65 @@
+#ifndef DEEPDIVE_CORE_MINDTAGGER_H_
+#define DEEPDIVE_CORE_MINDTAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/error_analysis.h"
+#include "storage/tuple.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace dd {
+
+/// One item queued for human annotation.
+struct AnnotationItem {
+  Tuple tuple;
+  double probability = 0.0;
+  /// -1 = not yet annotated, 0 = marked incorrect, 1 = marked correct.
+  int label = -1;
+};
+
+/// A Mindtagger-style annotation session (§5.2, ref [45]): DeepDive's
+/// precision/recall estimates come from a human marking ~100 sampled
+/// extractions (precision sample) and ~100 known-true facts (recall
+/// sample). This class manages those samples and turns the annotations
+/// into estimates with binomial standard errors — the numbers at the
+/// top of the error-analysis document.
+class AnnotationSession {
+ public:
+  /// Sample `sample_size` extractions (probability >= threshold) for
+  /// precision annotation, uniformly at random with a fixed seed.
+  static AnnotationSession ForPrecision(
+      const std::vector<std::pair<Tuple, double>>& marginals, double threshold,
+      size_t sample_size, uint64_t seed);
+
+  /// Sample `sample_size` known-true facts for recall annotation (the
+  /// human marks whether the system extracted each one — here prefilled
+  /// from the marginals, with the human able to override).
+  static AnnotationSession ForRecall(
+      const std::vector<Tuple>& known_true,
+      const std::vector<std::pair<Tuple, double>>& marginals, double threshold,
+      size_t sample_size, uint64_t seed);
+
+  const std::vector<AnnotationItem>& items() const { return items_; }
+  size_t num_annotated() const;
+  size_t num_pending() const { return items_.size() - num_annotated(); }
+
+  /// Record a human judgment for item `index`.
+  Status Annotate(size_t index, bool correct);
+
+  /// Fraction marked correct among annotated items, with the binomial
+  /// standard error; fails if nothing is annotated yet.
+  Result<std::pair<double, double>> Estimate() const;
+
+  /// Render the session for a terminal annotator.
+  std::string ToText() const;
+
+ private:
+  std::vector<AnnotationItem> items_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_MINDTAGGER_H_

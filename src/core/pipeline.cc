@@ -1,0 +1,265 @@
+#include "core/pipeline.h"
+
+#include "core/diagnostics.h"
+#include "ddlog/parser.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace dd {
+
+void TupleEmitter::Emit(const std::string& relation, Tuple tuple) {
+  emitted_[relation].push_back(std::move(tuple));
+}
+
+DeepDivePipeline::DeepDivePipeline(PipelineOptions options)
+    : options_(std::move(options)) {}
+
+DeepDivePipeline::~DeepDivePipeline() = default;
+
+Status DeepDivePipeline::LoadProgram(std::string_view ddlog_source) {
+  if (has_run_) return Status::Internal("cannot reload program after Run()");
+  DD_ASSIGN_OR_RETURN(program_, ParseDdlog(ddlog_source));
+  DD_RETURN_IF_ERROR(AnalyzeProgram(program_));
+  program_loaded_ = true;
+  return Status::OK();
+}
+
+void DeepDivePipeline::RegisterExtractor(Extractor extractor) {
+  extractors_.push_back(std::move(extractor));
+}
+
+Status DeepDivePipeline::AddDocument(std::string id, const std::string& text) {
+  for (const Document& doc : documents_) {
+    if (doc.id == id) return Status::AlreadyExists("duplicate document id: " + id);
+  }
+  documents_.push_back(AnnotateDocument(std::move(id), text, options_.html_documents));
+  return Status::OK();
+}
+
+void DeepDivePipeline::QueueDelta(const std::string& relation, Tuple tuple,
+                                  int64_t count) {
+  queued_deltas_[relation][std::move(tuple)] += count;
+}
+
+Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) {
+  for (; next_document_ < documents_.size(); ++next_document_) {
+    const Document& doc = documents_[next_document_];
+    TupleEmitter emitter;
+    for (const Extractor& extractor : extractors_) {
+      DD_RETURN_IF_ERROR(extractor(doc, &emitter));
+    }
+    for (const auto& [relation, tuples] : emitter.emitted()) {
+      for (const Tuple& t : tuples) {
+        (*deltas)[relation][t] += 1;
+      }
+    }
+  }
+  // Fold in raw queued deltas.
+  for (auto& [relation, delta] : queued_deltas_) {
+    for (auto& [tuple, count] : delta) {
+      (*deltas)[relation][tuple] += count;
+    }
+  }
+  queued_deltas_.clear();
+  return Status::OK();
+}
+
+MaterializationStrategy DeepDivePipeline::PickStrategy() const {
+  switch (options_.strategy) {
+    case PipelineOptions::Strategy::kSampling:
+      return MaterializationStrategy::kSampling;
+    case PipelineOptions::Strategy::kVariational:
+      return MaterializationStrategy::kVariational;
+    case PipelineOptions::Strategy::kAuto:
+      break;
+  }
+  const FactorGraph& graph = grounder_->graph();
+  double avg_degree = graph.num_variables() == 0
+                          ? 0.0
+                          : static_cast<double>(graph.num_edges()) /
+                                graph.num_variables();
+  return ChooseStrategy(graph.num_variables(), avg_degree,
+                        options_.anticipated_changes);
+}
+
+Status DeepDivePipeline::Run() {
+  if (!program_loaded_) return Status::Internal("LoadProgram() before Run()");
+
+  // Phase 1: candidate generation + feature extraction UDFs (§3 step 1).
+  Stopwatch watch;
+  std::map<std::string, DeltaSet> deltas;
+  DD_RETURN_IF_ERROR(RunExtraction(&deltas));
+  timings_.extraction_seconds = watch.Seconds();
+
+  // Phase 2: grounding — candidate mappings, supervision rules, and
+  // factor generation, incrementally after the first run (§3 steps 1-2,
+  // §4.1).
+  watch.Restart();
+  if (!has_run_) {
+    // Bulk-load the first batch directly into the base tables.
+    for (const auto& [relation, delta] : deltas) {
+      const RelationDecl* decl = program_.FindDecl(relation);
+      if (decl == nullptr) {
+        return Status::NotFound("extractor emitted into undeclared relation: " +
+                                relation);
+      }
+      DD_ASSIGN_OR_RETURN(Table * table,
+                          catalog_.GetOrCreateTable(relation, decl->schema));
+      for (const auto& [tuple, count] : delta) {
+        if (count <= 0) continue;  // deletions meaningless on first load
+        DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+      }
+    }
+    GroundingOptions grounding_options;
+    grounding_options.holdout_fraction = options_.holdout_fraction;
+    grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
+                                           grounding_options);
+    DD_RETURN_IF_ERROR(grounder_->Initialize());
+  } else {
+    if (!deltas.empty()) {
+      DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
+    }
+  }
+  timings_.grounding_seconds = watch.Seconds();
+
+  // Phase 3: weight learning (§3 step 3).
+  watch.Restart();
+  bool learn = !has_run_ || options_.relearn_on_update;
+  if (learn) {
+    Learner learner(grounder_->mutable_graph());
+    DD_RETURN_IF_ERROR(learner.Learn(options_.learn));
+    grounder_->SaveWeights();
+  }
+  timings_.learning_seconds = watch.Seconds();
+
+  // Phase 4: inference (§3 step 3, §4.2).
+  watch.Restart();
+  DD_RETURN_IF_ERROR(RunInference());
+  timings_.inference_seconds = watch.Seconds();
+
+  has_run_ = true;
+  return Status::OK();
+}
+
+Status DeepDivePipeline::RunInference() {
+  const FactorGraph* graph = &grounder_->graph();
+  if (inference_ == nullptr) {
+    chosen_strategy_ = PickStrategy();
+    IncrementalOptions opts = options_.inference;
+    opts.clamp_evidence = false;  // probabilities for labeled tuples too (Fig. 5)
+    inference_ =
+        std::make_unique<IncrementalInference>(graph, chosen_strategy_, opts);
+    DD_RETURN_IF_ERROR(inference_->Materialize());
+    marginals_ = inference_->marginals();
+    return Status::OK();
+  }
+  DD_ASSIGN_OR_RETURN(marginals_,
+                      inference_->Update(graph, grounder_->changed_vars()));
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<Tuple, double>>> DeepDivePipeline::Marginals(
+    const std::string& relation) const {
+  if (!has_run_) return Status::Internal("Run() first");
+  const RelationDecl* decl = program_.FindDecl(relation);
+  if (decl == nullptr || !decl->is_query) {
+    return Status::NotFound("not a query relation: " + relation);
+  }
+  DD_ASSIGN_OR_RETURN(const Table* table, catalog_.GetTable(relation));
+  std::vector<std::pair<Tuple, double>> out;
+  const auto& vars = grounder_->var_info();
+  for (size_t v = 0; v < vars.size() && v < marginals_.size(); ++v) {
+    if (!vars[v].live || vars[v].relation != relation) continue;
+    out.emplace_back(table->row(vars[v].row_id), marginals_[v]);
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> DeepDivePipeline::Extractions(
+    const std::string& relation) const {
+  DD_ASSIGN_OR_RETURN(auto marginals, Marginals(relation));
+  std::vector<Tuple> out;
+  for (auto& [tuple, prob] : marginals) {
+    if (prob >= options_.threshold) out.push_back(std::move(tuple));
+  }
+  return out;
+}
+
+Result<double> DeepDivePipeline::ProbabilityOf(const std::string& relation,
+                                               const Tuple& tuple) const {
+  if (!has_run_) return Status::Internal("Run() first");
+  int64_t var = grounder_->VarIdFor(relation, tuple);
+  if (var < 0 || static_cast<size_t>(var) >= marginals_.size()) {
+    return Status::NotFound("tuple is not a live candidate of " + relation);
+  }
+  return marginals_[static_cast<size_t>(var)];
+}
+
+Status DeepDivePipeline::WriteMarginalTables() {
+  if (!has_run_) return Status::Internal("Run() first");
+  for (const RelationDecl& decl : program_.declarations) {
+    if (!decl.is_query) continue;
+    std::string name = decl.name + "__marginals";
+    std::vector<Column> columns = decl.schema.columns();
+    columns.push_back(Column{"prob", ValueType::kDouble});
+    if (catalog_.HasTable(name)) DD_RETURN_IF_ERROR(catalog_.DropTable(name));
+    DD_ASSIGN_OR_RETURN(Table * out, catalog_.CreateTable(name, Schema(columns)));
+    DD_ASSIGN_OR_RETURN(auto marginals, Marginals(decl.name));
+    for (const auto& [tuple, prob] : marginals) {
+      Tuple row = tuple;
+      row.Append(Value::Double(prob));
+      DD_RETURN_IF_ERROR(out->Insert(std::move(row)).status());
+    }
+  }
+  return Status::OK();
+}
+
+Result<DeepDivePipeline::CalibrationPair> DeepDivePipeline::Calibration(
+    const std::string& relation) const {
+  if (!has_run_) return Status::Internal("Run() first");
+  const RelationDecl* decl = program_.FindDecl(relation);
+  if (decl == nullptr || !decl->is_query) {
+    return Status::NotFound("not a query relation: " + relation);
+  }
+  const auto& vars = grounder_->var_info();
+  const FactorGraph& graph = grounder_->graph();
+
+  // Test set: held-out labels of this relation.
+  std::vector<double> test_probs;
+  std::vector<int> test_truth;
+  for (const auto& [var, label] : grounder_->holdout()) {
+    if (var >= marginals_.size() || vars[var].relation != relation) continue;
+    test_probs.push_back(marginals_[var]);
+    test_truth.push_back(label ? 1 : 0);
+  }
+  // Train set: clamped evidence of this relation (marginals come from the
+  // unclamped inference pass, so they are informative, not pinned).
+  std::vector<double> train_probs;
+  std::vector<int> train_truth;
+  for (uint32_t v = 0; v < graph.num_variables() && v < marginals_.size(); ++v) {
+    if (!vars[v].live || vars[v].relation != relation) continue;
+    if (!graph.is_evidence(v)) continue;
+    train_probs.push_back(marginals_[v]);
+    train_truth.push_back(graph.evidence_value(v) ? 1 : 0);
+  }
+
+  CalibrationPair out;
+  out.test = CalibrationReport::Build(test_probs, test_truth);
+  out.train = CalibrationReport::Build(train_probs, train_truth);
+  out.num_test = test_probs.size();
+  out.num_train = train_probs.size();
+  return out;
+}
+
+Result<std::string> DeepDivePipeline::SupervisionWarnings() const {
+  if (grounder_ == nullptr) return Status::Internal("Run() first");
+  auto stats = SupervisionDiagnostics::Analyze(*grounder_);
+  return SupervisionDiagnostics::Report(stats);
+}
+
+const GroundingStats& DeepDivePipeline::grounding_stats() const {
+  static const GroundingStats kEmpty;
+  return grounder_ == nullptr ? kEmpty : grounder_->stats();
+}
+
+}  // namespace dd

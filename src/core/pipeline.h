@@ -1,0 +1,180 @@
+#ifndef DEEPDIVE_CORE_PIPELINE_H_
+#define DEEPDIVE_CORE_PIPELINE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/calibration.h"
+#include "core/udf.h"
+#include "ddlog/ast.h"
+#include "grounding/grounder.h"
+#include "inference/incremental.h"
+#include "inference/learner.h"
+#include "nlp/document.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Collects the tuples a candidate-generation extractor produces. On the
+/// first Run() emissions are bulk-loaded; on later runs they become
+/// base-relation deltas for incremental grounding (§4.1).
+class TupleEmitter {
+ public:
+  /// Queue an insertion into `relation`. Type checking happens when the
+  /// batch is applied.
+  void Emit(const std::string& relation, Tuple tuple);
+
+  const std::map<std::string, std::vector<Tuple>>& emitted() const { return emitted_; }
+
+ private:
+  std::map<std::string, std::vector<Tuple>> emitted_;
+};
+
+/// A candidate-generation / supervision UDF (§3 phase 1 and 2): reads an
+/// annotated document, writes tuples. Must be deterministic.
+using Extractor = std::function<Status(const Document&, TupleEmitter*)>;
+
+/// Per-phase wall-clock breakdown (the quantities of Figure 2).
+struct PhaseTimings {
+  double extraction_seconds = 0;  ///< candidate generation + feature extraction UDFs
+  double grounding_seconds = 0;   ///< datalog evaluation + factor-graph build
+  double learning_seconds = 0;
+  double inference_seconds = 0;
+
+  double total_seconds() const {
+    return extraction_seconds + grounding_seconds + learning_seconds +
+           inference_seconds;
+  }
+};
+
+struct PipelineOptions {
+  LearnOptions learn;
+  IncrementalOptions inference;
+  /// Output threshold (§3.4): tuples with marginal >= threshold go into
+  /// the output database.
+  double threshold = 0.9;
+  /// Hint for the materialization-strategy optimizer (§4.2): how many
+  /// future update batches the developer anticipates.
+  int anticipated_changes = 0;
+  /// Fraction of labeled candidates held out of training for Fig. 5's
+  /// test-set calibration (0 = train on all labels).
+  double holdout_fraction = 0.0;
+  /// Force a strategy instead of consulting the optimizer.
+  enum class Strategy { kAuto, kSampling, kVariational };
+  Strategy strategy = Strategy::kAuto;
+  /// Re-run weight learning on incremental updates (full runs always
+  /// learn). Off by default: incremental updates reuse learned weights.
+  bool relearn_on_update = false;
+  bool html_documents = false;
+};
+
+/// The end-to-end DeepDive system (§3): documents in, probabilistic
+/// database out. Usage:
+///
+///   DeepDivePipeline pipeline(options);
+///   pipeline.LoadProgram(ddlog_source);
+///   pipeline.RegisterExtractor(my_candidate_extractor);
+///   pipeline.AddDocument("doc1", text);
+///   pipeline.Run();
+///   auto output = pipeline.Extractions("MarriedCandidate");
+///
+/// Adding more documents (or calling ApplyBaseDeltas) after the first
+/// Run() triggers the incremental path: DRed grounding plus warm-started
+/// inference, exactly the engineering-loop workflow of §5.
+class DeepDivePipeline {
+ public:
+  explicit DeepDivePipeline(PipelineOptions options = PipelineOptions());
+  ~DeepDivePipeline();
+
+  DeepDivePipeline(const DeepDivePipeline&) = delete;
+  DeepDivePipeline& operator=(const DeepDivePipeline&) = delete;
+
+  /// Parse + analyze the DDlog program. Must precede Run().
+  Status LoadProgram(std::string_view ddlog_source);
+
+  /// Register custom weight UDFs before Run().
+  UdfRegistry* udfs() { return &udfs_; }
+  /// Direct access to the relational store (e.g. to bulk-load KB tables
+  /// used by distant supervision rules).
+  Catalog* catalog() { return &catalog_; }
+
+  void RegisterExtractor(Extractor extractor);
+
+  /// Queue a document for (incremental) processing on the next Run().
+  Status AddDocument(std::string id, const std::string& text);
+
+  /// Queue raw base-relation deltas (insertions/deletions) for the next
+  /// Run() — the path for non-document updates such as a grown KB.
+  void QueueDelta(const std::string& relation, Tuple tuple, int64_t count);
+
+  /// Execute: extraction -> grounding -> learning -> inference ->
+  /// thresholding. First call runs everything; later calls run the
+  /// incremental path over queued documents/deltas.
+  Status Run();
+
+  /// Marginal probability of every live tuple of a query relation.
+  Result<std::vector<std::pair<Tuple, double>>> Marginals(
+      const std::string& relation) const;
+
+  /// Tuples whose marginal clears the threshold — the output database.
+  Result<std::vector<Tuple>> Extractions(const std::string& relation) const;
+
+  /// Marginal of one tuple; NotFound if it is not a live candidate.
+  Result<double> ProbabilityOf(const std::string& relation, const Tuple& tuple) const;
+
+  /// Write `<relation>__marginals` tables (schema + prob column) so the
+  /// output is queryable like any other relation (§3.4).
+  Status WriteMarginalTables();
+
+  /// Fig. 5's two diagrams for one query relation: `test` is built from
+  /// the held-out labeled candidates (requires holdout_fraction > 0),
+  /// `train` from the clamped evidence candidates.
+  struct CalibrationPair {
+    CalibrationReport test;
+    CalibrationReport train;
+    size_t num_test = 0;
+    size_t num_train = 0;
+  };
+  Result<CalibrationPair> Calibration(const std::string& relation) const;
+
+  /// §8 failure-mode scan: features nearly identical to a supervision
+  /// rule (training places all weight on them and generalization dies).
+  /// Returns the human-readable warning report ("" when clean).
+  Result<std::string> SupervisionWarnings() const;
+
+  const PhaseTimings& timings() const { return timings_; }
+  const GroundingStats& grounding_stats() const;
+  Grounder* grounder() { return grounder_.get(); }
+  const std::vector<Document>& documents() const { return documents_; }
+  MaterializationStrategy chosen_strategy() const { return chosen_strategy_; }
+  bool has_run() const { return has_run_; }
+
+ private:
+  Status RunExtraction(std::map<std::string, DeltaSet>* deltas);
+  Status RunInference();
+  MaterializationStrategy PickStrategy() const;
+
+  PipelineOptions options_;
+  DdlogProgram program_;
+  bool program_loaded_ = false;
+  Catalog catalog_;
+  UdfRegistry udfs_;
+  std::vector<Extractor> extractors_;
+  std::vector<Document> documents_;
+  size_t next_document_ = 0;  ///< first unprocessed document
+  std::map<std::string, DeltaSet> queued_deltas_;
+  std::unique_ptr<Grounder> grounder_;
+  std::unique_ptr<IncrementalInference> inference_;
+  std::vector<double> marginals_;
+  MaterializationStrategy chosen_strategy_ = MaterializationStrategy::kSampling;
+  PhaseTimings timings_;
+  bool has_run_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_PIPELINE_H_

@@ -1,0 +1,57 @@
+#include "core/udf.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+UdfRegistry::UdfRegistry() { RegisterBuiltinUdfs(this); }
+
+void UdfRegistry::Register(const std::string& name, UdfFn fn) {
+  fns_[name] = std::move(fn);
+}
+
+Result<Value> UdfRegistry::Call(const std::string& name,
+                                const std::vector<Value>& args) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) return Status::NotFound("no such UDF: " + name);
+  return it->second(args);
+}
+
+void RegisterBuiltinUdfs(UdfRegistry* registry) {
+  registry->Register("identity", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return Status::InvalidArgument("identity expects 1 arg");
+    return args[0];
+  });
+  registry->Register("lower", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1 || args[0].type() != ValueType::kString) {
+      return Status::InvalidArgument("lower expects 1 string arg");
+    }
+    return Value::String(ToLower(args[0].AsString()));
+  });
+  registry->Register("concat", [](const std::vector<Value>& args) -> Result<Value> {
+    std::string out;
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += '|';
+      out += args[i].ToString();
+    }
+    return Value::String(std::move(out));
+  });
+  registry->Register("bucket", [](const std::vector<Value>& args) -> Result<Value> {
+    if (args.size() != 1) return Status::InvalidArgument("bucket expects 1 arg");
+    double x = 0;
+    if (args[0].type() == ValueType::kInt) {
+      x = static_cast<double>(args[0].AsInt());
+    } else if (args[0].type() == ValueType::kDouble) {
+      x = args[0].AsDouble();
+    } else {
+      return Status::InvalidArgument("bucket expects a numeric arg");
+    }
+    if (x <= 0) return Value::String("nonpositive");
+    int magnitude = static_cast<int>(std::floor(std::log10(x)));
+    return Value::String(StrFormat("1e%d", magnitude));
+  });
+}
+
+}  // namespace dd

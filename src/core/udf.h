@@ -1,0 +1,47 @@
+#ifndef DEEPDIVE_CORE_UDF_H_
+#define DEEPDIVE_CORE_UDF_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// A user-defined function over tuple values, used in weight clauses
+/// (Example 3.2's `weight = phrase(m1, m2, sent)`). UDFs must be pure
+/// and deterministic: the same arguments must produce the same value,
+/// because the returned value is the weight-tying key.
+using UdfFn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+/// Registry of named UDFs, consulted during grounding.
+class UdfRegistry {
+ public:
+  UdfRegistry();
+
+  /// Register (or replace) a UDF.
+  void Register(const std::string& name, UdfFn fn);
+
+  bool Has(const std::string& name) const { return fns_.count(name) > 0; }
+
+  /// Invoke; NotFound if unregistered.
+  Result<Value> Call(const std::string& name, const std::vector<Value>& args) const;
+
+ private:
+  std::unordered_map<std::string, UdfFn> fns_;
+};
+
+/// Built-in UDFs registered by the default constructor:
+///  * identity(v)          — the value itself
+///  * lower(text)          — lowercase
+///  * concat(a, b, ...)    — string concatenation with '|' separators
+///  * bucket(x)            — order-of-magnitude bucket for numbers
+/// These cover the common tying keys without custom code.
+void RegisterBuiltinUdfs(UdfRegistry* registry);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_UDF_H_

@@ -1,0 +1,74 @@
+#ifndef DEEPDIVE_DDLOG_AST_H_
+#define DEEPDIVE_DDLOG_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/rule.h"
+#include "storage/schema.h"
+
+namespace dd {
+
+/// A relation declaration: `Name(col: type, ...).` or `Name?(...)` for
+/// query (uncertain) relations whose tuples become random variables.
+struct RelationDecl {
+  std::string name;
+  Schema schema;
+  bool is_query = false;
+  int line = 0;
+};
+
+/// The weight clause of a feature or correlation rule (Example 3.2's
+/// `weight = phrase(m1, m2, sent)` and friends).
+struct WeightSpec {
+  enum class Kind {
+    kFixed,      ///< weight = 2.5          (fixed, not learned)
+    kLearnable,  ///< weight = ?             (one learned weight per rule)
+    kUdf,        ///< weight = udf(v1, v2)   (tied per UDF return value)
+    kVariables,  ///< weight = v1, v2        (tied per variable values)
+  };
+  Kind kind = Kind::kLearnable;
+  double fixed_value = 0.0;
+  std::string udf_name;
+  std::vector<std::string> args;  ///< body variables feeding the tying key
+};
+
+/// Rule flavors DeepDive distinguishes during grounding.
+enum class RuleKind {
+  kDerivation,   ///< Head(..) :- Body.            candidate mapping / ETL
+  kFeature,      ///< Head(..) :- Body weight=...  classifier evidence (§3.1)
+  kCorrelation,  ///< H1(..) => H2(..) :- Body.    MLN-style imply factor
+};
+
+/// One parsed DDlog rule.
+struct DdlogRule {
+  RuleKind kind = RuleKind::kDerivation;
+  ConjunctiveRule rule;            ///< head + body + conditions
+  Atom implied_head;               ///< kCorrelation: the implied atom (H2)
+  std::optional<WeightSpec> weight;
+  int line = 0;
+
+  /// Render the full rule as parseable DDlog text.
+  std::string ToString() const;
+};
+
+/// A parsed DDlog program.
+struct DdlogProgram {
+  std::vector<RelationDecl> declarations;
+  std::vector<DdlogRule> rules;
+
+  /// Render the whole program back to parseable DDlog text.
+  std::string ToString() const;
+
+  const RelationDecl* FindDecl(const std::string& name) const {
+    for (const RelationDecl& d : declarations) {
+      if (d.name == name) return &d;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DDLOG_AST_H_

@@ -1,0 +1,174 @@
+#include "ddlog/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kNumber: return "number";
+    case TokKind::kString: return "string";
+    case TokKind::kTrue: return "true";
+    case TokKind::kFalse: return "false";
+    case TokKind::kNull: return "NULL";
+    case TokKind::kLParen: return "(";
+    case TokKind::kRParen: return ")";
+    case TokKind::kComma: return ",";
+    case TokKind::kDot: return ".";
+    case TokKind::kColon: return ":";
+    case TokKind::kColonDash: return ":-";
+    case TokKind::kBang: return "!";
+    case TokKind::kQuestion: return "?";
+    case TokKind::kEq: return "=";
+    case TokKind::kNeq: return "!=";
+    case TokKind::kLt: return "<";
+    case TokKind::kLe: return "<=";
+    case TokKind::kGt: return ">";
+    case TokKind::kGe: return ">=";
+    case TokKind::kImplies: return "=>";
+    case TokKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Tok>> LexDdlog(std::string_view source) {
+  std::vector<Tok> tokens;
+  int line = 1, column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto make = [&](TokKind kind) {
+    Tok t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(StrFormat("line %d col %d: %s", line, column,
+                                        msg.c_str()));
+  };
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    // Comments.
+    if (c == '#' || (c == '/' && i + 1 < n && source[i + 1] == '/')) {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Tok t = make(TokKind::kIdent);
+      size_t begin = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        advance(1);
+      }
+      t.text = std::string(source.substr(begin, i - begin));
+      if (t.text == "true") t.kind = TokKind::kTrue;
+      else if (t.text == "false") t.kind = TokKind::kFalse;
+      else if (t.text == "NULL" || t.text == "null") t.kind = TokKind::kNull;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers. The grammar has no arithmetic, so '-' directly before a
+    // digit is always a sign.
+    bool starts_number =
+        std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])));
+    if (starts_number) {
+      Tok t = make(TokKind::kNumber);
+      size_t begin = i;
+      if (source[i] == '-') advance(1);
+      bool has_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       (source[i] == '.' && !has_dot && i + 1 < n &&
+                        std::isdigit(static_cast<unsigned char>(source[i + 1]))))) {
+        if (source[i] == '.') has_dot = true;
+        advance(1);
+      }
+      t.text = std::string(source.substr(begin, i - begin));
+      t.number = std::strtod(t.text.c_str(), nullptr);
+      t.is_integer = !has_dot;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Strings.
+    if (c == '"') {
+      Tok t = make(TokKind::kString);
+      advance(1);
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n) {
+          char esc = source[i + 1];
+          payload += esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+          advance(2);
+          continue;
+        }
+        if (source[i] == '"') {
+          advance(1);
+          closed = true;
+          break;
+        }
+        if (source[i] == '\n') break;
+        payload += source[i];
+        advance(1);
+      }
+      if (!closed) return error("unterminated string literal");
+      t.text = std::move(payload);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators and punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && source[i + 1] == b;
+    };
+    if (two(':', '-')) { tokens.push_back(make(TokKind::kColonDash)); advance(2); continue; }
+    if (two('!', '=')) { tokens.push_back(make(TokKind::kNeq)); advance(2); continue; }
+    if (two('<', '=')) { tokens.push_back(make(TokKind::kLe)); advance(2); continue; }
+    if (two('>', '=')) { tokens.push_back(make(TokKind::kGe)); advance(2); continue; }
+    if (two('=', '>')) { tokens.push_back(make(TokKind::kImplies)); advance(2); continue; }
+    TokKind kind;
+    switch (c) {
+      case '(': kind = TokKind::kLParen; break;
+      case ')': kind = TokKind::kRParen; break;
+      case ',': kind = TokKind::kComma; break;
+      case '.': kind = TokKind::kDot; break;
+      case ':': kind = TokKind::kColon; break;
+      case '!': kind = TokKind::kBang; break;
+      case '?': kind = TokKind::kQuestion; break;
+      case '=': kind = TokKind::kEq; break;
+      case '<': kind = TokKind::kLt; break;
+      case '>': kind = TokKind::kGt; break;
+      default:
+        return error(StrFormat("unexpected character '%c'", c));
+    }
+    tokens.push_back(make(kind));
+    advance(1);
+  }
+  tokens.push_back(make(TokKind::kEof));
+  return tokens;
+}
+
+}  // namespace dd

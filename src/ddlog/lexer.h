@@ -1,0 +1,55 @@
+#ifndef DEEPDIVE_DDLOG_LEXER_H_
+#define DEEPDIVE_DDLOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace dd {
+
+enum class TokKind {
+  kIdent,      // MarriedCandidate, m1, phrase
+  kNumber,     // 42, 3.14, -7
+  kString,     // "text"
+  kTrue,       // true
+  kFalse,      // false
+  kNull,       // NULL / null
+  kLParen,     // (
+  kRParen,     // )
+  kComma,      // ,
+  kDot,        // .
+  kColon,      // :
+  kColonDash,  // :-
+  kBang,       // !
+  kQuestion,   // ?
+  kEq,         // =
+  kNeq,        // !=
+  kLt,         // <
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kImplies,    // =>
+  kEof,
+};
+
+const char* TokKindName(TokKind kind);
+
+struct Tok {
+  TokKind kind = TokKind::kEof;
+  std::string text;    // identifier / string payload / number literal
+  double number = 0.0; // valid for kNumber
+  bool is_integer = false;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenize a DDlog source. Comments run from '#' or "//" to end of line.
+/// Fails with ParseError (and position info) on unterminated strings or
+/// unexpected characters.
+Result<std::vector<Tok>> LexDdlog(std::string_view source);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DDLOG_LEXER_H_

@@ -1,0 +1,455 @@
+#include "ddlog/parser.h"
+
+#include <cctype>
+#include <set>
+
+#include "ddlog/lexer.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+std::string WeightSpecToString(const WeightSpec& spec) {
+  switch (spec.kind) {
+    case WeightSpec::Kind::kFixed:
+      return StrFormat("%g", spec.fixed_value);
+    case WeightSpec::Kind::kLearnable:
+      return "?";
+    case WeightSpec::Kind::kUdf:
+      return spec.udf_name + "(" + Join(spec.args, ", ") + ")";
+    case WeightSpec::Kind::kVariables:
+      return Join(spec.args, ", ");
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string DdlogRule::ToString() const {
+  std::string out = rule.head.ToString();
+  if (kind == RuleKind::kCorrelation) out += " => " + implied_head.ToString();
+  out += " :- ";
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += rule.body[i].ToString();
+  }
+  for (const Condition& c : rule.conditions) out += ", " + c.ToString();
+  if (weight.has_value()) out += " weight = " + WeightSpecToString(*weight);
+  out += ".";
+  return out;
+}
+
+std::string DdlogProgram::ToString() const {
+  std::string out;
+  for (const RelationDecl& decl : declarations) {
+    out += decl.name;
+    if (decl.is_query) out += '?';
+    out += '(';
+    for (size_t i = 0; i < decl.schema.num_columns(); ++i) {
+      if (i > 0) out += ", ";
+      const Column& col = decl.schema.column(i);
+      out += col.name;
+      out += ": ";
+      switch (col.type) {
+        case ValueType::kInt: out += "int"; break;
+        case ValueType::kString: out += "text"; break;
+        case ValueType::kDouble: out += "double"; break;
+        case ValueType::kBool: out += "bool"; break;
+        case ValueType::kNull: out += "text"; break;
+      }
+    }
+    out += ").\n";
+  }
+  for (const DdlogRule& rule : rules) {
+    out += rule.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+bool IsVariableName(const std::string& name) {
+  return !name.empty() && (std::islower(static_cast<unsigned char>(name[0])) ||
+                           name[0] == '_');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Tok> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DdlogProgram> Parse() {
+    DdlogProgram program;
+    while (!Check(TokKind::kEof)) {
+      DD_RETURN_IF_ERROR(ParseStatement(&program));
+    }
+    return program;
+  }
+
+ private:
+  const Tok& Peek(int ahead = 0) const {
+    size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool Check(TokKind kind) const { return Peek().kind == kind; }
+  const Tok& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  Status Expect(TokKind kind, const char* context) {
+    if (Check(kind)) {
+      Advance();
+      return Status::OK();
+    }
+    return Error(StrFormat("expected %s in %s, got %s", TokKindName(kind), context,
+                           TokKindName(Peek().kind)));
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("line %d col %d: %s", Peek().line, Peek().column, msg.c_str()));
+  }
+
+  Status ParseStatement(DdlogProgram* program) {
+    if (!Check(TokKind::kIdent)) {
+      return Error("statement must start with a relation name");
+    }
+    // Lookahead to distinguish a declaration `Name(col: type ...)` from a
+    // rule head `Name(term ...) :-` — declarations have ':' after the
+    // first identifier inside the parens.
+    // Parse the head atom generically, then branch.
+    int line = Peek().line;
+    std::string name = Advance().text;
+    bool is_query = Match(TokKind::kQuestion);
+    DD_RETURN_IF_ERROR(Expect(TokKind::kLParen, "relation"));
+
+    // Peek: IDENT ':' means declaration.
+    bool is_decl = Check(TokKind::kIdent) && Peek(1).kind == TokKind::kColon;
+    if (is_decl || is_query) {
+      if (!is_decl) {
+        return Error("query relation declaration needs typed columns: name: type");
+      }
+      RelationDecl decl;
+      decl.name = std::move(name);
+      decl.is_query = is_query;
+      decl.line = line;
+      std::vector<Column> columns;
+      while (true) {
+        if (!Check(TokKind::kIdent)) return Error("expected column name");
+        Column col;
+        col.name = Advance().text;
+        DD_RETURN_IF_ERROR(Expect(TokKind::kColon, "column declaration"));
+        if (!Check(TokKind::kIdent)) return Error("expected column type");
+        std::string type = Advance().text;
+        if (type == "int" || type == "bigint") col.type = ValueType::kInt;
+        else if (type == "text" || type == "string") col.type = ValueType::kString;
+        else if (type == "double" || type == "float") col.type = ValueType::kDouble;
+        else if (type == "bool" || type == "boolean") col.type = ValueType::kBool;
+        else return Error("unknown column type: " + type);
+        columns.push_back(std::move(col));
+        if (!Match(TokKind::kComma)) break;
+      }
+      DD_RETURN_IF_ERROR(Expect(TokKind::kRParen, "declaration"));
+      DD_RETURN_IF_ERROR(Expect(TokKind::kDot, "declaration"));
+      decl.schema = Schema(std::move(columns));
+      program->declarations.push_back(std::move(decl));
+      return Status::OK();
+    }
+
+    // Rule: finish the head atom.
+    DdlogRule rule;
+    rule.line = line;
+    rule.rule.head.relation = std::move(name);
+    DD_RETURN_IF_ERROR(ParseTermList(&rule.rule.head.terms));
+    DD_RETURN_IF_ERROR(Expect(TokKind::kRParen, "head atom"));
+
+    if (Match(TokKind::kImplies)) {
+      rule.kind = RuleKind::kCorrelation;
+      if (!Check(TokKind::kIdent)) return Error("expected implied head atom");
+      rule.implied_head.relation = Advance().text;
+      DD_RETURN_IF_ERROR(Expect(TokKind::kLParen, "implied head"));
+      DD_RETURN_IF_ERROR(ParseTermList(&rule.implied_head.terms));
+      DD_RETURN_IF_ERROR(Expect(TokKind::kRParen, "implied head"));
+    }
+
+    DD_RETURN_IF_ERROR(Expect(TokKind::kColonDash, "rule"));
+    DD_RETURN_IF_ERROR(ParseBody(&rule));
+
+    // Optional weight clause.
+    if (Check(TokKind::kIdent) && Peek().text == "weight") {
+      Advance();
+      DD_RETURN_IF_ERROR(Expect(TokKind::kEq, "weight clause"));
+      WeightSpec spec;
+      DD_RETURN_IF_ERROR(ParseWeightSpec(&spec));
+      rule.weight = std::move(spec);
+      if (rule.kind != RuleKind::kCorrelation) rule.kind = RuleKind::kFeature;
+    }
+    DD_RETURN_IF_ERROR(Expect(TokKind::kDot, "rule"));
+    program->rules.push_back(std::move(rule));
+    return Status::OK();
+  }
+
+  Status ParseBody(DdlogRule* rule) {
+    while (true) {
+      bool negated = Match(TokKind::kBang);
+      if (Check(TokKind::kIdent) && Peek(1).kind == TokKind::kLParen &&
+          Peek().text != "weight") {
+        Atom atom;
+        atom.negated = negated;
+        atom.relation = Advance().text;
+        DD_RETURN_IF_ERROR(Expect(TokKind::kLParen, "body atom"));
+        DD_RETURN_IF_ERROR(ParseTermList(&atom.terms));
+        DD_RETURN_IF_ERROR(Expect(TokKind::kRParen, "body atom"));
+        rule->rule.body.push_back(std::move(atom));
+      } else {
+        if (negated) return Error("'!' must precede a relation atom");
+        // Condition: term CMP term.
+        Condition cond;
+        DD_RETURN_IF_ERROR(ParseTerm(&cond.lhs));
+        switch (Peek().kind) {
+          case TokKind::kEq: cond.op = CmpOp::kEq; break;
+          case TokKind::kNeq: cond.op = CmpOp::kNe; break;
+          case TokKind::kLt: cond.op = CmpOp::kLt; break;
+          case TokKind::kLe: cond.op = CmpOp::kLe; break;
+          case TokKind::kGt: cond.op = CmpOp::kGt; break;
+          case TokKind::kGe: cond.op = CmpOp::kGe; break;
+          default:
+            return Error("expected comparison operator in condition");
+        }
+        Advance();
+        DD_RETURN_IF_ERROR(ParseTerm(&cond.rhs));
+        rule->rule.conditions.push_back(std::move(cond));
+      }
+      if (!Match(TokKind::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTermList(std::vector<Term>* terms) {
+    while (true) {
+      Term term;
+      DD_RETURN_IF_ERROR(ParseTerm(&term));
+      terms->push_back(std::move(term));
+      if (!Match(TokKind::kComma)) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTerm(Term* term) {
+    const Tok& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kIdent: {
+        std::string name = Advance().text;
+        if (IsVariableName(name)) {
+          *term = Term::Var(std::move(name));
+        } else {
+          // Capitalized bare identifier: treat as a string constant
+          // (handy for type tags like PERSON).
+          *term = Term::Const(Value::String(std::move(name)));
+        }
+        return Status::OK();
+      }
+      case TokKind::kNumber: {
+        const Tok& t = Advance();
+        *term = t.is_integer
+                    ? Term::Const(Value::Int(static_cast<int64_t>(t.number)))
+                    : Term::Const(Value::Double(t.number));
+        return Status::OK();
+      }
+      case TokKind::kString:
+        *term = Term::Const(Value::String(Advance().text));
+        return Status::OK();
+      case TokKind::kTrue:
+        Advance();
+        *term = Term::Const(Value::Bool(true));
+        return Status::OK();
+      case TokKind::kFalse:
+        Advance();
+        *term = Term::Const(Value::Bool(false));
+        return Status::OK();
+      case TokKind::kNull:
+        Advance();
+        *term = Term::Const(Value::Null());
+        return Status::OK();
+      default:
+        return Error(StrFormat("expected term, got %s", TokKindName(tok.kind)));
+    }
+  }
+
+  Status ParseWeightSpec(WeightSpec* spec) {
+    if (Check(TokKind::kNumber)) {
+      spec->kind = WeightSpec::Kind::kFixed;
+      spec->fixed_value = Advance().number;
+      return Status::OK();
+    }
+    if (Match(TokKind::kQuestion)) {
+      spec->kind = WeightSpec::Kind::kLearnable;
+      return Status::OK();
+    }
+    if (!Check(TokKind::kIdent)) {
+      return Error("expected weight specification (number, '?', udf(...), or vars)");
+    }
+    std::string first = Advance().text;
+    if (Check(TokKind::kLParen)) {
+      // UDF call.
+      spec->kind = WeightSpec::Kind::kUdf;
+      spec->udf_name = std::move(first);
+      Advance();  // '('
+      while (true) {
+        if (!Check(TokKind::kIdent)) return Error("UDF arguments must be variables");
+        spec->args.push_back(Advance().text);
+        if (!Match(TokKind::kComma)) break;
+      }
+      return Expect(TokKind::kRParen, "weight UDF");
+    }
+    // Variable list.
+    spec->kind = WeightSpec::Kind::kVariables;
+    spec->args.push_back(std::move(first));
+    while (Match(TokKind::kComma)) {
+      if (!Check(TokKind::kIdent)) return Error("expected variable in weight list");
+      spec->args.push_back(Advance().text);
+    }
+    return Status::OK();
+  }
+
+  std::vector<Tok> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DdlogProgram> ParseDdlog(std::string_view source) {
+  DD_ASSIGN_OR_RETURN(std::vector<Tok> tokens, LexDdlog(source));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+namespace {
+
+Status CheckAtomAgainstDecl(const Atom& atom, const DdlogProgram& program, int line) {
+  const RelationDecl* decl = program.FindDecl(atom.relation);
+  if (decl == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("line %d: undeclared relation %s", line, atom.relation.c_str()));
+  }
+  if (atom.terms.size() != decl->schema.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "line %d: relation %s has %zu columns, atom uses %zu", line,
+        atom.relation.c_str(), decl->schema.num_columns(), atom.terms.size()));
+  }
+  for (size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_var() || t.constant.is_null()) continue;
+    if (t.constant.type() != decl->schema.column(i).type) {
+      return Status::TypeError(StrFormat(
+          "line %d: constant %s in %s column %zu expects %s", line,
+          t.constant.ToString().c_str(), atom.relation.c_str(), i,
+          ValueTypeName(decl->schema.column(i).type)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AnalyzeProgram(const DdlogProgram& program) {
+  // Unique declarations.
+  std::set<std::string> names;
+  for (const RelationDecl& decl : program.declarations) {
+    if (!names.insert(decl.name).second) {
+      return Status::InvalidArgument(
+          StrFormat("line %d: duplicate declaration of %s", decl.line,
+                    decl.name.c_str()));
+    }
+    if (decl.schema.num_columns() == 0) {
+      return Status::InvalidArgument("relation has no columns: " + decl.name);
+    }
+  }
+  // Evidence relations: X_Ev must pair a declared X with schema + bool.
+  for (const RelationDecl& decl : program.declarations) {
+    if (!EndsWith(decl.name, "_Ev")) continue;
+    std::string target = decl.name.substr(0, decl.name.size() - 3);
+    const RelationDecl* target_decl = program.FindDecl(target);
+    if (target_decl == nullptr) {
+      return Status::InvalidArgument("evidence relation " + decl.name +
+                                     " has no target relation " + target);
+    }
+    if (!target_decl->is_query) {
+      return Status::InvalidArgument("evidence target must be a query relation: " +
+                                     target);
+    }
+    size_t n = target_decl->schema.num_columns();
+    if (decl.schema.num_columns() != n + 1 ||
+        decl.schema.column(n).type != ValueType::kBool) {
+      return Status::InvalidArgument(
+          "evidence relation " + decl.name +
+          " must have the target schema plus one trailing bool column");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (decl.schema.column(i).type != target_decl->schema.column(i).type) {
+        return Status::TypeError("evidence column " + decl.schema.column(i).name +
+                                 " type mismatch with target " + target);
+      }
+    }
+  }
+
+  for (const DdlogRule& rule : program.rules) {
+    DD_RETURN_IF_ERROR(CheckAtomAgainstDecl(rule.rule.head, program, rule.line));
+    for (const Atom& atom : rule.rule.body) {
+      DD_RETURN_IF_ERROR(CheckAtomAgainstDecl(atom, program, rule.line));
+    }
+    DD_RETURN_IF_ERROR(rule.rule.Validate());
+
+    // Collect body variables for weight-arg checks.
+    std::set<std::string> body_vars;
+    for (const Atom& atom : rule.rule.body) {
+      if (atom.negated) continue;
+      for (const Term& t : atom.terms) {
+        if (t.is_var()) body_vars.insert(t.var);
+      }
+    }
+
+    const RelationDecl* head_decl = program.FindDecl(rule.rule.head.relation);
+    switch (rule.kind) {
+      case RuleKind::kDerivation:
+        break;
+      case RuleKind::kFeature:
+        if (!head_decl->is_query) {
+          return Status::InvalidArgument(StrFormat(
+              "line %d: feature rule head %s must be a query relation", rule.line,
+              rule.rule.head.relation.c_str()));
+        }
+        break;
+      case RuleKind::kCorrelation: {
+        DD_RETURN_IF_ERROR(CheckAtomAgainstDecl(rule.implied_head, program, rule.line));
+        const RelationDecl* implied_decl = program.FindDecl(rule.implied_head.relation);
+        if (!head_decl->is_query || !implied_decl->is_query) {
+          return Status::InvalidArgument(StrFormat(
+              "line %d: correlation rules connect query relations", rule.line));
+        }
+        for (const Term& t : rule.implied_head.terms) {
+          if (t.is_var() && body_vars.count(t.var) == 0) {
+            return Status::InvalidArgument(
+                StrFormat("line %d: implied head variable %s not bound by body",
+                          rule.line, t.var.c_str()));
+          }
+        }
+        break;
+      }
+    }
+    if (rule.weight.has_value()) {
+      for (const std::string& arg : rule.weight->args) {
+        if (body_vars.count(arg) == 0) {
+          return Status::InvalidArgument(StrFormat(
+              "line %d: weight argument %s not bound by body", rule.line,
+              arg.c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,35 @@
+#ifndef DEEPDIVE_DDLOG_PARSER_H_
+#define DEEPDIVE_DDLOG_PARSER_H_
+
+#include <string_view>
+
+#include "ddlog/ast.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Parse a DDlog source into a program. Grammar (statements end in '.'):
+///
+///   decl     := NAME ['?'] '(' col (',' col)* ')'
+///   col      := NAME ':' ('int' | 'text' | 'double' | 'bool')
+///   rule     := atom [ '=>' atom ] ':-' bodyitem (',' bodyitem)*
+///               [ 'weight' '=' weightspec ]
+///   bodyitem := ['!'] atom | term CMP term
+///   atom     := NAME '(' term (',' term)* ')'
+///   term     := VAR | NUMBER | STRING | true | false | NULL
+///   weightspec := NUMBER | '?' | NAME '(' VAR (',' VAR)* ')' | VAR (',' VAR)*
+///
+/// Variables are lowercase-initial identifiers; relation names may be any
+/// identifier (conventionally capitalized). Comments: '#' or '//'.
+Result<DdlogProgram> ParseDdlog(std::string_view source);
+
+/// Validate a parsed program: every referenced relation is declared with
+/// matching arity, constants match column types, rules are safe, feature
+/// and correlation heads are query relations, weight-clause variables are
+/// bound by the body, and evidence relations (`X_Ev`) match their target
+/// relation's schema plus one bool column.
+Status AnalyzeProgram(const DdlogProgram& program);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DDLOG_PARSER_H_

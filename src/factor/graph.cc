@@ -1,0 +1,186 @@
+#include "factor/graph.h"
+
+#include "util/string_util.h"
+
+namespace dd {
+
+const char* FactorFuncName(FactorFunc func) {
+  switch (func) {
+    case FactorFunc::kIsTrue: return "istrue";
+    case FactorFunc::kAnd: return "and";
+    case FactorFunc::kOr: return "or";
+    case FactorFunc::kImply: return "imply";
+    case FactorFunc::kEqual: return "equal";
+  }
+  return "?";
+}
+
+uint32_t FactorGraph::AddVariable(bool is_evidence, bool value) {
+  var_is_evidence_.push_back(is_evidence ? 1 : 0);
+  var_evidence_value_.push_back(value ? 1 : 0);
+  finalized_ = false;
+  return static_cast<uint32_t>(var_is_evidence_.size() - 1);
+}
+
+uint32_t FactorGraph::AddWeight(double initial_value, bool is_fixed,
+                                std::string description) {
+  weights_.push_back(Weight{initial_value, is_fixed, std::move(description)});
+  return static_cast<uint32_t>(weights_.size() - 1);
+}
+
+Status FactorGraph::AddFactor(FactorFunc func, uint32_t weight_id,
+                              std::vector<Literal> literals) {
+  if (weight_id >= weights_.size()) {
+    return Status::InvalidArgument(StrFormat("weight id %u out of range", weight_id));
+  }
+  if (literals.empty()) {
+    return Status::InvalidArgument("factor needs at least one literal");
+  }
+  if (func == FactorFunc::kEqual && literals.size() != 2) {
+    return Status::InvalidArgument("equal factor requires exactly 2 literals");
+  }
+  if (func == FactorFunc::kIsTrue && literals.size() != 1) {
+    return Status::InvalidArgument("istrue factor requires exactly 1 literal");
+  }
+  for (const Literal& l : literals) {
+    if (l.var >= var_is_evidence_.size()) {
+      return Status::InvalidArgument(StrFormat("variable id %u out of range", l.var));
+    }
+  }
+  if (factor_offsets_.empty()) factor_offsets_.push_back(0);
+  factor_func_.push_back(func);
+  factor_weight_.push_back(weight_id);
+  for (const Literal& l : literals) factor_literals_.push_back(l);
+  factor_offsets_.push_back(static_cast<uint32_t>(factor_literals_.size()));
+  finalized_ = false;
+  return Status::OK();
+}
+
+Status FactorGraph::Finalize() {
+  if (finalized_) return Status::OK();
+  if (factor_offsets_.empty()) factor_offsets_.push_back(0);
+  const size_t nv = num_variables();
+  const size_t nf = num_factors();
+
+  // Counting sort of (var -> factor) edges, deduplicated per factor so a
+  // variable occurring in several literals of one factor is indexed once
+  // (PotentialDelta must weigh each adjacent factor exactly once).
+  auto first_occurrence = [&](uint32_t f, uint32_t e) {
+    uint32_t v = factor_literals_[e].var;
+    for (uint32_t e2 = factor_offsets_[f]; e2 < e; ++e2) {
+      if (factor_literals_[e2].var == v) return false;
+    }
+    return true;
+  };
+  std::vector<uint32_t> degree(nv, 0);
+  size_t num_unique_edges = 0;
+  for (uint32_t f = 0; f < nf; ++f) {
+    for (uint32_t e = factor_offsets_[f]; e < factor_offsets_[f + 1]; ++e) {
+      if (!first_occurrence(f, e)) continue;
+      degree[factor_literals_[e].var]++;
+      ++num_unique_edges;
+    }
+  }
+  var_offsets_.assign(nv + 1, 0);
+  for (size_t v = 0; v < nv; ++v) var_offsets_[v + 1] = var_offsets_[v] + degree[v];
+  var_factor_ids_.resize(num_unique_edges);
+  std::vector<uint32_t> cursor(var_offsets_.begin(), var_offsets_.end() - 1);
+  for (uint32_t f = 0; f < nf; ++f) {
+    for (uint32_t e = factor_offsets_[f]; e < factor_offsets_[f + 1]; ++e) {
+      if (!first_occurrence(f, e)) continue;
+      uint32_t v = factor_literals_[e].var;
+      var_factor_ids_[cursor[v]++] = f;
+    }
+  }
+  finalized_ = true;
+  return Status::OK();
+}
+
+namespace {
+inline bool LiteralValue(const Literal& l, const uint8_t* assignment,
+                         uint32_t override_var, uint8_t override_value) {
+  uint8_t raw = (l.var == override_var) ? override_value : assignment[l.var];
+  return l.is_positive ? raw != 0 : raw == 0;
+}
+}  // namespace
+
+double FactorGraph::EvalFactor(uint32_t f, const uint8_t* assignment,
+                               uint32_t override_var, uint8_t override_value) const {
+  const uint32_t begin = factor_offsets_[f];
+  const uint32_t end = factor_offsets_[f + 1];
+  switch (factor_func_[f]) {
+    case FactorFunc::kIsTrue:
+      return LiteralValue(factor_literals_[begin], assignment, override_var,
+                          override_value)
+                 ? 1.0
+                 : 0.0;
+    case FactorFunc::kAnd: {
+      for (uint32_t e = begin; e < end; ++e) {
+        if (!LiteralValue(factor_literals_[e], assignment, override_var,
+                          override_value)) {
+          return 0.0;
+        }
+      }
+      return 1.0;
+    }
+    case FactorFunc::kOr: {
+      for (uint32_t e = begin; e < end; ++e) {
+        if (LiteralValue(factor_literals_[e], assignment, override_var,
+                         override_value)) {
+          return 1.0;
+        }
+      }
+      return 0.0;
+    }
+    case FactorFunc::kImply: {
+      // Body = literals [begin, end-1), head = last literal.
+      for (uint32_t e = begin; e + 1 < end; ++e) {
+        if (!LiteralValue(factor_literals_[e], assignment, override_var,
+                          override_value)) {
+          return 1.0;  // body false => implication true
+        }
+      }
+      return LiteralValue(factor_literals_[end - 1], assignment, override_var,
+                          override_value)
+                 ? 1.0
+                 : 0.0;
+    }
+    case FactorFunc::kEqual: {
+      bool a = LiteralValue(factor_literals_[begin], assignment, override_var,
+                            override_value);
+      bool b = LiteralValue(factor_literals_[begin + 1], assignment, override_var,
+                            override_value);
+      return a == b ? 1.0 : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+double FactorGraph::EvalFactor(uint32_t f, const uint8_t* assignment) const {
+  // An override on a variable id that cannot exist disables the override.
+  return EvalFactor(f, assignment, static_cast<uint32_t>(-1), 0);
+}
+
+double FactorGraph::LogPotential(const uint8_t* assignment) const {
+  double total = 0.0;
+  const size_t nf = num_factors();
+  for (uint32_t f = 0; f < nf; ++f) {
+    total += weights_[factor_weight_[f]].value * EvalFactor(f, assignment);
+  }
+  return total;
+}
+
+double FactorGraph::PotentialDelta(uint32_t v, const uint8_t* assignment) const {
+  double delta = 0.0;
+  size_t count = 0;
+  const uint32_t* factors = var_factors(v, &count);
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t f = factors[i];
+    double w = weights_[factor_weight_[f]].value;
+    if (w == 0.0) continue;
+    delta += w * (EvalFactor(f, assignment, v, 1) - EvalFactor(f, assignment, v, 0));
+  }
+  return delta;
+}
+
+}  // namespace dd

@@ -1,0 +1,125 @@
+#ifndef DEEPDIVE_FACTOR_GRAPH_H_
+#define DEEPDIVE_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Factor functions over Boolean literals, following the DimmWitted
+/// sampler's repertoire. Each returns h ∈ {0, 1}; the factor contributes
+/// weight · h to the log-potential of a world (§3.3: Pr[I] ∝ exp ΣW).
+enum class FactorFunc {
+  kIsTrue,   ///< h = l1
+  kAnd,      ///< h = l1 ∧ ... ∧ lk
+  kOr,       ///< h = l1 ∨ ... ∨ lk
+  kImply,    ///< h = (l1 ∧ ... ∧ l(k-1)) → lk   (MLN semantics)
+  kEqual,    ///< h = (l1 == l2); arity 2
+};
+
+const char* FactorFuncName(FactorFunc func);
+
+/// A variable occurrence inside a factor: variable id plus polarity.
+/// With is_positive = false the literal reads ¬v.
+struct Literal {
+  uint32_t var = 0;
+  bool is_positive = true;
+};
+
+/// A tied weight. Multiple factors grounded from the same rule with the
+/// same feature value share one WeightId (Example 3.2's weight tying).
+struct Weight {
+  double value = 0.0;
+  bool is_fixed = false;      ///< fixed weights are not learned
+  std::string description;    ///< human-readable feature name (debuggability)
+};
+
+/// Builder + compiled CSR ("column-to-row") representation of a factor
+/// graph. Build with AddVariable/AddWeight/AddFactor, then Finalize()
+/// compiles the flat arrays DimmWitted-style: factor→vars adjacency and
+/// the inverted var→factors adjacency, both contiguous.
+class FactorGraph {
+ public:
+  FactorGraph() = default;
+
+  /// Add a query or evidence variable; returns its id.
+  /// Evidence variables are clamped to `value` during learning's
+  /// positive phase and during conditional inference.
+  uint32_t AddVariable(bool is_evidence = false, bool value = false);
+
+  /// Add a weight; returns its id.
+  uint32_t AddWeight(double initial_value, bool is_fixed, std::string description);
+
+  /// Add a factor over `literals` with function `func` and weight
+  /// `weight_id`. Must be called before Finalize().
+  Status AddFactor(FactorFunc func, uint32_t weight_id, std::vector<Literal> literals);
+
+  /// Compile the CSR arrays. Idempotent; called automatically by the
+  /// samplers if needed.
+  Status Finalize();
+  bool finalized() const { return finalized_; }
+
+  size_t num_variables() const { return var_is_evidence_.size(); }
+  size_t num_factors() const { return factor_func_.size(); }
+  size_t num_weights() const { return weights_.size(); }
+  size_t num_edges() const { return factor_literals_.size(); }
+
+  bool is_evidence(uint32_t v) const { return var_is_evidence_[v]; }
+  bool evidence_value(uint32_t v) const { return var_evidence_value_[v]; }
+  const Weight& weight(uint32_t w) const { return weights_[w]; }
+  Weight* mutable_weight(uint32_t w) { return &weights_[w]; }
+
+  FactorFunc factor_func(uint32_t f) const { return factor_func_[f]; }
+  uint32_t factor_weight(uint32_t f) const { return factor_weight_[f]; }
+
+  /// Literals of factor f (valid after Finalize or before, same storage).
+  const Literal* factor_literals(uint32_t f, size_t* count) const {
+    *count = factor_offsets_[f + 1] - factor_offsets_[f];
+    return factor_literals_.data() + factor_offsets_[f];
+  }
+
+  /// Factor ids adjacent to variable v (valid after Finalize).
+  const uint32_t* var_factors(uint32_t v, size_t* count) const {
+    *count = var_offsets_[v + 1] - var_offsets_[v];
+    return var_factor_ids_.data() + var_offsets_[v];
+  }
+
+  /// Evaluate factor f's function under `assignment`, optionally
+  /// overriding variable `override_var` with `override_value`.
+  /// `assignment` holds one byte per variable (0/1).
+  double EvalFactor(uint32_t f, const uint8_t* assignment, uint32_t override_var,
+                    uint8_t override_value) const;
+  double EvalFactor(uint32_t f, const uint8_t* assignment) const;
+
+  /// Σ_f w_f · h_f(I) for a full assignment — the log-potential W(F, I).
+  double LogPotential(const uint8_t* assignment) const;
+
+  /// Energy difference experienced by variable v:
+  /// Σ_{f ∋ v} w_f · (h_f(v=1) − h_f(v=0)) under `assignment`.
+  /// The Gibbs conditional is sigmoid of this value.
+  double PotentialDelta(uint32_t v, const uint8_t* assignment) const;
+
+ private:
+  // Variables.
+  std::vector<uint8_t> var_is_evidence_;
+  std::vector<uint8_t> var_evidence_value_;
+  // Weights.
+  std::vector<Weight> weights_;
+  // Factors (flat CSR).
+  std::vector<FactorFunc> factor_func_;
+  std::vector<uint32_t> factor_weight_;
+  std::vector<uint32_t> factor_offsets_;  // size num_factors+1
+  std::vector<Literal> factor_literals_;
+  // Inverted index (built by Finalize).
+  std::vector<uint32_t> var_offsets_;  // size num_variables+1
+  std::vector<uint32_t> var_factor_ids_;
+  bool finalized_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_FACTOR_GRAPH_H_

@@ -1,0 +1,151 @@
+#include "factor/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+Result<FactorFunc> FuncFromName(const std::string& name) {
+  if (name == "istrue") return FactorFunc::kIsTrue;
+  if (name == "and") return FactorFunc::kAnd;
+  if (name == "or") return FactorFunc::kOr;
+  if (name == "imply") return FactorFunc::kImply;
+  if (name == "equal") return FactorFunc::kEqual;
+  return Status::ParseError("unknown factor function: " + name);
+}
+
+}  // namespace
+
+std::string SerializeGraph(const FactorGraph& graph) {
+  std::string out;
+  out += "ddfg 1\n";
+  out += StrFormat("V %zu\n", graph.num_variables());
+  for (uint32_t v = 0; v < graph.num_variables(); ++v) {
+    if (graph.is_evidence(v)) {
+      out += StrFormat("v %u 1 %d\n", v, graph.evidence_value(v) ? 1 : 0);
+    }
+  }
+  out += StrFormat("W %zu\n", graph.num_weights());
+  for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+    const Weight& weight = graph.weight(w);
+    out += StrFormat("w %u %.17g %d %s\n", w, weight.value, weight.is_fixed ? 1 : 0,
+                     weight.description.c_str());
+  }
+  out += StrFormat("F %zu\n", graph.num_factors());
+  for (uint32_t f = 0; f < graph.num_factors(); ++f) {
+    size_t arity = 0;
+    const Literal* literals = graph.factor_literals(f, &arity);
+    out += StrFormat("f %s %u %zu", FactorFuncName(graph.factor_func(f)),
+                     graph.factor_weight(f), arity);
+    for (size_t i = 0; i < arity; ++i) {
+      out += StrFormat(" %u %d", literals[i].var, literals[i].is_positive ? 1 : 0);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<FactorGraph> DeserializeGraph(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError(StrFormat("line %d: %s", lineno, msg.c_str()));
+  };
+
+  FactorGraph graph;
+  bool header_seen = false;
+  size_t declared_vars = 0, declared_weights = 0, declared_factors = 0;
+  size_t seen_weights = 0, seen_factors = 0;
+  std::vector<std::pair<bool, bool>> evidence;  // (is_evidence, value) per var
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    auto fields = SplitWhitespace(trimmed);
+
+    if (!header_seen) {
+      if (fields.size() != 2 || fields[0] != "ddfg" || fields[1] != "1") {
+        return error("expected header 'ddfg 1'");
+      }
+      header_seen = true;
+      continue;
+    }
+    const std::string& tag = fields[0];
+    if (tag == "V") {
+      if (fields.size() != 2) return error("V expects a count");
+      declared_vars = std::strtoull(fields[1].c_str(), nullptr, 10);
+      evidence.assign(declared_vars, {false, false});
+    } else if (tag == "v") {
+      if (fields.size() != 4) return error("v expects: id is_evidence value");
+      size_t id = std::strtoull(fields[1].c_str(), nullptr, 10);
+      if (id >= declared_vars) return error("variable id out of range");
+      evidence[id] = {fields[2] == "1", fields[3] == "1"};
+    } else if (tag == "W") {
+      if (fields.size() != 2) return error("W expects a count");
+      declared_weights = std::strtoull(fields[1].c_str(), nullptr, 10);
+      // Variables must be materialized before weights/factors reference them.
+      for (size_t v = 0; v < declared_vars; ++v) {
+        graph.AddVariable(evidence[v].first, evidence[v].second);
+      }
+    } else if (tag == "w") {
+      if (fields.size() < 4) return error("w expects: id value is_fixed desc");
+      size_t id = std::strtoull(fields[1].c_str(), nullptr, 10);
+      if (id != seen_weights) return error("weights must appear in id order");
+      double value = std::strtod(fields[2].c_str(), nullptr);
+      bool fixed = fields[3] == "1";
+      std::string description;
+      for (size_t i = 4; i < fields.size(); ++i) {
+        if (i > 4) description += ' ';
+        description += fields[i];
+      }
+      graph.AddWeight(value, fixed, description);
+      ++seen_weights;
+    } else if (tag == "F") {
+      if (fields.size() != 2) return error("F expects a count");
+      declared_factors = std::strtoull(fields[1].c_str(), nullptr, 10);
+    } else if (tag == "f") {
+      if (fields.size() < 4) return error("f expects: func weight arity literals...");
+      DD_ASSIGN_OR_RETURN(FactorFunc func, FuncFromName(fields[1]));
+      uint32_t weight = static_cast<uint32_t>(std::strtoul(fields[2].c_str(),
+                                                           nullptr, 10));
+      size_t arity = std::strtoull(fields[3].c_str(), nullptr, 10);
+      if (fields.size() != 4 + 2 * arity) return error("literal count mismatch");
+      std::vector<Literal> literals;
+      for (size_t i = 0; i < arity; ++i) {
+        Literal l;
+        l.var = static_cast<uint32_t>(
+            std::strtoul(fields[4 + 2 * i].c_str(), nullptr, 10));
+        l.is_positive = fields[5 + 2 * i] == "1";
+        literals.push_back(l);
+      }
+      Status st = graph.AddFactor(func, weight, std::move(literals));
+      if (!st.ok()) return error(st.ToString());
+      ++seen_factors;
+    } else {
+      return error("unknown record tag: " + tag);
+    }
+  }
+  if (!header_seen) return Status::ParseError("empty input (missing header)");
+  if (graph.num_variables() != declared_vars) {
+    return Status::ParseError("missing W section (variables not materialized)");
+  }
+  if (seen_weights != declared_weights) {
+    return Status::ParseError(StrFormat("declared %zu weights, found %zu",
+                                        declared_weights, seen_weights));
+  }
+  if (seen_factors != declared_factors) {
+    return Status::ParseError(StrFormat("declared %zu factors, found %zu",
+                                        declared_factors, seen_factors));
+  }
+  DD_RETURN_IF_ERROR(graph.Finalize());
+  return graph;
+}
+
+}  // namespace dd

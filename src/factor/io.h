@@ -1,0 +1,33 @@
+#ifndef DEEPDIVE_FACTOR_IO_H_
+#define DEEPDIVE_FACTOR_IO_H_
+
+#include <string>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Text serialization of factor graphs — the equivalent of the files
+/// DeepDive ships between the grounding phase (inside the database) and
+/// the out-of-process DimmWitted sampler (§3.3: "These data structures
+/// are then passed to the sampler, which runs outside the database").
+///
+/// Format (line-oriented, '#' comments allowed):
+///   ddfg 1                          header + version
+///   V <num_variables>
+///   v <id> <is_evidence 0|1> <value 0|1>        (only non-default rows)
+///   W <num_weights>
+///   w <id> <value> <is_fixed 0|1> <description...>
+///   F <num_factors>
+///   f <func> <weight_id> <arity> (<var_id> <is_positive 0|1>)*
+std::string SerializeGraph(const FactorGraph& graph);
+
+/// Parse a serialized graph. The result is finalized. Fails with
+/// ParseError on malformed input (wrong counts, unknown factor function,
+/// out-of-range ids).
+Result<FactorGraph> DeserializeGraph(const std::string& text);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_FACTOR_IO_H_

@@ -1,0 +1,173 @@
+#ifndef DEEPDIVE_GROUNDING_GROUNDER_H_
+#define DEEPDIVE_GROUNDING_GROUNDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/udf.h"
+#include "ddlog/ast.h"
+#include "factor/graph.h"
+#include "query/dred.h"
+#include "query/source.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Maps a factor-graph variable back to its database tuple — the link
+/// DeepDive maintains so every marginal can be "reloaded into the
+/// database" (§3.4) and every decision stays debuggable (§2.5).
+struct VarInfo {
+  std::string relation;
+  int64_t row_id = -1;
+  bool live = true;  ///< false once the tuple was deleted by a delta
+};
+
+/// Knobs for graph construction.
+struct GroundingOptions {
+  /// Fraction of labeled candidates held out of training: they keep
+  /// their distant label for scoring (Fig. 5's test set) but are NOT
+  /// clamped as evidence. Selection is a deterministic hash of the
+  /// tuple, so it is stable across incremental rebuilds.
+  double holdout_fraction = 0.0;
+  uint64_t holdout_seed = 0x5eedULL;
+};
+
+/// Summary statistics of a (re-)grounding pass.
+struct GroundingStats {
+  size_t num_variables = 0;
+  size_t num_factors = 0;
+  size_t num_weights = 0;
+  size_t num_evidence = 0;
+  size_t num_conflicting_labels = 0;  ///< tuples with both true and false labels
+  size_t num_orphan_evidence = 0;     ///< _Ev rows with no matching candidate
+  size_t num_holdout = 0;             ///< labeled candidates held out of training
+  /// Time spent evaluating the datalog program (the part DRed makes
+  /// incremental) vs assembling the factor graph from the evaluated
+  /// tables (common to both paths). EXP-DRED compares eval_seconds.
+  double eval_seconds = 0;
+  double build_seconds = 0;
+};
+
+/// The grounding engine (§3.3, §4.1). Given a DDlog program, a catalog
+/// holding the base relations, and a UDF registry, it:
+///
+///  1. rewrites every feature/correlation rule into a derivation rule
+///     targeting a pseudo-relation `__factors_<i>` whose rows are the
+///     rule's groundings — so factor maintenance *is* view maintenance;
+///  2. evaluates all derivation rules, incrementally when the program is
+///     non-recursive (DRed, §4.1) and by full semi-naive evaluation
+///     otherwise;
+///  3. builds the explicit factor graph: one Boolean variable per query-
+///     relation tuple, one factor per pseudo-relation row, weights tied
+///     by (rule, feature value) keys, evidence applied from `X_Ev`
+///     tables.
+///
+/// Variable ids are stable across ApplyDeltas() calls: surviving tuples
+/// keep their id, deleted tuples leave an inert variable behind, new
+/// tuples extend the id space. That stability is what lets incremental
+/// inference warm-start from materialized state.
+class Grounder {
+ public:
+  /// `catalog` must already contain the declared base relations
+  /// (populated); derived/query/pseudo tables are created by Initialize.
+  /// All pointers must outlive the Grounder.
+  Grounder(Catalog* catalog, const DdlogProgram* program, const UdfRegistry* udfs,
+           const GroundingOptions& options = GroundingOptions());
+
+  /// Analyze the program, create derived tables, run initial evaluation,
+  /// and build the first factor graph.
+  Status Initialize();
+
+  /// DRed path: apply base-relation presence deltas, propagate through
+  /// candidates and factors, rebuild the graph. Fails with Unimplemented
+  /// if the program is recursive (use Reground() instead).
+  Status ApplyDeltas(const std::map<std::string, DeltaSet>& base_deltas);
+
+  /// Full re-evaluation from the current base tables (clears derived
+  /// state). The baseline the paper compares DRed against.
+  Status Reground();
+
+  const FactorGraph& graph() const { return graph_; }
+  FactorGraph* mutable_graph() { return &graph_; }
+  const std::vector<VarInfo>& var_info() const { return var_info_; }
+  const GroundingStats& stats() const { return stats_; }
+
+  /// Variables affected by the most recent ApplyDeltas (new variables,
+  /// evidence flips, variables in added/removed factors). Feed to
+  /// IncrementalInference::Update.
+  const std::vector<uint32_t>& changed_vars() const { return changed_vars_; }
+
+  /// Variable id of a live query tuple, or -1.
+  int64_t VarIdFor(const std::string& relation, const Tuple& tuple) const;
+
+  /// Persist learned weights (by tying key) so the next rebuild warm-
+  /// starts them. Call after Learner::Learn on mutable_graph().
+  void SaveWeights();
+
+  /// Human-readable description of a weight (its tying key).
+  const std::string& WeightKey(uint32_t weight_id) const;
+
+  /// Labeled-but-unclamped variables: (var id, distant label). The
+  /// calibration test set (empty unless holdout_fraction > 0).
+  const std::vector<std::pair<uint32_t, bool>>& holdout() const { return holdout_; }
+
+  /// Observation count of each weight in the current graph (# factors),
+  /// surfaced in error analysis (§2.5: "the number of times the feature
+  /// was observed in the training data").
+  const std::vector<uint64_t>& weight_observations() const {
+    return weight_observations_;
+  }
+
+ private:
+  /// Rewrite program rules: derivations stay, feature/correlation rules
+  /// become pseudo-relation derivations. Fills rewritten_rules_ and
+  /// factor_rule_meta_.
+  Status RewriteRules();
+  Status CreateDerivedTables();
+  Status BuildGraph();
+  Status CollectChangedVars(const std::map<std::string, DeltaSet>& deltas);
+
+  struct FactorRuleMeta {
+    size_t rule_index = 0;            ///< index into program_->rules
+    std::string pseudo_relation;
+    std::string head_relation;        ///< query relation of the (first) head
+    size_t head_arity = 0;
+    // Correlation rules only:
+    std::string implied_relation;
+    size_t implied_arity = 0;
+    bool is_correlation = false;
+    size_t weight_args_begin = 0;     ///< column offset of weight args
+    size_t num_weight_args = 0;
+  };
+
+  Catalog* catalog_;
+  const DdlogProgram* program_;
+  const UdfRegistry* udfs_;
+  GroundingOptions options_;
+
+  std::vector<ConjunctiveRule> rewritten_rules_;
+  std::vector<FactorRuleMeta> factor_rule_meta_;
+  std::unique_ptr<IncrementalEngine> incremental_;  // null if recursive program
+  bool use_incremental_ = false;
+
+  // Stable variable registry: (relation, row_id) -> var id.
+  std::map<std::pair<std::string, int64_t>, uint32_t> var_registry_;
+  std::vector<VarInfo> var_info_;
+
+  FactorGraph graph_;
+  GroundingStats stats_;
+  std::vector<std::pair<uint32_t, bool>> holdout_;
+  std::vector<uint32_t> changed_vars_;
+  std::vector<std::string> weight_keys_;           // weight id -> tying key
+  std::vector<uint64_t> weight_observations_;
+  std::map<std::string, double> saved_weights_;    // tying key -> learned value
+  bool initialized_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_GROUNDING_GROUNDER_H_

@@ -1,0 +1,139 @@
+#include "inference/convergence.h"
+
+#include <cmath>
+
+#include "inference/gibbs.h"
+
+namespace dd {
+
+Result<ConvergenceReport> CheckConvergence(const FactorGraph& graph,
+                                           const ConvergenceOptions& options) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("CheckConvergence requires a finalized graph");
+  }
+  if (options.num_chains < 2) {
+    return Status::InvalidArgument("need at least 2 chains for R-hat");
+  }
+  if (options.num_segments < 2 || options.num_samples < options.num_segments) {
+    return Status::InvalidArgument("need >= 2 segments and samples >= segments");
+  }
+  const size_t nv = graph.num_variables();
+  const int M = options.num_chains;
+  const int segments = options.num_segments;
+  const int per_segment = options.num_samples / segments;
+
+  // seq_means[m][s][v]: mean of variable v in segment s of chain m.
+  // The Gelman-Rubin statistic is computed over the M*segments sequences.
+  std::vector<std::vector<std::vector<double>>> seq_means(
+      M, std::vector<std::vector<double>>(segments, std::vector<double>(nv, 0)));
+
+  for (int m = 0; m < M; ++m) {
+    GibbsOptions gibbs;
+    gibbs.burn_in = 0;  // manual
+    gibbs.num_samples = 0;
+    gibbs.seed = options.seed + 0x9e3779b9ULL * m;  // overdispersed random starts
+    gibbs.clamp_evidence = options.clamp_evidence;
+    GibbsSampler chain(&graph, gibbs);
+    DD_RETURN_IF_ERROR(chain.Init());
+    for (int i = 0; i < options.burn_in; ++i) chain.Sweep();
+    for (int s = 0; s < segments; ++s) {
+      std::vector<uint32_t> counts(nv, 0);
+      for (int i = 0; i < per_segment; ++i) {
+        chain.Sweep();
+        const auto& a = chain.assignment();
+        for (size_t v = 0; v < nv; ++v) counts[v] += a[v];
+      }
+      for (size_t v = 0; v < nv; ++v) {
+        seq_means[m][s][v] = static_cast<double>(counts[v]) / per_segment;
+      }
+    }
+  }
+
+  ConvergenceReport report;
+  report.r_hat.assign(nv, std::nan(""));
+  const int num_seq = M * segments;
+  size_t free_vars = 0, converged = 0;
+  for (size_t v = 0; v < nv; ++v) {
+    if (options.clamp_evidence && graph.is_evidence(static_cast<uint32_t>(v))) {
+      continue;
+    }
+    ++free_vars;
+    // Between- and within-sequence variance over the segment means.
+    double grand = 0;
+    for (int m = 0; m < M; ++m) {
+      for (int s = 0; s < segments; ++s) grand += seq_means[m][s][v];
+    }
+    grand /= num_seq;
+    double between = 0;
+    for (int m = 0; m < M; ++m) {
+      for (int s = 0; s < segments; ++s) {
+        double d = seq_means[m][s][v] - grand;
+        between += d * d;
+      }
+    }
+    between /= (num_seq - 1);
+    // Within: variance of the per-sweep indicator inside each segment is
+    // p(1-p); average it.
+    double within = 0;
+    for (int m = 0; m < M; ++m) {
+      for (int s = 0; s < segments; ++s) {
+        double p = seq_means[m][s][v];
+        within += p * (1 - p);
+      }
+    }
+    within /= num_seq;
+    double r_hat;
+    if (within < 1e-12) {
+      // Chain never moves: converged iff all sequences agree.
+      r_hat = between < 1e-12 ? 1.0 : 10.0;
+    } else {
+      // Split-sequence PSRF: var+ = (n-1)/n * W + B; R = sqrt(var+/W).
+      double n = per_segment;
+      double var_plus = (n - 1) / n * within + between;
+      r_hat = std::sqrt(var_plus / within);
+    }
+    report.r_hat[v] = r_hat;
+    if (r_hat < options.r_hat_threshold) ++converged;
+    if (r_hat > report.max_r_hat) report.max_r_hat = r_hat;
+  }
+  report.converged_fraction =
+      free_vars == 0 ? 1.0 : static_cast<double>(converged) / free_vars;
+  return report;
+}
+
+double EffectiveSampleSize(const std::vector<uint8_t>& samples) {
+  const size_t n = samples.size();
+  if (n < 2) return static_cast<double>(n);
+  double mean = 0;
+  for (uint8_t s : samples) mean += s;
+  mean /= n;
+  double var = 0;
+  for (uint8_t s : samples) var += (s - mean) * (s - mean);
+  var /= n;
+  if (var < 1e-12) return static_cast<double>(n);  // constant sequence
+
+  // Initial positive sequence estimator (Geyer): sum consecutive
+  // autocorrelation pairs while their sum stays positive.
+  double tau = 1.0;
+  double prev_pair = 1e300;
+  for (size_t lag = 1; lag + 1 < n; lag += 2) {
+    auto rho = [&](size_t k) {
+      double acc = 0;
+      for (size_t i = 0; i + k < n; ++i) {
+        acc += (samples[i] - mean) * (samples[i + k] - mean);
+      }
+      return acc / ((n - k) * var);
+    };
+    double pair = rho(lag) + rho(lag + 1);
+    if (pair <= 0) break;
+    if (pair > prev_pair) pair = prev_pair;  // enforce monotone decrease
+    prev_pair = pair;
+    tau += 2 * pair;
+  }
+  double ess = static_cast<double>(n) / tau;
+  if (ess > static_cast<double>(n)) ess = static_cast<double>(n);
+  if (ess < 1.0) ess = 1.0;
+  return ess;
+}
+
+}  // namespace dd

@@ -1,0 +1,51 @@
+#ifndef DEEPDIVE_INFERENCE_CONVERGENCE_H_
+#define DEEPDIVE_INFERENCE_CONVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Convergence diagnostics for the Gibbs chains. DeepDive's debugging
+/// discipline (§2.5) requires probabilities humans can trust; these
+/// checks tell the engineer whether "1,000 samples" was actually enough
+/// on their graph before they debug feature weights that are really just
+/// Monte-Carlo noise.
+struct ConvergenceReport {
+  /// Gelman-Rubin potential scale reduction factor per variable, from M
+  /// independent chains; values near 1.0 indicate convergence. NaN for
+  /// clamped evidence variables.
+  std::vector<double> r_hat;
+  /// Fraction of free variables with r_hat below the threshold.
+  double converged_fraction = 0.0;
+  /// Worst (largest) r_hat across free variables.
+  double max_r_hat = 1.0;
+};
+
+struct ConvergenceOptions {
+  int num_chains = 4;
+  int burn_in = 100;
+  int num_samples = 1000;
+  int num_segments = 10;      ///< within-chain means computed per segment
+  double r_hat_threshold = 1.1;
+  uint64_t seed = 13;
+  bool clamp_evidence = true;
+};
+
+/// Run `num_chains` independent Gibbs chains from overdispersed starts
+/// and compute the Gelman-Rubin statistic over per-segment means of each
+/// variable's indicator.
+Result<ConvergenceReport> CheckConvergence(const FactorGraph& graph,
+                                           const ConvergenceOptions& options);
+
+/// Effective sample size of a 0/1 sample sequence via the initial-
+/// positive-sequence autocorrelation estimator. Returns a value in
+/// (0, n]; n for white noise, much smaller for sticky chains.
+double EffectiveSampleSize(const std::vector<uint8_t>& samples);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_CONVERGENCE_H_

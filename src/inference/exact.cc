@@ -1,0 +1,85 @@
+#include "inference/exact.h"
+
+#include <cmath>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+/// Enumerate worlds; call fn(assignment, log_potential) for each.
+Status EnumerateWorlds(const FactorGraph& graph, bool clamp_evidence, int max_free_vars,
+                       const std::function<void(const uint8_t*, double)>& fn) {
+  const size_t nv = graph.num_variables();
+  std::vector<uint32_t> free_vars;
+  std::vector<uint8_t> assignment(nv, 0);
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (clamp_evidence && graph.is_evidence(v)) {
+      assignment[v] = graph.evidence_value(v) ? 1 : 0;
+    } else {
+      free_vars.push_back(v);
+    }
+  }
+  if (free_vars.size() > static_cast<size_t>(max_free_vars)) {
+    return Status::OutOfRange(StrFormat("exact inference limited to %d free vars, got %zu",
+                                        max_free_vars, free_vars.size()));
+  }
+  const uint64_t num_worlds = 1ULL << free_vars.size();
+  for (uint64_t world = 0; world < num_worlds; ++world) {
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      assignment[free_vars[i]] = (world >> i) & 1;
+    }
+    fn(assignment.data(), graph.LogPotential(assignment.data()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> ExactMarginals(const FactorGraph& graph, bool clamp_evidence,
+                                           int max_free_vars) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("ExactMarginals requires a finalized graph");
+  }
+  const size_t nv = graph.num_variables();
+  // Log-sum-exp in two passes for numerical stability.
+  double max_logp = -1e300;
+  DD_RETURN_IF_ERROR(EnumerateWorlds(graph, clamp_evidence, max_free_vars,
+                                     [&](const uint8_t*, double logp) {
+                                       if (logp > max_logp) max_logp = logp;
+                                     }));
+  std::vector<double> mass(nv, 0.0);
+  double z = 0.0;
+  DD_RETURN_IF_ERROR(EnumerateWorlds(
+      graph, clamp_evidence, max_free_vars, [&](const uint8_t* a, double logp) {
+        double p = std::exp(logp - max_logp);
+        z += p;
+        for (uint32_t v = 0; v < nv; ++v) {
+          if (a[v]) mass[v] += p;
+        }
+      }));
+  if (z <= 0.0) return Status::Internal("exact inference: zero partition function");
+  for (double& m : mass) m /= z;
+  return mass;
+}
+
+Result<double> ExactLogZ(const FactorGraph& graph, bool clamp_evidence,
+                         int max_free_vars) {
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("ExactLogZ requires a finalized graph");
+  }
+  double max_logp = -1e300;
+  DD_RETURN_IF_ERROR(EnumerateWorlds(graph, clamp_evidence, max_free_vars,
+                                     [&](const uint8_t*, double logp) {
+                                       if (logp > max_logp) max_logp = logp;
+                                     }));
+  double z = 0.0;
+  DD_RETURN_IF_ERROR(
+      EnumerateWorlds(graph, clamp_evidence, max_free_vars,
+                      [&](const uint8_t*, double logp) { z += std::exp(logp - max_logp); }));
+  return max_logp + std::log(z);
+}
+
+}  // namespace dd

@@ -1,0 +1,28 @@
+#ifndef DEEPDIVE_INFERENCE_EXACT_H_
+#define DEEPDIVE_INFERENCE_EXACT_H_
+
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Exact inference by world enumeration — the test oracle for the
+/// samplers and the variational engine. Exponential in the number of
+/// free variables; refuses graphs with more than `max_free_vars`.
+///
+/// When `clamp_evidence` is true, evidence variables are fixed to their
+/// evidence values (conditional marginals); otherwise every variable is
+/// free (joint marginals of the unconditioned model).
+Result<std::vector<double>> ExactMarginals(const FactorGraph& graph,
+                                           bool clamp_evidence = true,
+                                           int max_free_vars = 24);
+
+/// log Σ_I exp(W(F, I)) over the same world set as ExactMarginals.
+Result<double> ExactLogZ(const FactorGraph& graph, bool clamp_evidence = true,
+                         int max_free_vars = 24);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_EXACT_H_

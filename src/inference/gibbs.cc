@@ -1,0 +1,79 @@
+#include "inference/gibbs.h"
+
+#include <cmath>
+
+namespace dd {
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+GibbsSampler::GibbsSampler(const FactorGraph* graph, const GibbsOptions& options)
+    : graph_(graph), options_(options), rng_(options.seed) {}
+
+Status GibbsSampler::Init() {
+  if (!graph_->finalized()) {
+    return Status::InvalidArgument("GibbsSampler requires a finalized graph");
+  }
+  const size_t nv = graph_->num_variables();
+  assignment_.resize(nv);
+  free_vars_.clear();
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (options_.clamp_evidence && graph_->is_evidence(v)) {
+      assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
+    } else {
+      assignment_[v] = rng_.NextBernoulli(0.5) ? 1 : 0;
+      free_vars_.push_back(v);
+    }
+  }
+  true_counts_.assign(nv, 0);
+  num_accumulated_ = 0;
+  num_steps_ = 0;
+  initialized_ = true;
+  return Status::OK();
+}
+
+void GibbsSampler::Sweep() {
+  uint8_t* a = assignment_.data();
+  for (uint32_t v : free_vars_) {
+    double delta = graph_->PotentialDelta(v, a);
+    a[v] = rng_.NextBernoulli(Sigmoid(delta)) ? 1 : 0;
+  }
+  num_steps_ += free_vars_.size();
+}
+
+void GibbsSampler::Accumulate() {
+  const size_t nv = assignment_.size();
+  for (size_t v = 0; v < nv; ++v) {
+    true_counts_[v] += assignment_[v];
+  }
+  ++num_accumulated_;
+}
+
+Result<std::vector<double>> GibbsSampler::RunMarginals() {
+  if (!initialized_) DD_RETURN_IF_ERROR(Init());
+  for (int i = 0; i < options_.burn_in; ++i) Sweep();
+  for (int i = 0; i < options_.num_samples; ++i) {
+    Sweep();
+    Accumulate();
+  }
+  return Marginals();
+}
+
+Result<std::vector<double>> GibbsSampler::Marginals() const {
+  if (num_accumulated_ == 0) {
+    return Status::Internal("no samples accumulated");
+  }
+  std::vector<double> out(true_counts_.size());
+  for (size_t v = 0; v < out.size(); ++v) {
+    out[v] = static_cast<double>(true_counts_[v]) / num_accumulated_;
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,147 @@
+#include "inference/incremental.h"
+
+#include "inference/gibbs.h"
+#include "inference/meanfield.h"
+#include "util/rng.h"
+
+namespace dd {
+
+const char* StrategyName(MaterializationStrategy strategy) {
+  switch (strategy) {
+    case MaterializationStrategy::kSampling: return "sampling";
+    case MaterializationStrategy::kVariational: return "variational";
+  }
+  return "?";
+}
+
+IncrementalInference::IncrementalInference(const FactorGraph* graph,
+                                           MaterializationStrategy strategy,
+                                           const IncrementalOptions& options)
+    : graph_(graph), strategy_(strategy), options_(options) {}
+
+Status IncrementalInference::Materialize() {
+  switch (strategy_) {
+    case MaterializationStrategy::kSampling:
+      DD_RETURN_IF_ERROR(MaterializeSampling());
+      break;
+    case MaterializationStrategy::kVariational:
+      DD_RETURN_IF_ERROR(MaterializeVariational());
+      break;
+  }
+  materialized_ = true;
+  return Status::OK();
+}
+
+Status IncrementalInference::MaterializeSampling() {
+  GibbsOptions opts;
+  opts.burn_in = options_.full_burn_in;
+  opts.num_samples = options_.num_samples;
+  opts.seed = options_.seed;
+  opts.clamp_evidence = options_.clamp_evidence;
+  GibbsSampler sampler(graph_, opts);
+  DD_ASSIGN_OR_RETURN(marginals_, sampler.RunMarginals());
+  chain_state_ = sampler.assignment();
+  last_work_units_ = sampler.num_steps();
+  return Status::OK();
+}
+
+Status IncrementalInference::MaterializeVariational() {
+  MeanFieldOptions opts;
+  opts.max_iterations = options_.mf_max_iterations;
+  opts.tolerance = options_.mf_tolerance;
+  opts.damping = options_.mf_damping;
+  opts.clamp_evidence = options_.clamp_evidence;
+  MeanFieldEngine engine(graph_, opts);
+  DD_ASSIGN_OR_RETURN(marginals_, engine.Run());
+  last_work_units_ = engine.updates_performed();
+  return Status::OK();
+}
+
+Result<std::vector<double>> IncrementalInference::Update(
+    const FactorGraph* new_graph, const std::vector<uint32_t>& changed_vars) {
+  if (!materialized_) {
+    return Status::Internal("Update() before Materialize()");
+  }
+  if (!new_graph->finalized()) {
+    return Status::InvalidArgument("Update requires a finalized graph");
+  }
+  if (new_graph->num_variables() < graph_->num_variables()) {
+    return Status::InvalidArgument(
+        "new graph must preserve existing variable ids (got fewer variables)");
+  }
+  const size_t nv = new_graph->num_variables();
+
+  if (strategy_ == MaterializationStrategy::kSampling) {
+    // Warm start: reuse the stored chain state for surviving variables,
+    // random-init the new ones, then run a short burn-in instead of the
+    // full one — the stored state is already near the stationary
+    // distribution everywhere the graph did not change.
+    GibbsOptions opts;
+    opts.burn_in = 0;  // manual control below
+    opts.num_samples = 0;
+    opts.seed = options_.seed + 1;
+    opts.clamp_evidence = options_.clamp_evidence;
+    GibbsSampler sampler(new_graph, opts);
+    DD_RETURN_IF_ERROR(sampler.Init());
+    Rng rng(options_.seed + 2);
+    std::vector<uint8_t>* state = sampler.mutable_assignment();
+    for (uint32_t v = 0; v < nv; ++v) {
+      if (options_.clamp_evidence && new_graph->is_evidence(v)) {
+        continue;  // already clamped by Init
+      }
+      if (v < chain_state_.size()) {
+        (*state)[v] = chain_state_[v];
+      } else {
+        (*state)[v] = rng.NextBernoulli(0.5) ? 1 : 0;
+      }
+    }
+    for (int i = 0; i < options_.update_burn_in; ++i) sampler.Sweep();
+    for (int i = 0; i < options_.num_samples; ++i) {
+      sampler.Sweep();
+      sampler.Accumulate();
+    }
+    DD_ASSIGN_OR_RETURN(marginals_, sampler.Marginals());
+    chain_state_ = sampler.assignment();
+    last_work_units_ = sampler.num_steps();
+    graph_ = new_graph;
+    return marginals_;
+  }
+
+  // Variational: warm-start μ from the materialized values and only
+  // relax the changed region (MeanFieldEngine cascades as needed).
+  std::vector<double> mu(nv, 0.5);
+  for (uint32_t v = 0; v < nv && v < marginals_.size(); ++v) mu[v] = marginals_[v];
+  if (options_.clamp_evidence) {
+    for (uint32_t v = 0; v < nv; ++v) {
+      if (new_graph->is_evidence(v)) mu[v] = new_graph->evidence_value(v) ? 1.0 : 0.0;
+    }
+  }
+  MeanFieldOptions opts;
+  opts.max_iterations = options_.mf_max_iterations;
+  opts.tolerance = options_.mf_tolerance;
+  opts.damping = options_.mf_damping;
+  opts.clamp_evidence = options_.clamp_evidence;
+  MeanFieldEngine engine(new_graph, opts);
+  DD_ASSIGN_OR_RETURN(marginals_, engine.RunFrom(std::move(mu), changed_vars));
+  last_work_units_ = engine.updates_performed();
+  graph_ = new_graph;
+  return marginals_;
+}
+
+MaterializationStrategy ChooseStrategy(size_t num_variables, double avg_degree,
+                                       int anticipated_changes) {
+  // Dense correlation structure: mean-field cascades touch everything and
+  // its independence assumption bites — sample.
+  if (avg_degree > 6.0) return MaterializationStrategy::kSampling;
+  // Few (or no) anticipated changes: the materialization will rarely be
+  // reused, and sampling gives the calibrated probabilities DeepDive
+  // needs for its debugging loop — sample.
+  if (anticipated_changes <= 2) return MaterializationStrategy::kSampling;
+  // Tiny graphs: full re-sampling is cheap regardless.
+  if (num_variables < 256) return MaterializationStrategy::kSampling;
+  // Large sparse graphs with many future deltas: localized variational
+  // updates amortize best.
+  return MaterializationStrategy::kVariational;
+}
+
+}  // namespace dd

@@ -1,0 +1,91 @@
+#ifndef DEEPDIVE_INFERENCE_INCREMENTAL_H_
+#define DEEPDIVE_INFERENCE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// The two approximate-inference materialization strategies of §4.2.
+enum class MaterializationStrategy {
+  kSampling,    ///< store chain state + marginal tallies (MCDB-style)
+  kVariational, ///< store mean-field marginals (graphical-model relaxation)
+};
+
+const char* StrategyName(MaterializationStrategy strategy);
+
+struct IncrementalOptions {
+  // Sampling strategy knobs.
+  int full_burn_in = 300;     ///< burn-in for the initial materialization
+  int update_burn_in = 30;    ///< warm-start burn-in after a delta
+  int num_samples = 1000;
+  // Variational strategy knobs.
+  int mf_max_iterations = 200;
+  double mf_tolerance = 1e-4;
+  double mf_damping = 0.2;
+  uint64_t seed = 7;
+  /// When false, evidence variables are sampled like query variables —
+  /// the mode DeepDive uses after training so that labeled candidates
+  /// also receive calibrated probabilities (Fig. 5's train histogram).
+  bool clamp_evidence = true;
+};
+
+/// Incremental maintenance of inference results. Materialize() runs full
+/// inference on the current graph and stores reusable state; Update()
+/// moves to a *new version* of the graph (produced by incremental
+/// grounding) given the set of variables whose factor neighborhood
+/// changed, reusing the materialized state so the work is far below a
+/// from-scratch run. `work_units` counts variable-update operations —
+/// the hardware-independent cost measure the strategy optimizer reasons
+/// about.
+class IncrementalInference {
+ public:
+  IncrementalInference(const FactorGraph* graph, MaterializationStrategy strategy,
+                       const IncrementalOptions& options);
+
+  /// Full inference + state materialization on the current graph.
+  Status Materialize();
+
+  /// Switch to `new_graph` (a superset/modification of the old one whose
+  /// unchanged variable ids keep their meaning); `changed_vars` lists
+  /// ids whose adjacent factors or evidence changed, including brand-new
+  /// ids. Returns fresh marginals for every variable of the new graph.
+  Result<std::vector<double>> Update(const FactorGraph* new_graph,
+                                     const std::vector<uint32_t>& changed_vars);
+
+  /// Marginals from the last Materialize()/Update().
+  const std::vector<double>& marginals() const { return marginals_; }
+
+  /// Work spent by the last operation (variable updates performed).
+  uint64_t last_work_units() const { return last_work_units_; }
+
+  MaterializationStrategy strategy() const { return strategy_; }
+
+ private:
+  Status MaterializeSampling();
+  Status MaterializeVariational();
+
+  const FactorGraph* graph_;
+  MaterializationStrategy strategy_;
+  IncrementalOptions options_;
+  std::vector<double> marginals_;
+  std::vector<uint8_t> chain_state_;  // sampling strategy
+  uint64_t last_work_units_ = 0;
+  bool materialized_ = false;
+};
+
+/// The paper's "simple rule-based optimizer": pick a materialization
+/// strategy from the factor graph's size, its density (edges per
+/// variable), and the anticipated number of future update batches.
+/// Dense graphs make mean-field both slow (big cascades) and inaccurate,
+/// so sampling wins; for many small updates on sparse graphs the
+/// variational strategy's localized work wins by a wide margin.
+MaterializationStrategy ChooseStrategy(size_t num_variables, double avg_degree,
+                                       int anticipated_changes);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_INCREMENTAL_H_

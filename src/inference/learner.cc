@@ -1,0 +1,59 @@
+#include "inference/learner.h"
+
+#include <cmath>
+
+#include "inference/gibbs.h"
+
+namespace dd {
+
+Status Learner::Learn(const LearnOptions& options) {
+  DD_RETURN_IF_ERROR(graph_->Finalize());
+  gradient_norms_.clear();
+
+  GibbsOptions pos_opts;
+  pos_opts.seed = options.seed;
+  pos_opts.clamp_evidence = true;
+  GibbsSampler positive(graph_, pos_opts);
+  DD_RETURN_IF_ERROR(positive.Init());
+
+  GibbsOptions neg_opts;
+  neg_opts.seed = options.seed ^ 0x5bd1e995;
+  neg_opts.clamp_evidence = false;
+  GibbsSampler negative(graph_, neg_opts);
+  DD_RETURN_IF_ERROR(negative.Init());
+
+  const size_t nw = graph_->num_weights();
+  const size_t nf = graph_->num_factors();
+  std::vector<double> gradient(nw);
+  double lr = options.learning_rate;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int s = 0; s < options.sweeps_per_epoch; ++s) {
+      positive.Sweep();
+      negative.Sweep();
+    }
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    const uint8_t* pos = positive.assignment().data();
+    const uint8_t* neg = negative.assignment().data();
+    for (uint32_t f = 0; f < nf; ++f) {
+      uint32_t w = graph_->factor_weight(f);
+      if (graph_->weight(w).is_fixed) continue;
+      double h_pos = graph_->EvalFactor(f, pos);
+      double h_neg = graph_->EvalFactor(f, neg);
+      if (h_pos != h_neg) gradient[w] += h_pos - h_neg;
+    }
+    double norm = 0.0;
+    for (uint32_t w = 0; w < nw; ++w) {
+      Weight* weight = graph_->mutable_weight(w);
+      if (weight->is_fixed) continue;
+      double g = gradient[w] - options.l2 * weight->value;
+      weight->value += lr * g;
+      norm += g * g;
+    }
+    gradient_norms_.push_back(std::sqrt(norm));
+    lr *= options.decay;
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

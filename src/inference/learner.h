@@ -1,0 +1,46 @@
+#ifndef DEEPDIVE_INFERENCE_LEARNER_H_
+#define DEEPDIVE_INFERENCE_LEARNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/status.h"
+
+namespace dd {
+
+struct LearnOptions {
+  int epochs = 200;
+  double learning_rate = 0.1;
+  double decay = 0.99;        ///< learning rate multiplier per epoch
+  double l2 = 0.01;           ///< L2 regularization strength
+  int sweeps_per_epoch = 1;   ///< Gibbs sweeps of each chain per epoch
+  uint64_t seed = 1234;
+};
+
+/// Contrastive-divergence-style weight learning, as in the DimmWitted
+/// engine: maximize the likelihood of the evidence variables by SGD.
+/// Two Gibbs chains run side by side — the "positive" chain clamps
+/// evidence variables, the "negative" chain leaves everything free.
+/// For each weight the stochastic gradient is
+///     Σ_{f with weight w} [ h_f(positive) − h_f(negative) ],
+/// i.e. E_data[Σh] − E_model[Σh] estimated from single samples.
+/// Fixed weights (Weight::is_fixed) are never updated.
+class Learner {
+ public:
+  explicit Learner(FactorGraph* graph) : graph_(graph) {}
+
+  /// Run SGD; on success the graph's weights hold the learned values.
+  Status Learn(const LearnOptions& options);
+
+  /// Gradient norm history (one entry per epoch) for diagnostics.
+  const std::vector<double>& gradient_norms() const { return gradient_norms_; }
+
+ private:
+  FactorGraph* graph_;
+  std::vector<double> gradient_norms_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_LEARNER_H_

@@ -1,0 +1,35 @@
+#ifndef DEEPDIVE_INFERENCE_MAP_H_
+#define DEEPDIVE_INFERENCE_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+struct MapOptions {
+  int sweeps = 500;             ///< annealing sweeps
+  double initial_temperature = 2.0;
+  double final_temperature = 0.02;
+  int restarts = 3;             ///< independent annealing runs; best kept
+  uint64_t seed = 11;
+  bool clamp_evidence = true;
+};
+
+struct MapResult {
+  std::vector<uint8_t> assignment;  ///< the most probable world found
+  double log_potential = 0.0;       ///< W(F, I) of that world
+};
+
+/// MAP inference by simulated-annealing Gibbs: the temperature ramps
+/// down geometrically from initial to final across the sweeps, turning
+/// the sampler into greedy hill-climbing at the end. DeepDive's output
+/// is marginals, but the most-probable-world query is the standard MLN
+/// companion (and the dw sampler ships the same annealing mode).
+Result<MapResult> MapInference(const FactorGraph& graph, const MapOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_MAP_H_

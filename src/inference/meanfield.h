@@ -1,0 +1,55 @@
+#ifndef DEEPDIVE_INFERENCE_MEANFIELD_H_
+#define DEEPDIVE_INFERENCE_MEANFIELD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+struct MeanFieldOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-6;   ///< max |Δμ| for convergence
+  double damping = 0.0;      ///< μ ← (1-d)·new + d·old
+  bool clamp_evidence = true;
+};
+
+/// Mean-field variational inference: approximate the joint by a product
+/// of independent Bernoullis q(v) = Bernoulli(μ_v) and iterate the
+/// fixed-point update μ_v ← σ(E_q[W(v=1) − W(v=0)]). This is the
+/// variational engine behind the "variational-based materialization"
+/// strategy for incremental inference (§4.2, after Wainwright-Jordan
+/// style relaxations [49]).
+class MeanFieldEngine {
+ public:
+  MeanFieldEngine(const FactorGraph* graph, const MeanFieldOptions& options);
+
+  /// Iterate to convergence from μ = 0.5 (evidence clamped). Returns μ.
+  Result<std::vector<double>> Run();
+
+  /// Warm-start variant: resume from `mu` and only update variables in
+  /// `active` (plus anything that moves more than tolerance cascades to
+  /// its neighbors). Used by incremental inference.
+  Result<std::vector<double>> RunFrom(std::vector<double> mu,
+                                      const std::vector<uint32_t>& active);
+
+  int iterations_used() const { return iterations_used_; }
+  uint64_t updates_performed() const { return updates_performed_; }
+
+ private:
+  /// E_q[h_f | v = value] marginalizing the other literals under q = mu.
+  double ExpectedFactor(uint32_t f, const std::vector<double>& mu, uint32_t v,
+                        bool value) const;
+  double Update(uint32_t v, const std::vector<double>& mu) const;
+
+  const FactorGraph* graph_;
+  MeanFieldOptions options_;
+  int iterations_used_ = 0;
+  uint64_t updates_performed_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_INFERENCE_MEANFIELD_H_

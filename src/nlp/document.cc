@@ -1,0 +1,37 @@
+#include "nlp/document.h"
+
+#include "nlp/html.h"
+#include "nlp/pos.h"
+#include "nlp/tokenizer.h"
+
+namespace dd {
+
+std::string Sentence::Text() const {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += tokens[i].text;
+  }
+  return out;
+}
+
+Document AnnotateDocument(std::string id, const std::string& raw_text,
+                          bool strip_html) {
+  Document doc;
+  doc.id = std::move(id);
+  doc.text = strip_html ? StripHtml(raw_text) : raw_text;
+  auto ranges = SplitSentences(doc.text);
+  doc.sentences.reserve(ranges.size());
+  int index = 0;
+  for (const auto& [begin, end] : ranges) {
+    Sentence sentence;
+    sentence.index = index++;
+    sentence.tokens =
+        Tokenize(std::string_view(doc.text).substr(begin, end - begin), begin);
+    TagPos(&sentence.tokens);
+    doc.sentences.push_back(std::move(sentence));
+  }
+  return doc;
+}
+
+}  // namespace dd

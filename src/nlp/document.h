@@ -1,0 +1,43 @@
+#ifndef DEEPDIVE_NLP_DOCUMENT_H_
+#define DEEPDIVE_NLP_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+namespace dd {
+
+/// A token with character offsets into the source text and a POS tag.
+struct Token {
+  std::string text;
+  size_t begin = 0;  ///< char offset of first character
+  size_t end = 0;    ///< char offset one past the last character
+  std::string pos;   ///< Penn-style tag (NN, NNP, VBD, CD, ...)
+};
+
+/// A sentence: a contiguous token span.
+struct Sentence {
+  int index = 0;  ///< position within the document
+  std::vector<Token> tokens;
+
+  /// Tokens joined by single spaces (for feature strings).
+  std::string Text() const;
+};
+
+/// A document after NLP preprocessing: the paper's "one sentence per row
+/// with markup produced by standard NLP pre-processing tools" (§3.1).
+struct Document {
+  std::string id;
+  std::string text;  ///< cleaned text (post HTML stripping)
+  std::vector<Sentence> sentences;
+};
+
+/// Run the full preprocessing pipeline: optional HTML stripping,
+/// sentence splitting, tokenization, POS tagging. Deterministic — the
+/// same input always yields the same annotation (a requirement for
+/// DeepDive's reproducible debugging loop).
+Document AnnotateDocument(std::string id, const std::string& raw_text,
+                          bool strip_html = false);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_NLP_DOCUMENT_H_

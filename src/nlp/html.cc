@@ -1,0 +1,88 @@
+#include "nlp/html.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+bool IsBlockTag(std::string_view name) {
+  static const char* kBlockTags[] = {"p",  "div", "br",    "li",    "ul",  "ol",
+                                     "tr", "td",  "table", "h1",    "h2",  "h3",
+                                     "h4", "h5",  "h6",    "title", "body"};
+  for (const char* tag : kBlockTags) {
+    if (name == tag) return true;
+  }
+  return false;
+}
+
+/// Lowercased tag name at the start of a tag body like "div class=..." or
+/// "/div".
+std::string TagName(std::string_view tag_body) {
+  size_t i = 0;
+  if (i < tag_body.size() && tag_body[i] == '/') ++i;
+  std::string name;
+  while (i < tag_body.size() &&
+         (std::isalnum(static_cast<unsigned char>(tag_body[i])))) {
+    name += static_cast<char>(std::tolower(static_cast<unsigned char>(tag_body[i])));
+    ++i;
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string StripHtml(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  while (i < html.size()) {
+    char c = html[i];
+    if (c == '<') {
+      size_t close = html.find('>', i + 1);
+      if (close == std::string_view::npos) break;  // unclosed tag: drop rest
+      std::string_view body = html.substr(i + 1, close - i - 1);
+      std::string name = TagName(body);
+      if (name == "script" || name == "style") {
+        // Skip to the matching close tag.
+        std::string close_tag = "</" + name;
+        size_t end = ToLower(html.substr(close)).find(close_tag);
+        if (end == std::string::npos) break;
+        size_t end_gt = html.find('>', close + end);
+        if (end_gt == std::string_view::npos) break;
+        i = end_gt + 1;
+        continue;
+      }
+      if (IsBlockTag(name)) out += '\n';
+      i = close + 1;
+      continue;
+    }
+    if (c == '&') {
+      struct Entity {
+        const char* name;
+        char replacement;
+      };
+      static const Entity kEntities[] = {{"&amp;", '&'},  {"&lt;", '<'},
+                                         {"&gt;", '>'},   {"&quot;", '"'},
+                                         {"&#39;", '\''}, {"&nbsp;", ' '}};
+      bool matched = false;
+      for (const Entity& e : kEntities) {
+        std::string_view rest = html.substr(i);
+        if (StartsWith(rest, e.name)) {
+          out += e.replacement;
+          i += std::string_view(e.name).size();
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace dd

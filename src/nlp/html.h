@@ -1,0 +1,18 @@
+#ifndef DEEPDIVE_NLP_HTML_H_
+#define DEEPDIVE_NLP_HTML_H_
+
+#include <string>
+#include <string_view>
+
+namespace dd {
+
+/// Strip HTML markup from `html`: removes tags (replacing block-level
+/// tags with newlines so sentence splitting still sees boundaries),
+/// drops <script>/<style> bodies, and decodes the common entities
+/// (&amp; &lt; &gt; &quot; &#39; &nbsp;). Malformed markup never fails —
+/// unclosed tags are stripped to end-of-text, stray '<' is kept.
+std::string StripHtml(std::string_view html);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_NLP_HTML_H_

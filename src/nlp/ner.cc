@@ -1,0 +1,130 @@
+#include "nlp/ner.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+std::string JoinTokens(const Sentence& s, int begin, int end) {
+  std::string out;
+  for (int i = begin; i < end; ++i) {
+    if (i > begin) out += ' ';
+    out += s.tokens[static_cast<size_t>(i)].text;
+  }
+  return out;
+}
+
+bool LooksNumeric(const std::string& s) {
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != ',') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+}  // namespace
+
+void Gazetteer::Add(const std::string& phrase, const std::string& type) {
+  auto tokens = SplitWhitespace(phrase);
+  if (tokens.empty()) return;
+  std::string key = ToLower(Join(tokens, " "));
+  entries_[key] = type;
+  if (tokens.size() > max_phrase_tokens_) max_phrase_tokens_ = tokens.size();
+}
+
+std::vector<Mention> Gazetteer::FindMentions(const Sentence& sentence) const {
+  std::vector<Mention> out;
+  const int n = static_cast<int>(sentence.tokens.size());
+  int i = 0;
+  while (i < n) {
+    bool matched = false;
+    int max_len = static_cast<int>(max_phrase_tokens_);
+    if (max_len > n - i) max_len = n - i;
+    for (int len = max_len; len >= 1; --len) {
+      std::string key = ToLower(JoinTokens(sentence, i, i + len));
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        Mention m;
+        m.sentence_index = sentence.index;
+        m.token_begin = i;
+        m.token_end = i + len;
+        m.type = it->second;
+        m.text = JoinTokens(sentence, i, i + len);
+        out.push_back(std::move(m));
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++i;
+  }
+  return out;
+}
+
+std::vector<Mention> Gazetteer::FindPersonCandidates(const Sentence& sentence) {
+  std::vector<Mention> out;
+  const int n = static_cast<int>(sentence.tokens.size());
+  int i = 0;
+  while (i < n) {
+    if (sentence.tokens[static_cast<size_t>(i)].pos != "NNP") {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < n && j - i < 4 && sentence.tokens[static_cast<size_t>(j)].pos == "NNP") {
+      ++j;
+    }
+    Mention m;
+    m.sentence_index = sentence.index;
+    m.token_begin = i;
+    m.token_end = j;
+    m.type = "PERSON";
+    m.text = JoinTokens(sentence, i, j);
+    out.push_back(std::move(m));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<Mention> Gazetteer::FindPriceCandidates(const Sentence& sentence) {
+  std::vector<Mention> out;
+  const int n = static_cast<int>(sentence.tokens.size());
+  for (int i = 0; i < n; ++i) {
+    const Token& tok = sentence.tokens[static_cast<size_t>(i)];
+    // "$ 120" or "$120" (tokenizer splits '$' as punctuation).
+    if (tok.text == "$" && i + 1 < n &&
+        LooksNumeric(sentence.tokens[static_cast<size_t>(i + 1)].text)) {
+      Mention m;
+      m.sentence_index = sentence.index;
+      m.token_begin = i;
+      m.token_end = i + 2;
+      m.type = "PRICE";
+      m.text = JoinTokens(sentence, i, i + 2);
+      out.push_back(std::move(m));
+      continue;
+    }
+    // "120 dollars" / "120 usd" / "120 roses" (ad slang for dollars).
+    if (LooksNumeric(tok.text) && i + 1 < n) {
+      std::string next = ToLower(sentence.tokens[static_cast<size_t>(i + 1)].text);
+      if (next == "dollars" || next == "usd" || next == "roses" || next == "bucks") {
+        Mention m;
+        m.sentence_index = sentence.index;
+        m.token_begin = i;
+        m.token_end = i + 2;
+        m.type = "PRICE";
+        m.text = JoinTokens(sentence, i, i + 2);
+        out.push_back(std::move(m));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,56 @@
+#ifndef DEEPDIVE_NLP_NER_H_
+#define DEEPDIVE_NLP_NER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nlp/document.h"
+
+namespace dd {
+
+/// A candidate entity mention: a token span inside a sentence.
+struct Mention {
+  int sentence_index = 0;
+  int token_begin = 0;  ///< first token index (inclusive)
+  int token_end = 0;    ///< one past the last token index
+  std::string type;     ///< e.g. "PERSON", "GENE", "PHENOTYPE", "PRICE"
+  std::string text;     ///< surface form (tokens joined by spaces)
+};
+
+/// Dictionary-based named-entity matcher. Longest-match-first over
+/// case-normalized token sequences; also exposes heuristic matchers for
+/// person names (capitalized bigrams / initials) and prices ($ amounts)
+/// used by the candidate generators. This is the "high-recall,
+/// low-precision" layer of candidate generation (§3): it should rather
+/// over-produce than miss.
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Register a dictionary phrase (tokenized on whitespace) of a type.
+  void Add(const std::string& phrase, const std::string& type);
+
+  size_t size() const { return entries_.size(); }
+
+  /// All dictionary matches within the sentence (longest match first;
+  /// overlapping shorter matches are suppressed).
+  std::vector<Mention> FindMentions(const Sentence& sentence) const;
+
+  /// Heuristic person-mention matcher: maximal runs of NNP tokens
+  /// (length 1–4), e.g. "Barack Obama", "B. Obama".
+  static std::vector<Mention> FindPersonCandidates(const Sentence& sentence);
+
+  /// Heuristic price matcher: "$" followed by a number, or a number
+  /// followed by a currency word ("dollars", "usd").
+  static std::vector<Mention> FindPriceCandidates(const Sentence& sentence);
+
+ private:
+  // Normalized phrase -> type; keyed by lowercase space-joined tokens.
+  std::unordered_map<std::string, std::string> entries_;
+  size_t max_phrase_tokens_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_NLP_NER_H_

@@ -1,0 +1,115 @@
+#include "nlp/pos.h"
+
+#include <cctype>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+const std::unordered_map<std::string, const char*>& Lexicon() {
+  static const auto* kLexicon = new std::unordered_map<std::string, const char*>{
+      // Determiners
+      {"the", "DT"}, {"a", "DT"}, {"an", "DT"}, {"this", "DT"}, {"that", "DT"},
+      {"these", "DT"}, {"those", "DT"},
+      // Prepositions / subordinating conjunctions
+      {"of", "IN"}, {"in", "IN"}, {"on", "IN"}, {"at", "IN"}, {"by", "IN"},
+      {"for", "IN"}, {"with", "IN"}, {"from", "IN"}, {"to", "TO"}, {"into", "IN"},
+      {"about", "IN"}, {"after", "IN"}, {"before", "IN"}, {"between", "IN"},
+      {"during", "IN"}, {"since", "IN"},
+      // Conjunctions
+      {"and", "CC"}, {"or", "CC"}, {"but", "CC"}, {"nor", "CC"},
+      // Pronouns
+      {"he", "PRP"}, {"she", "PRP"}, {"it", "PRP"}, {"they", "PRP"}, {"we", "PRP"},
+      {"i", "PRP"}, {"you", "PRP"}, {"him", "PRP"}, {"her", "PRP"}, {"them", "PRP"},
+      {"his", "PRP$"}, {"their", "PRP$"}, {"its", "PRP$"}, {"our", "PRP$"},
+      {"my", "PRP$"}, {"your", "PRP$"},
+      // Copulas / auxiliaries
+      {"is", "VBZ"}, {"are", "VBP"}, {"was", "VBD"}, {"were", "VBD"},
+      {"be", "VB"}, {"been", "VBN"}, {"being", "VBG"}, {"am", "VBP"},
+      {"has", "VBZ"}, {"have", "VBP"}, {"had", "VBD"}, {"do", "VBP"},
+      {"does", "VBZ"}, {"did", "VBD"},
+      // Modals
+      {"will", "MD"}, {"would", "MD"}, {"can", "MD"}, {"could", "MD"},
+      {"may", "MD"}, {"might", "MD"}, {"shall", "MD"}, {"should", "MD"},
+      {"must", "MD"},
+      // Negation, adverbs, wh-words
+      {"not", "RB"}, {"n't", "RB"}, {"very", "RB"}, {"also", "RB"},
+      {"who", "WP"}, {"what", "WP"}, {"which", "WDT"}, {"when", "WRB"},
+      {"where", "WRB"}, {"how", "WRB"}, {"why", "WRB"},
+      // Common verbs in our domains
+      {"married", "VBD"}, {"wed", "VBD"}, {"divorced", "VBD"}, {"met", "VBD"},
+      {"causes", "VBZ"}, {"cause", "VBP"}, {"caused", "VBD"},
+      {"regulates", "VBZ"}, {"regulate", "VBP"}, {"encodes", "VBZ"},
+      {"exhibits", "VBZ"}, {"shows", "VBZ"}, {"reported", "VBD"},
+      {"associated", "VBN"}, {"linked", "VBN"}, {"observed", "VBN"},
+  };
+  return *kLexicon;
+}
+
+bool AllDigitsOrSeparators(std::string_view s) {
+  bool any_digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      any_digit = true;
+    } else if (c != '.' && c != ',' && c != '-') {
+      return false;
+    }
+  }
+  return any_digit;
+}
+
+}  // namespace
+
+void TagPos(std::vector<Token>* tokens) {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& tok = (*tokens)[i];
+    const std::string& text = tok.text;
+    if (text.empty()) {
+      tok.pos = "SYM";
+      continue;
+    }
+    unsigned char first = static_cast<unsigned char>(text[0]);
+    if (std::ispunct(first) && text.size() == 1) {
+      tok.pos = text;  // Penn style: punctuation tags are the characters
+      continue;
+    }
+    if (AllDigitsOrSeparators(text)) {
+      tok.pos = "CD";
+      continue;
+    }
+    std::string lower = ToLower(text);
+    auto it = Lexicon().find(lower);
+    if (it != Lexicon().end()) {
+      tok.pos = it->second;
+      continue;
+    }
+    // Capitalized mid-sentence (or anywhere: first-word NNPs like names
+    // are far more common in our corpora than sentence-initial commons).
+    if (std::isupper(first)) {
+      tok.pos = "NNP";
+      continue;
+    }
+    // Suffix heuristics.
+    if (EndsWith(lower, "ly")) {
+      tok.pos = "RB";
+    } else if (EndsWith(lower, "ing")) {
+      tok.pos = "VBG";
+    } else if (EndsWith(lower, "ed")) {
+      tok.pos = "VBD";
+    } else if (EndsWith(lower, "ous") || EndsWith(lower, "ful") ||
+               EndsWith(lower, "ive") || EndsWith(lower, "able") ||
+               EndsWith(lower, "al") || EndsWith(lower, "ic")) {
+      tok.pos = "JJ";
+    } else if (EndsWith(lower, "s") && lower.size() > 3) {
+      tok.pos = "NNS";
+    } else {
+      tok.pos = "NN";
+    }
+  }
+}
+
+}  // namespace dd

@@ -1,0 +1,20 @@
+#ifndef DEEPDIVE_NLP_POS_H_
+#define DEEPDIVE_NLP_POS_H_
+
+#include <vector>
+
+#include "nlp/document.h"
+
+namespace dd {
+
+/// Rule/lexicon part-of-speech tagger producing Penn-style tags.
+/// Deterministic and intentionally simple: a closed-class lexicon for
+/// function words, suffix heuristics for open classes, capitalization →
+/// NNP, digits → CD. Accuracy is far below a statistical tagger, but the
+/// downstream pipeline only consumes tags as *features*, so systematic
+/// behaviour matters more than ceiling accuracy (see DESIGN.md §5).
+void TagPos(std::vector<Token>* tokens);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_NLP_POS_H_

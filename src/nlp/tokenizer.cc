@@ -1,0 +1,150 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '\'' || c == '-' ||
+         c == '_';
+}
+
+/// True if text[dot] is a '.' that belongs inside the current token
+/// (decimal point or abbreviation dot like "U.S.").
+bool IsInternalDot(std::string_view text, size_t dot, size_t token_begin) {
+  if (dot + 1 >= text.size()) return false;
+  char next = text[dot + 1];
+  char prev = text[dot - 1];  // caller guarantees dot > token_begin
+  (void)token_begin;
+  // Decimal number: digit '.' digit
+  if (std::isdigit(static_cast<unsigned char>(prev)) &&
+      std::isdigit(static_cast<unsigned char>(next))) {
+    return true;
+  }
+  // Abbreviation: letter '.' letter (e.g. U.S.A)
+  if (std::isalpha(static_cast<unsigned char>(prev)) &&
+      std::isalpha(static_cast<unsigned char>(next))) {
+    return true;
+  }
+  return false;
+}
+
+bool IsKnownAbbreviation(std::string_view token) {
+  static const char* kAbbrev[] = {"dr",  "mr",  "mrs", "ms",  "prof", "st",
+                                  "vs",  "etc", "e.g", "i.e", "jr",   "sr",
+                                  "inc", "co",  "corp", "fig", "no",  "oct",
+                                  "jan", "feb", "mar", "apr", "jun",  "jul",
+                                  "aug", "sep", "nov", "dec"};
+  std::string lower = ToLower(token);
+  for (const char* a : kAbbrev) {
+    if (lower == a) return true;
+  }
+  // Single-letter initials ("B." in "B. Obama").
+  return token.size() == 1 && std::isalpha(static_cast<unsigned char>(token[0]));
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text, size_t base_offset) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    size_t begin = i;
+    if (IsWordChar(text[i])) {
+      ++i;
+      while (i < n) {
+        if (IsWordChar(text[i])) {
+          ++i;
+        } else if (text[i] == '.' && i > begin && IsInternalDot(text, i, begin)) {
+          ++i;
+        } else if (text[i] == ',' && i + 1 < n &&
+                   std::isdigit(static_cast<unsigned char>(text[i - 1])) &&
+                   std::isdigit(static_cast<unsigned char>(text[i + 1]))) {
+          ++i;  // thousands separator: 1,200
+        } else {
+          break;
+        }
+      }
+    } else {
+      ++i;  // single punctuation character
+    }
+    Token t;
+    t.text = std::string(text.substr(begin, i - begin));
+    t.begin = base_offset + begin;
+    t.end = base_offset + i;
+    tokens.push_back(std::move(t));
+  }
+  return tokens;
+}
+
+std::vector<std::pair<size_t, size_t>> SplitSentences(std::string_view text) {
+  std::vector<std::pair<size_t, size_t>> ranges;
+  const size_t n = text.size();
+  size_t start = 0;
+  auto flush = [&](size_t end) {
+    // Trim whitespace-only sentences.
+    size_t b = start;
+    while (b < end && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+    size_t e = end;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+    if (e > b) ranges.emplace_back(b, e);
+    start = end;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    char c = text[i];
+    // Blank line (paragraph break).
+    if (c == '\n') {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      if (j < n && text[j] == '\n') {
+        flush(i);
+        continue;
+      }
+    }
+    if (c != '.' && c != '!' && c != '?') continue;
+    if (c == '.') {
+      // Find the word before the dot; skip abbreviations.
+      size_t wb = i;
+      while (wb > start && IsWordChar(text[wb - 1])) --wb;
+      std::string_view word = text.substr(wb, i - wb);
+      if (!word.empty() && IsKnownAbbreviation(word)) continue;
+      // Decimal/abbreviation dots were never sentence ends.
+      if (i + 1 < n && !std::isspace(static_cast<unsigned char>(text[i + 1])) &&
+          text[i + 1] != '"' && text[i + 1] != '\'') {
+        continue;
+      }
+    }
+    // Consume trailing quote/bracket, then require whitespace + uppercase
+    // or digit (or end of text) to split.
+    size_t j = i + 1;
+    while (j < n && (text[j] == '"' || text[j] == '\'' || text[j] == ')')) ++j;
+    if (j >= n) {
+      flush(j);
+      i = j;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(text[j]))) continue;
+    size_t k = j;
+    while (k < n && std::isspace(static_cast<unsigned char>(text[k]))) ++k;
+    if (k >= n || std::isupper(static_cast<unsigned char>(text[k])) ||
+        std::isdigit(static_cast<unsigned char>(text[k])) || text[k] == '"') {
+      flush(j);
+      i = j - 1;
+    }
+  }
+  flush(n);
+  return ranges;
+}
+
+}  // namespace dd

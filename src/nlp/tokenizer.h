@@ -1,0 +1,28 @@
+#ifndef DEEPDIVE_NLP_TOKENIZER_H_
+#define DEEPDIVE_NLP_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "nlp/document.h"
+
+namespace dd {
+
+/// Split `text` into tokens with character offsets. Rules:
+///  * runs of letters/digits (with internal '.'-separated abbreviations,
+///    e.g. "U.S." and decimals like "3.14") form one token;
+///  * "$1,200" style prices keep the currency symbol separate;
+///  * punctuation characters are single-character tokens;
+///  * apostrophe contractions split ("don't" -> "don" "'" "t" is avoided:
+///    we keep "don't" whole — ad-hoc splitting hurts the phrase features).
+std::vector<Token> Tokenize(std::string_view text, size_t base_offset = 0);
+
+/// Split `text` into sentence character ranges [begin, end). Boundaries
+/// are '.', '!', '?' followed by whitespace+capital/digit or end of text,
+/// and blank lines. Common abbreviations (Dr., Mr., vs., e.g.) and
+/// single-letter initials do not end sentences.
+std::vector<std::pair<size_t, size_t>> SplitSentences(std::string_view text);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_NLP_TOKENIZER_H_

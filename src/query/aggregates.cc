@@ -1,0 +1,145 @@
+#include "query/aggregates.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+const char* AggFuncName(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min, max;
+};
+
+Result<double> NumericValue(const Value& v) {
+  if (v.type() == ValueType::kInt) return static_cast<double>(v.AsInt());
+  if (v.type() == ValueType::kDouble) return v.AsDouble();
+  return Status::TypeError("aggregate over non-numeric value " + v.ToString());
+}
+
+}  // namespace
+
+Result<std::vector<Tuple>> GroupBy(const Table& table,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggregateSpec>& aggregates) {
+  // Resolve columns.
+  std::vector<int> group_cols;
+  for (const std::string& name : group_by) {
+    int col = table.schema().FindColumn(name);
+    if (col < 0) return Status::NotFound("no such column: " + name);
+    group_cols.push_back(col);
+  }
+  std::vector<int> agg_cols;
+  for (const AggregateSpec& spec : aggregates) {
+    if (spec.func == AggFunc::kCount && spec.column.empty()) {
+      agg_cols.push_back(-1);  // COUNT(*)
+      continue;
+    }
+    int col = table.schema().FindColumn(spec.column);
+    if (col < 0) return Status::NotFound("no such column: " + spec.column);
+    agg_cols.push_back(col);
+  }
+
+  // Accumulate (std::map gives deterministic sorted group order).
+  std::map<Tuple, std::vector<AggState>> groups;
+  const size_t cap = table.capacity();
+  for (size_t row = 0; row < cap; ++row) {
+    int64_t id = static_cast<int64_t>(row);
+    if (!table.is_live(id)) continue;
+    const Tuple& t = table.row(id);
+    Tuple key;
+    for (int col : group_cols) key.Append(t.at(static_cast<size_t>(col)));
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) it->second.resize(aggregates.size());
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      AggState& state = it->second[a];
+      state.count++;
+      if (agg_cols[a] < 0) continue;
+      const Value& v = t.at(static_cast<size_t>(agg_cols[a]));
+      if (v.is_null()) continue;
+      switch (aggregates[a].func) {
+        case AggFunc::kCount:
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg: {
+          DD_ASSIGN_OR_RETURN(double x, NumericValue(v));
+          state.sum += x;
+          break;
+        }
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          if (!state.any) {
+            state.min = state.max = v;
+            state.any = true;
+          } else {
+            if (v < state.min) state.min = v;
+            if (state.max < v) state.max = v;
+          }
+          break;
+      }
+    }
+  }
+
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  for (const auto& [key, states] : groups) {
+    Tuple row = key;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AggState& state = states[a];
+      switch (aggregates[a].func) {
+        case AggFunc::kCount:
+          row.Append(Value::Int(state.count));
+          break;
+        case AggFunc::kSum:
+          row.Append(Value::Double(state.sum));
+          break;
+        case AggFunc::kAvg:
+          row.Append(state.count == 0 ? Value::Null()
+                                      : Value::Double(state.sum / state.count));
+          break;
+        case AggFunc::kMin:
+          row.Append(state.any ? state.min : Value::Null());
+          break;
+        case AggFunc::kMax:
+          row.Append(state.any ? state.max : Value::Null());
+          break;
+      }
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<std::pair<Value, int64_t>>> TopCounts(const Table& table,
+                                                         const std::string& column,
+                                                         size_t limit) {
+  DD_ASSIGN_OR_RETURN(auto rows,
+                      GroupBy(table, {column}, {AggregateSpec{AggFunc::kCount, ""}}));
+  std::vector<std::pair<Value, int64_t>> out;
+  out.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    out.emplace_back(row.at(0), row.at(1).AsInt());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace dd

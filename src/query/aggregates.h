@@ -1,0 +1,43 @@
+#ifndef DEEPDIVE_QUERY_AGGREGATES_H_
+#define DEEPDIVE_QUERY_AGGREGATES_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Aggregate functions for OLAP-style queries over extracted tables —
+/// the paper's opening promise: "a relational database that can be used
+/// with standard data management tools, such as OLAP query processors"
+/// (§1). Covers the analyses of the introduction ("Which doctors were
+/// responsible for the most claims?") over the probabilistic output.
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc func);
+
+struct AggregateSpec {
+  AggFunc func = AggFunc::kCount;
+  /// Column to aggregate (by name); ignored for kCount with empty name
+  /// (COUNT(*)). Numeric columns required for kSum/kAvg.
+  std::string column;
+};
+
+/// GROUP BY `group_by` columns with the given aggregates. Output schema:
+/// the group-by columns followed by one double/int column per aggregate.
+/// Rows are returned in deterministic (sorted) group order.
+Result<std::vector<Tuple>> GroupBy(const Table& table,
+                                   const std::vector<std::string>& group_by,
+                                   const std::vector<AggregateSpec>& aggregates);
+
+/// Convenience: SELECT col, COUNT(*) FROM table GROUP BY col ORDER BY
+/// count DESC — the "which X was responsible for the most Y" query shape.
+Result<std::vector<std::pair<Value, int64_t>>> TopCounts(const Table& table,
+                                                         const std::string& column,
+                                                         size_t limit = 10);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_AGGREGATES_H_

@@ -1,0 +1,172 @@
+#include "query/datalog.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "query/evaluator.h"
+#include "util/logging.h"
+
+namespace dd {
+
+namespace {
+
+/// Tarjan SCC over the relation dependency graph (edge head -> body
+/// relation when the body relation is also derived).
+struct SccState {
+  std::map<std::string, std::vector<std::pair<std::string, bool>>> edges;  // (dep, negated)
+  std::map<std::string, int> index, lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  int counter = 0;
+  std::vector<std::vector<std::string>> sccs;  // reverse topological order
+
+  void Visit(const std::string& v) {
+    index[v] = lowlink[v] = counter++;
+    stack.push_back(v);
+    on_stack[v] = true;
+    for (const auto& [w, negated] : edges[v]) {
+      (void)negated;
+      if (index.find(w) == index.end()) {
+        Visit(w);
+        lowlink[v] = std::min(lowlink[v], lowlink[w]);
+      } else if (on_stack[w]) {
+        lowlink[v] = std::min(lowlink[v], index[w]);
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<std::string> scc;
+      while (true) {
+        std::string w = stack.back();
+        stack.pop_back();
+        on_stack[w] = false;
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      sccs.push_back(std::move(scc));
+    }
+  }
+};
+
+}  // namespace
+
+Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules) {
+  std::set<std::string> derived;
+  for (const ConjunctiveRule& rule : rules) derived.insert(rule.head.relation);
+
+  SccState scc;
+  for (const std::string& r : derived) scc.edges[r];  // ensure node exists
+  for (const ConjunctiveRule& rule : rules) {
+    for (const Atom& atom : rule.body) {
+      if (derived.count(atom.relation) > 0) {
+        scc.edges[rule.head.relation].emplace_back(atom.relation, atom.negated);
+      }
+    }
+  }
+  for (const std::string& r : derived) {
+    if (scc.index.find(r) == scc.index.end()) scc.Visit(r);
+  }
+
+  // Map relation -> scc id; sccs are in reverse topological order, so
+  // evaluation order is scc.sccs as-is (Tarjan emits sinks first; sinks
+  // are dependencies, which must be evaluated first).
+  std::map<std::string, size_t> scc_of;
+  for (size_t i = 0; i < scc.sccs.size(); ++i) {
+    for (const std::string& r : scc.sccs[i]) scc_of[r] = i;
+  }
+
+  Stratification out;
+  out.strata = scc.sccs;
+  out.rules_by_stratum.resize(scc.sccs.size());
+  for (size_t i = 0; i < rules.size(); ++i) {
+    out.rules_by_stratum[scc_of[rules[i].head.relation]].push_back(i);
+  }
+  // Detect recursion and reject negation within a component.
+  for (size_t i = 0; i < scc.sccs.size(); ++i) {
+    std::set<std::string> members(scc.sccs[i].begin(), scc.sccs[i].end());
+    bool recursive = members.size() > 1;
+    for (size_t rid : out.rules_by_stratum[i]) {
+      for (const Atom& atom : rules[rid].body) {
+        if (members.count(atom.relation) == 0) continue;
+        recursive = true;  // self-loop or intra-component dependency
+        if (atom.negated) {
+          return Status::InvalidArgument(
+              "program is not stratifiable: negation through recursion at relation " +
+              atom.relation);
+        }
+      }
+    }
+    if (recursive) out.has_recursion = true;
+  }
+  return out;
+}
+
+Status DatalogEngine::Evaluate(const std::vector<ConjunctiveRule>& rules) {
+  for (const ConjunctiveRule& rule : rules) DD_RETURN_IF_ERROR(rule.Validate());
+  DD_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules));
+  for (size_t s = 0; s < strat.strata.size(); ++s) {
+    std::set<std::string> members(strat.strata[s].begin(), strat.strata[s].end());
+    DD_RETURN_IF_ERROR(EvaluateStratum(rules, strat.rules_by_stratum[s], members));
+  }
+  return Status::OK();
+}
+
+Status DatalogEngine::EvaluateStratum(const std::vector<ConjunctiveRule>& rules,
+                                      const std::vector<size_t>& rule_ids,
+                                      const std::set<std::string>& stratum_relations) {
+  RuleEvaluator evaluator(catalog_);
+
+  // Pass 1: evaluate every rule once over current state.
+  std::map<std::string, std::vector<Tuple>> delta;
+  for (size_t rid : rule_ids) {
+    const ConjunctiveRule& rule = rules[rid];
+    DD_ASSIGN_OR_RETURN(Table* head_table, catalog_->GetTable(rule.head.relation));
+    DD_RETURN_IF_ERROR(evaluator.Evaluate(rule, [&](const Tuple& t) {
+      Status st = head_table->CheckTuple(t);
+      if (!st.ok()) {
+        DD_LOG(Error) << "dropping ill-typed derived tuple " << t.ToString() << ": "
+                      << st.ToString();
+        return;
+      }
+      auto [id, inserted] = head_table->InsertUnchecked(t);
+      (void)id;
+      if (inserted) delta[rule.head.relation].push_back(t);
+    }));
+  }
+
+  // Semi-naive iteration: a rule only needs re-evaluation if its body
+  // mentions an in-stratum relation that changed. We re-run the full rule
+  // (set-semantics dedup makes this correct); the delta restriction below
+  // keeps the common non-recursive case to a single pass.
+  while (true) {
+    std::map<std::string, std::vector<Tuple>> next_delta;
+    bool any = false;
+    for (size_t rid : rule_ids) {
+      const ConjunctiveRule& rule = rules[rid];
+      bool affected = false;
+      for (const Atom& atom : rule.body) {
+        if (stratum_relations.count(atom.relation) > 0 &&
+            delta.count(atom.relation) > 0 && !delta.at(atom.relation).empty()) {
+          affected = true;
+          break;
+        }
+      }
+      if (!affected) continue;
+      DD_ASSIGN_OR_RETURN(Table* head_table, catalog_->GetTable(rule.head.relation));
+      DD_RETURN_IF_ERROR(evaluator.Evaluate(rule, [&](const Tuple& t) {
+        if (!head_table->CheckTuple(t).ok()) return;
+        auto [id, inserted] = head_table->InsertUnchecked(t);
+        (void)id;
+        if (inserted) {
+          next_delta[rule.head.relation].push_back(t);
+          any = true;
+        }
+      }));
+    }
+    if (!any) break;
+    delta = std::move(next_delta);
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

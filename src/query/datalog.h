@@ -1,0 +1,54 @@
+#ifndef DEEPDIVE_QUERY_DATALOG_H_
+#define DEEPDIVE_QUERY_DATALOG_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/rule.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Stratification result for a rule set: relations grouped into strata
+/// that must be evaluated in order; within a stratum relations may be
+/// mutually recursive.
+struct Stratification {
+  /// Strata in evaluation order; each stratum lists derived relations.
+  std::vector<std::vector<std::string>> strata;
+  /// Rule indexes grouped by the stratum of their head relation.
+  std::vector<std::vector<size_t>> rules_by_stratum;
+  /// True if some stratum contains a (mutually) recursive relation.
+  bool has_recursion = false;
+};
+
+/// Compute a stratification of `rules`. Fails if a negation cycle exists
+/// (negated dependency within a recursive component).
+Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules);
+
+/// Semi-naive, stratified datalog evaluation over a Catalog. Derived
+/// tables must already exist in the catalog (the caller declares their
+/// schemas); base tables are whatever the rules reference but never
+/// derive.
+class DatalogEngine {
+ public:
+  explicit DatalogEngine(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Evaluate all rules to fixpoint. Derived relations accumulate into
+  /// their tables (existing rows are kept; evaluation is monotone).
+  Status Evaluate(const std::vector<ConjunctiveRule>& rules);
+
+ private:
+  Status EvaluateStratum(const std::vector<ConjunctiveRule>& rules,
+                         const std::vector<size_t>& rule_ids,
+                         const std::set<std::string>& stratum_relations);
+
+  Catalog* catalog_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_DATALOG_H_

@@ -1,0 +1,223 @@
+#include "query/dred.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "query/datalog.h"
+#include "query/evaluator.h"
+#include "util/logging.h"
+
+namespace dd {
+
+Status IncrementalEngine::Initialize() {
+  for (const ConjunctiveRule& rule : rules_) DD_RETURN_IF_ERROR(rule.Validate());
+  DD_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules_));
+  if (strat.has_recursion) {
+    return Status::Unimplemented(
+        "IncrementalEngine supports non-recursive programs only; use DatalogEngine");
+  }
+  topo_order_.clear();
+  derived_.clear();
+  rules_of_.clear();
+  counts_.clear();
+  for (const auto& stratum : strat.strata) {
+    for (const std::string& rel : stratum) {
+      topo_order_.push_back(rel);
+      derived_.insert(rel);
+    }
+  }
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    rules_of_[rules_[i].head.relation].push_back(i);
+  }
+
+  // Full evaluation in dependency order, accumulating derivation counts.
+  RuleEvaluator evaluator(catalog_);
+  for (const std::string& rel : topo_order_) {
+    DD_ASSIGN_OR_RETURN(Table* table, catalog_->GetTable(rel));
+    if (!table->empty()) {
+      return Status::InvalidArgument("derived table must start empty: " + rel);
+    }
+    CountMap& counts = counts_[rel];
+    for (size_t rid : rules_of_[rel]) {
+      DD_RETURN_IF_ERROR(
+          evaluator.Evaluate(rules_[rid], [&](const Tuple& t) { counts[t] += 1; }));
+    }
+    for (const auto& [tuple, count] : counts) {
+      if (count > 0) {
+        DD_RETURN_IF_ERROR(table->CheckTuple(tuple));
+        table->InsertUnchecked(tuple);
+      }
+    }
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+int64_t IncrementalEngine::DerivationCount(const std::string& relation,
+                                           const Tuple& tuple) const {
+  auto it = counts_.find(relation);
+  if (it == counts_.end()) return 0;
+  auto jt = it->second.find(tuple);
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+Status IncrementalEngine::DeltaJoin(const ConjunctiveRule& rule, size_t delta_pos,
+                                    const std::map<std::string, DeltaSet>& pending,
+                                    JoinIndexCache* index_cache, CountMap* out) {
+  // Atom order: positives first then negatives (matching RuleEvaluator) —
+  // the telescoping identity sum_i (new_<i, delta_i, old_>i) is valid for
+  // any fixed order, so we fix this one.
+  std::vector<const Atom*> ordered;
+  for (const Atom& a : rule.body) {
+    if (!a.negated) ordered.push_back(&a);
+  }
+  for (const Atom& a : rule.body) {
+    if (a.negated) ordered.push_back(&a);
+  }
+
+  const Atom* delta_atom = ordered[delta_pos];
+  auto pend_it = pending.find(delta_atom->relation);
+  if (pend_it == pending.end() || pend_it->second.empty()) return Status::OK();
+
+  // Build (atom, source) pairs in identity order — new state before the
+  // delta position, old state after — then *evaluate* with the delta
+  // atom first so the join cost is O(|delta| · probes), not O(|R1|).
+  // Evaluation order does not affect the result set, only the plan.
+  std::vector<std::unique_ptr<TupleSource>> owned_sources;
+  std::vector<AtomInput> identity_inputs;
+  for (size_t j = 0; j < ordered.size(); ++j) {
+    const Atom* atom = ordered[j];
+    DD_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(atom->relation));
+    std::unique_ptr<TupleSource> src;
+    if (j == delta_pos) {
+      src = std::make_unique<DeltaSource>(&pend_it->second);
+    } else {
+      auto it = pending.find(atom->relation);
+      const DeltaSet* delta = (it != pending.end() && !it->second.empty())
+                                  ? &it->second
+                                  : nullptr;
+      if (j < delta_pos && delta != nullptr) {
+        src = std::make_unique<OverlaySource>(table, delta);  // new state
+      } else {
+        src = std::make_unique<TableSource>(table);  // old state
+      }
+    }
+    owned_sources.push_back(std::move(src));
+    identity_inputs.push_back(AtomInput{atom, owned_sources.back().get()});
+  }
+
+  // The delta-position atom participates positively in the scan even if
+  // negated in the rule; the sign flip below accounts for complement
+  // semantics (a tuple entering R leaves !R and vice versa).
+  Atom stripped;
+  if (delta_atom->negated) {
+    stripped = *delta_atom;
+    stripped.negated = false;
+    identity_inputs[delta_pos].atom = &stripped;
+  }
+
+  // Plan order: delta scan first, then remaining positives, negated last
+  // (they must be fully bound when reached).
+  std::vector<AtomInput> inputs;
+  inputs.push_back(identity_inputs[delta_pos]);
+  for (size_t j = 0; j < identity_inputs.size(); ++j) {
+    if (j == delta_pos || identity_inputs[j].atom->negated) continue;
+    inputs.push_back(identity_inputs[j]);
+  }
+  for (size_t j = 0; j < identity_inputs.size(); ++j) {
+    if (j == delta_pos || !identity_inputs[j].atom->negated) continue;
+    inputs.push_back(identity_inputs[j]);
+  }
+
+  CompiledConjunction cc;
+  DD_RETURN_IF_ERROR(cc.Build(std::move(inputs), &rule.conditions, index_cache));
+  const int sign = delta_atom->negated ? -1 : 1;
+  cc.Run([&](const std::vector<Value>& slots, int64_t mult) {
+    Tuple head = RuleEvaluator::ProjectHead(rule.head, cc, slots);
+    (*out)[head] += sign * mult;
+  });
+  return Status::OK();
+}
+
+Result<std::map<std::string, DeltaSet>> IncrementalEngine::ApplyDeltas(
+    const std::map<std::string, DeltaSet>& base_deltas) {
+  if (!initialized_) return Status::Internal("IncrementalEngine not initialized");
+
+  // Normalize base deltas against current table state: presence semantics,
+  // counts in {-1, +1}, drop no-ops. Reject deltas on derived relations.
+  std::map<std::string, DeltaSet> pending;
+  for (const auto& [rel, delta] : base_deltas) {
+    if (derived_.count(rel) > 0) {
+      return Status::InvalidArgument("cannot apply base delta to derived relation: " +
+                                     rel);
+    }
+    DD_ASSIGN_OR_RETURN(Table* table, catalog_->GetTable(rel));
+    DeltaSet normalized;
+    for (const auto& [tuple, count] : delta) {
+      if (count == 0) continue;
+      DD_RETURN_IF_ERROR(table->CheckTuple(tuple));
+      bool present = table->Contains(tuple);
+      if (count > 0 && !present) normalized[tuple] = 1;
+      if (count < 0 && present) normalized[tuple] = -1;
+    }
+    if (!normalized.empty()) pending[rel] = std::move(normalized);
+  }
+  if (pending.empty()) return pending;
+
+  // Propagate through derived relations in dependency order. Tables still
+  // hold the OLD state; "new" views are overlays. The index cache is
+  // valid for the whole batch because no table mutates until commit; it
+  // must be dropped before the commit loop below.
+  {
+  JoinIndexCache index_cache;
+  for (const std::string& rel : topo_order_) {
+    CountMap dcount;
+    for (size_t rid : rules_of_[rel]) {
+      const ConjunctiveRule& rule = rules_[rid];
+      size_t n = rule.body.size();
+      for (size_t i = 0; i < n; ++i) {
+        // Position i indexes the positive-then-negated order used by
+        // DeltaJoin; reconstruct which atom sits there.
+        DD_RETURN_IF_ERROR(DeltaJoin(rule, i, pending, &index_cache, &dcount));
+      }
+    }
+    if (dcount.empty()) continue;
+    CountMap& counts = counts_[rel];
+    DeltaSet presence;
+    for (const auto& [tuple, dc] : dcount) {
+      if (dc == 0) continue;
+      int64_t before = 0;
+      auto it = counts.find(tuple);
+      if (it != counts.end()) before = it->second;
+      int64_t after = before + dc;
+      if (after < 0) {
+        return Status::Internal("negative derivation count for " + rel + " tuple " +
+                                tuple.ToString());
+      }
+      if (after == 0) {
+        counts.erase(tuple);
+      } else {
+        counts[tuple] = after;
+      }
+      if (before == 0 && after > 0) presence[tuple] = 1;
+      if (before > 0 && after == 0) presence[tuple] = -1;
+    }
+    if (!presence.empty()) pending[rel] = std::move(presence);
+  }
+  }  // index_cache destroyed: safe to mutate tables below.
+
+  // Commit: apply every presence delta to its table.
+  for (const auto& [rel, delta] : pending) {
+    DD_ASSIGN_OR_RETURN(Table* table, catalog_->GetTable(rel));
+    for (const auto& [tuple, count] : delta) {
+      if (count > 0) {
+        table->InsertUnchecked(tuple);
+      } else if (count < 0) {
+        table->Erase(tuple);
+      }
+    }
+  }
+  return pending;
+}
+
+}  // namespace dd

@@ -1,0 +1,75 @@
+#ifndef DEEPDIVE_QUERY_DRED_H_
+#define DEEPDIVE_QUERY_DRED_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "query/evaluator.h"
+#include "query/rule.h"
+#include "query/source.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Incremental view maintenance in the style the paper describes (§4.1):
+/// each derived relation R_i carries a delta relation with a `count`
+/// column recording the number of derivations of each tuple; on an
+/// update, delta rules propagate signed count changes through the
+/// program, and a tuple's presence flips when its count crosses zero.
+///
+/// Supported programs: stratified and non-recursive (DeepDive grounding
+/// programs are non-recursive in practice). Recursive programs are
+/// rejected at Initialize() with Unimplemented; callers fall back to full
+/// re-evaluation via DatalogEngine.
+class IncrementalEngine {
+ public:
+  /// The engine takes ownership of the rule list; `catalog` must outlive
+  /// the engine. Derived tables must already exist (empty) in the catalog.
+  IncrementalEngine(Catalog* catalog, std::vector<ConjunctiveRule> rules)
+      : catalog_(catalog), rules_(std::move(rules)) {}
+
+  /// Full evaluation: populate derived tables and derivation counts.
+  Status Initialize();
+
+  /// Apply a batch of base-relation presence changes. Positive counts are
+  /// insertions, negative deletions; no-op changes (inserting a present
+  /// tuple, deleting an absent one) are ignored. On success the catalog —
+  /// base and derived tables — reflects the new state, and the returned
+  /// map holds the presence delta of every relation that changed
+  /// (including the normalized base deltas).
+  Result<std::map<std::string, DeltaSet>> ApplyDeltas(
+      const std::map<std::string, DeltaSet>& base_deltas);
+
+  /// Number of derivations currently recorded for a derived tuple.
+  int64_t DerivationCount(const std::string& relation, const Tuple& tuple) const;
+
+  /// Derived relations in dependency (evaluation) order.
+  const std::vector<std::string>& topo_order() const { return topo_order_; }
+
+ private:
+  using CountMap = std::unordered_map<Tuple, int64_t, TupleHash>;
+
+  /// Evaluate one rule with the "delta expansion" at body position
+  /// `delta_pos`: positions before it read the new state, the delta
+  /// position scans `delta`, positions after it read the old state.
+  /// Signed head-count contributions accumulate into `out`.
+  Status DeltaJoin(const ConjunctiveRule& rule, size_t delta_pos,
+                   const std::map<std::string, DeltaSet>& pending,
+                   JoinIndexCache* index_cache, CountMap* out);
+
+  Catalog* catalog_;
+  std::vector<ConjunctiveRule> rules_;
+  std::vector<std::string> topo_order_;
+  std::set<std::string> derived_;
+  std::map<std::string, std::vector<size_t>> rules_of_;  // head relation -> rule ids
+  std::map<std::string, CountMap> counts_;
+  bool initialized_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_DRED_H_

@@ -1,0 +1,294 @@
+#include "query/evaluator.h"
+
+#include <cassert>
+
+#include "util/logging.h"
+
+namespace dd {
+
+const JoinIndexCache::SharedIndex* JoinIndexCache::Get(
+    const Table* table, const std::vector<int>& positions) {
+  auto key = std::make_pair(table, positions);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second.get();
+  auto index = std::make_unique<SharedIndex>();
+  const size_t cap = table->capacity();
+  for (size_t row = 0; row < cap; ++row) {
+    int64_t id = static_cast<int64_t>(row);
+    if (!table->is_live(id)) continue;
+    const Tuple& t = table->row(id);  // stable storage while frozen
+    Tuple key_tuple;
+    for (int pos : positions) key_tuple.Append(t.at(static_cast<size_t>(pos)));
+    index->map[key_tuple].emplace_back(&t, 1);
+  }
+  const SharedIndex* out = index.get();
+  cache_.emplace(std::move(key), std::move(index));
+  return out;
+}
+
+Status CompiledConjunction::Build(std::vector<AtomInput> atoms,
+                                  const std::vector<Condition>* conditions,
+                                  JoinIndexCache* index_cache) {
+  index_cache_ = index_cache;
+  atoms_.clear();
+  conditions_.clear();
+  slot_names_.clear();
+  slot_of_.clear();
+  indexes_.clear();
+
+  auto slot_for = [&](const std::string& var) {
+    auto it = slot_of_.find(var);
+    if (it != slot_of_.end()) return it->second;
+    int slot = static_cast<int>(slot_names_.size());
+    slot_names_.push_back(var);
+    slot_of_.emplace(var, slot);
+    return slot;
+  };
+
+  std::vector<bool> bound;  // per slot, bound after previously planned atoms
+  for (const AtomInput& input : atoms) {
+    if (input.atom == nullptr || input.source == nullptr) {
+      return Status::InvalidArgument("AtomInput with null atom or source");
+    }
+    AtomPlan plan;
+    plan.source = input.source;
+    plan.negated = input.atom->negated;
+    bool any_unbound = false;
+    // Only positions whose value is known *before* this atom starts may be
+    // used as index-key positions. A variable repeated within this atom is
+    // bound mid-unification, so later occurrences become equality checks,
+    // not key positions.
+    const std::vector<bool> bound_before = bound;
+    for (size_t pos = 0; pos < input.atom->terms.size(); ++pos) {
+      const Term& term = input.atom->terms[pos];
+      TermPlan tp;
+      if (!term.is_var()) {
+        tp.is_constant = true;
+        tp.constant = term.constant;
+        plan.bound_positions.push_back(static_cast<int>(pos));
+      } else {
+        tp.slot = slot_for(term.var);
+        if (static_cast<size_t>(tp.slot) >= bound.size()) bound.resize(tp.slot + 1, false);
+        bool was_bound_before =
+            static_cast<size_t>(tp.slot) < bound_before.size() && bound_before[tp.slot];
+        if (was_bound_before) {
+          plan.bound_positions.push_back(static_cast<int>(pos));
+        } else if (!bound[tp.slot]) {
+          tp.first_occurrence = true;
+          bound[tp.slot] = true;
+          any_unbound = true;
+        }
+        // else: repeated within this atom -> equality check during unify.
+      }
+      plan.terms.push_back(std::move(tp));
+    }
+    plan.all_bound = !any_unbound;
+    if (plan.negated && !plan.all_bound) {
+      return Status::InvalidArgument("negated atom reached with unbound variables: " +
+                                     input.atom->ToString());
+    }
+    atoms_.push_back(std::move(plan));
+  }
+
+  if (conditions != nullptr) {
+    for (const Condition& c : *conditions) {
+      ConditionPlan cp;
+      cp.op = c.op;
+      int max_depth = -1;
+      auto plan_side = [&](const Term& t, bool* is_const, Value* value,
+                           int* slot) -> Status {
+        if (!t.is_var()) {
+          *is_const = true;
+          *value = t.constant;
+          return Status::OK();
+        }
+        auto it = slot_of_.find(t.var);
+        if (it == slot_of_.end()) {
+          return Status::InvalidArgument("condition variable never bound: " + t.var);
+        }
+        *slot = it->second;
+        return Status::OK();
+      };
+      DD_RETURN_IF_ERROR(plan_side(c.lhs, &cp.lhs_const, &cp.lhs_value, &cp.lhs_slot));
+      DD_RETURN_IF_ERROR(plan_side(c.rhs, &cp.rhs_const, &cp.rhs_value, &cp.rhs_slot));
+      // Find the first atom depth after which both sides are bound.
+      std::vector<bool> seen(slot_names_.size(), false);
+      for (size_t d = 0; d < atoms_.size(); ++d) {
+        for (const TermPlan& tp : atoms_[d].terms) {
+          if (tp.slot >= 0) seen[tp.slot] = true;
+        }
+        bool lhs_ok = cp.lhs_const || seen[cp.lhs_slot];
+        bool rhs_ok = cp.rhs_const || seen[cp.rhs_slot];
+        if (lhs_ok && rhs_ok) {
+          max_depth = static_cast<int>(d);
+          break;
+        }
+      }
+      if (max_depth < 0) {
+        return Status::InvalidArgument("condition never becomes bound: " + c.ToString());
+      }
+      int cond_id = static_cast<int>(conditions_.size());
+      conditions_.push_back(cp);
+      atoms_[max_depth].conditions_ready.push_back(cond_id);
+    }
+  }
+
+  indexes_.resize(atoms_.size());
+  return Status::OK();
+}
+
+int CompiledConjunction::SlotOf(const std::string& var) const {
+  auto it = slot_of_.find(var);
+  return it == slot_of_.end() ? -1 : it->second;
+}
+
+bool CompiledConjunction::CheckCondition(const ConditionPlan& c,
+                                         const std::vector<Value>& slots) const {
+  const Value& lhs = c.lhs_const ? c.lhs_value : slots[c.lhs_slot];
+  const Value& rhs = c.rhs_const ? c.rhs_value : slots[c.rhs_slot];
+  return EvalCondition(lhs, c.op, rhs);
+}
+
+const CompiledConjunction::Index& CompiledConjunction::GetIndex(size_t depth) const {
+  Index& index = indexes_[depth];
+  if (index.built) return index;
+  const AtomPlan& plan = atoms_[depth];
+  const Table* table = plan.source->backing_table();
+  if (index_cache_ != nullptr && table != nullptr) {
+    index.shared = index_cache_->Get(table, plan.bound_positions);
+    index.built = true;
+    return index;
+  }
+  plan.source->ForEach([&](const Tuple& t, int64_t count) {
+    if (t.size() != plan.terms.size()) return;  // arity mismatch: no match
+    Tuple key;
+    for (int pos : plan.bound_positions) key.Append(t.at(static_cast<size_t>(pos)));
+    auto owned = std::make_unique<Tuple>(t);
+    index.map[key].emplace_back(owned.get(), count);
+    index.owned.push_back(std::move(owned));
+  });
+  index.built = true;
+  return index;
+}
+
+void CompiledConjunction::Run(const BindingEmit& emit) const {
+  std::vector<Value> slots(slot_names_.size());
+  Recurse(0, slots, 1, emit);
+}
+
+void CompiledConjunction::Recurse(size_t depth, std::vector<Value>& slots, int64_t mult,
+                                  const BindingEmit& emit) const {
+  if (depth == atoms_.size()) {
+    emit(slots, mult);
+    return;
+  }
+  const AtomPlan& plan = atoms_[depth];
+
+  auto conditions_hold = [&]() {
+    for (int cid : plan.conditions_ready) {
+      if (!CheckCondition(conditions_[cid], slots)) return false;
+    }
+    return true;
+  };
+
+  if (plan.all_bound) {
+    // Membership (or absence, for negated atoms) probe.
+    Tuple probe;
+    for (const TermPlan& tp : plan.terms) {
+      probe.Append(tp.is_constant ? tp.constant : slots[tp.slot]);
+    }
+    int64_t count = plan.source->Count(probe);
+    if (plan.negated) {
+      if (count > 0) return;
+      if (!conditions_hold()) return;
+      Recurse(depth + 1, slots, mult, emit);
+    } else {
+      if (count == 0) return;
+      if (!conditions_hold()) return;
+      Recurse(depth + 1, slots, mult * count, emit);
+    }
+    return;
+  }
+
+  // Enumerate matching rows via the index on bound positions.
+  const Index& index = GetIndex(depth);
+  Tuple key;
+  for (int pos : plan.bound_positions) {
+    const TermPlan& tp = plan.terms[static_cast<size_t>(pos)];
+    key.Append(tp.is_constant ? tp.constant : slots[tp.slot]);
+  }
+  const auto& index_map = index.shared != nullptr ? index.shared->map : index.map;
+  auto it = index_map.find(key);
+  if (it == index_map.end()) return;
+
+  for (const auto& [row, count] : it->second) {
+    // Unify: bind first occurrences, check repeated occurrences.
+    bool ok = true;
+    for (size_t pos = 0; pos < plan.terms.size() && ok; ++pos) {
+      const TermPlan& tp = plan.terms[pos];
+      if (tp.first_occurrence) {
+        slots[tp.slot] = row->at(pos);
+      } else if (!tp.is_constant) {
+        // Bound earlier within this atom or before it; the index key already
+        // guarantees equality for positions in bound_positions, but repeated
+        // first occurrences within this atom need an explicit check.
+        if (!(slots[tp.slot] == row->at(pos))) ok = false;
+      }
+    }
+    if (!ok) continue;
+    if (!conditions_hold()) continue;
+    Recurse(depth + 1, slots, mult * count, emit);
+  }
+}
+
+Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
+                               const std::function<void(const Tuple&)>& emit) const {
+  DD_RETURN_IF_ERROR(rule.Validate());
+
+  // Order atoms positive-first so negated atoms are fully bound.
+  std::vector<const Atom*> ordered;
+  for (const Atom& a : rule.body) {
+    if (!a.negated) ordered.push_back(&a);
+  }
+  for (const Atom& a : rule.body) {
+    if (a.negated) ordered.push_back(&a);
+  }
+
+  std::vector<std::unique_ptr<TableSource>> sources;
+  std::vector<AtomInput> inputs;
+  for (const Atom* atom : ordered) {
+    DD_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(atom->relation));
+    sources.push_back(std::make_unique<TableSource>(table));
+    inputs.push_back(AtomInput{atom, sources.back().get()});
+  }
+
+  CompiledConjunction cc;
+  DD_RETURN_IF_ERROR(cc.Build(std::move(inputs), &rule.conditions));
+
+  // Pre-resolve head slots.
+  for (const Term& t : rule.head.terms) {
+    if (t.is_var() && cc.SlotOf(t.var) < 0) {
+      return Status::InvalidArgument("head variable not bound: " + t.var);
+    }
+  }
+  cc.Run([&](const std::vector<Value>& slots, int64_t mult) {
+    (void)mult;  // set semantics over tables: always 1
+    emit(ProjectHead(rule.head, cc, slots));
+  });
+  return Status::OK();
+}
+
+Tuple RuleEvaluator::ProjectHead(const Atom& head, const CompiledConjunction& cc,
+                                 const std::vector<Value>& slots) {
+  Tuple out;
+  for (const Term& t : head.terms) {
+    if (t.is_var()) {
+      out.Append(slots[static_cast<size_t>(cc.SlotOf(t.var))]);
+    } else {
+      out.Append(t.constant);
+    }
+  }
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,146 @@
+#ifndef DEEPDIVE_QUERY_EVALUATOR_H_
+#define DEEPDIVE_QUERY_EVALUATOR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <map>
+
+#include "query/rule.h"
+#include "query/source.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// One body atom paired with the relation view it should read from.
+/// Pairing atoms with explicit views (instead of always the catalog) is
+/// what lets the same evaluator run full evaluation, semi-naive deltas,
+/// and DRed old/new split joins.
+struct AtomInput {
+  const Atom* atom = nullptr;
+  const TupleSource* source = nullptr;
+};
+
+/// Callback receiving one satisfying assignment: `slots` holds the value
+/// of every variable (indexed by CompiledConjunction::SlotOf), `mult` is
+/// the signed multiplicity (product of source counts along the join).
+using BindingEmit = std::function<void(const std::vector<Value>& slots, int64_t mult)>;
+
+/// Shared hash indexes over frozen tables, keyed by (table, key
+/// positions). Lets repeated delta joins over the same relations reuse
+/// one index instead of rebuilding per join — the difference between
+/// O(|delta|) and O(|R|) incremental maintenance. The cache must not
+/// outlive a mutation of any indexed table.
+class JoinIndexCache {
+ public:
+  struct SharedIndex {
+    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>,
+                       TupleHash>
+        map;
+  };
+
+  /// Index of `table` on `positions` (built on first request).
+  const SharedIndex* Get(const Table* table, const std::vector<int>& positions);
+
+ private:
+  std::map<std::pair<const Table*, std::vector<int>>, std::unique_ptr<SharedIndex>>
+      cache_;
+};
+
+/// A conjunctive body compiled to slot-based form and evaluated with
+/// hash-join indexes built lazily per atom position.
+///
+/// Evaluation order is the given atom order. Positive atoms with unbound
+/// variables are enumerated (via an index on their bound positions);
+/// fully-bound positive atoms become membership probes; negated atoms
+/// must be fully bound at their position and become absence probes.
+class CompiledConjunction {
+ public:
+  /// Compile; fails if a negated atom would be reached with unbound
+  /// variables, or a condition references a variable no atom binds.
+  /// With a non-null `index_cache`, table-backed atoms reuse shared
+  /// indexes instead of building private ones.
+  Status Build(std::vector<AtomInput> atoms, const std::vector<Condition>* conditions,
+               JoinIndexCache* index_cache = nullptr);
+
+  /// Slot index of a variable, or -1 if the variable never occurs.
+  int SlotOf(const std::string& var) const;
+
+  size_t num_slots() const { return slot_names_.size(); }
+
+  /// Enumerate all satisfying bindings. Indexes are built on first use
+  /// and reused across the enumeration.
+  void Run(const BindingEmit& emit) const;
+
+ private:
+  struct TermPlan {
+    bool is_constant = false;
+    Value constant;
+    int slot = -1;
+    bool first_occurrence = false;  // binds the slot (vs. consistency check)
+  };
+  struct AtomPlan {
+    const TupleSource* source = nullptr;
+    bool negated = false;
+    bool all_bound = false;          // membership probe instead of scan
+    std::vector<TermPlan> terms;
+    std::vector<int> bound_positions;    // term positions with known value
+    std::vector<int> conditions_ready;   // condition ids checkable after this atom
+  };
+  struct ConditionPlan {
+    bool lhs_const = false, rhs_const = false;
+    Value lhs_value, rhs_value;
+    int lhs_slot = -1, rhs_slot = -1;
+    CmpOp op = CmpOp::kEq;
+  };
+  /// Hash index on an atom's bound positions: key tuple -> matching rows.
+  struct Index {
+    bool built = false;
+    const JoinIndexCache::SharedIndex* shared = nullptr;  // cache-owned
+    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>, TupleHash>
+        map;
+    // Rows owned here when the source yields temporaries.
+    std::vector<std::unique_ptr<Tuple>> owned;
+  };
+
+  void Recurse(size_t depth, std::vector<Value>& slots, int64_t mult,
+               const BindingEmit& emit) const;
+  bool CheckCondition(const ConditionPlan& c, const std::vector<Value>& slots) const;
+  const Index& GetIndex(size_t depth) const;
+
+  std::vector<AtomPlan> atoms_;
+  std::vector<ConditionPlan> conditions_;
+  JoinIndexCache* index_cache_ = nullptr;
+  std::vector<std::string> slot_names_;
+  std::unordered_map<std::string, int> slot_of_;
+  mutable std::vector<Index> indexes_;
+};
+
+/// Convenience: evaluate a validated rule against the current catalog
+/// state and emit head tuples (set semantics: duplicates may be emitted;
+/// the caller dedups by inserting into a Table).
+class RuleEvaluator {
+ public:
+  explicit RuleEvaluator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Evaluate rule body over catalog tables; call emit(head_tuple) once
+  /// per derivation.
+  Status Evaluate(const ConjunctiveRule& rule,
+                  const std::function<void(const Tuple&)>& emit) const;
+
+  /// Project a head tuple out of a slot assignment.
+  static Tuple ProjectHead(const Atom& head, const CompiledConjunction& cc,
+                           const std::vector<Value>& slots);
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_EVALUATOR_H_

@@ -1,0 +1,93 @@
+#include "query/rule.h"
+
+#include <set>
+
+namespace dd {
+
+std::string Atom::ToString() const {
+  std::string out = negated ? "!" : "";
+  out += relation + "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += terms[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Condition::ToString() const {
+  return lhs.ToString() + " " + CmpOpName(op) + " " + rhs.ToString();
+}
+
+bool EvalCondition(const Value& lhs, CmpOp op, const Value& rhs) {
+  switch (op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return !(rhs < lhs);
+    case CmpOp::kGt: return rhs < lhs;
+    case CmpOp::kGe: return !(lhs < rhs);
+  }
+  return false;
+}
+
+Status ConjunctiveRule::Validate() const {
+  std::set<std::string> positive_vars;
+  bool has_positive = false;
+  for (const Atom& atom : body) {
+    if (atom.negated) continue;
+    has_positive = true;
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) positive_vars.insert(t.var);
+    }
+  }
+  if (!has_positive) {
+    return Status::InvalidArgument("rule has no positive body atom: " + ToString());
+  }
+  auto check_bound = [&](const Term& t, const char* where) -> Status {
+    if (t.is_var() && positive_vars.count(t.var) == 0) {
+      return Status::InvalidArgument(std::string("unsafe variable ") + t.var + " in " +
+                                     where + " of rule " + ToString());
+    }
+    return Status::OK();
+  };
+  for (const Term& t : head.terms) DD_RETURN_IF_ERROR(check_bound(t, "head"));
+  for (const Atom& atom : body) {
+    if (!atom.negated) continue;
+    for (const Term& t : atom.terms) {
+      DD_RETURN_IF_ERROR(check_bound(t, "negated atom"));
+    }
+  }
+  for (const Condition& c : conditions) {
+    DD_RETURN_IF_ERROR(check_bound(c.lhs, "condition"));
+    DD_RETURN_IF_ERROR(check_bound(c.rhs, "condition"));
+  }
+  return Status::OK();
+}
+
+std::string ConjunctiveRule::ToString() const {
+  std::string out = head.ToString() + " :- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  for (const Condition& c : conditions) {
+    out += ", " + c.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,85 @@
+#ifndef DEEPDIVE_QUERY_RULE_H_
+#define DEEPDIVE_QUERY_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A term in a datalog atom: either a named variable or a constant.
+struct Term {
+  enum class Kind { kVariable, kConstant };
+
+  Kind kind = Kind::kVariable;
+  std::string var;  // valid when kind == kVariable
+  Value constant;   // valid when kind == kConstant
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConstant;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVariable; }
+
+  std::string ToString() const {
+    return is_var() ? var : constant.ToString();
+  }
+};
+
+/// A (possibly negated) relational atom: R(t1, ..., tn).
+struct Atom {
+  std::string relation;
+  std::vector<Term> terms;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// Comparison operators available in rule bodies (e.g., m1 != m2).
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// A comparison condition between two terms. Both sides must be bound
+/// by positive body atoms (or be constants) by the time it is checked.
+struct Condition {
+  Term lhs;
+  CmpOp op = CmpOp::kEq;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// Evaluate `lhs op rhs` over concrete values. Comparisons between
+/// different types order by type tag (consistent with Value::operator<).
+bool EvalCondition(const Value& lhs, CmpOp op, const Value& rhs);
+
+/// A conjunctive datalog rule: head :- body, conditions.
+/// Safety requirements (checked by Validate):
+///  * every head variable appears in a positive body atom;
+///  * every variable of a negated atom appears in a positive body atom;
+///  * every condition variable appears in a positive body atom.
+struct ConjunctiveRule {
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<Condition> conditions;
+
+  Status Validate() const;
+  std::string ToString() const;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_RULE_H_

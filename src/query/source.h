@@ -1,0 +1,118 @@
+#ifndef DEEPDIVE_QUERY_SOURCE_H_
+#define DEEPDIVE_QUERY_SOURCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "storage/table.h"
+#include "storage/tuple.h"
+
+namespace dd {
+
+/// A signed multiset of tuples; the unit of change in incremental
+/// maintenance. Positive counts are insertions, negative deletions.
+using DeltaSet = std::unordered_map<Tuple, int64_t, TupleHash>;
+
+/// Abstract relation view consumed by the join evaluator. A source yields
+/// (tuple, count) pairs; for ordinary tables counts are always 1 (set
+/// semantics), for delta views they are signed.
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+
+  /// Enumerate every tuple with its count (count never 0).
+  virtual void ForEach(
+      const std::function<void(const Tuple&, int64_t)>& fn) const = 0;
+
+  /// Count of a specific tuple (0 if absent).
+  virtual int64_t Count(const Tuple& tuple) const = 0;
+
+  /// The Table this source is a plain view of, or nullptr. Non-null
+  /// lets the evaluator share hash indexes across joins (the table must
+  /// not be mutated while such indexes are alive).
+  virtual const Table* backing_table() const { return nullptr; }
+};
+
+/// View over a live Table (count 1 per live row).
+class TableSource : public TupleSource {
+ public:
+  explicit TableSource(const Table* table) : table_(table) {}
+
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+    size_t n = table_->capacity();
+    for (size_t i = 0; i < n; ++i) {
+      int64_t id = static_cast<int64_t>(i);
+      if (table_->is_live(id)) fn(table_->row(id), 1);
+    }
+  }
+
+  int64_t Count(const Tuple& tuple) const override {
+    return table_->Contains(tuple) ? 1 : 0;
+  }
+
+  const Table* backing_table() const override { return table_; }
+
+ private:
+  const Table* table_;
+};
+
+/// View over a DeltaSet (signed counts).
+class DeltaSource : public TupleSource {
+ public:
+  explicit DeltaSource(const DeltaSet* delta) : delta_(delta) {}
+
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+    for (const auto& [tuple, count] : *delta_) {
+      if (count != 0) fn(tuple, count);
+    }
+  }
+
+  int64_t Count(const Tuple& tuple) const override {
+    auto it = delta_->find(tuple);
+    return it == delta_->end() ? 0 : it->second;
+  }
+
+ private:
+  const DeltaSet* delta_;
+};
+
+/// Presence view of "table after applying delta" without mutating the
+/// table. Presence (count 1) iff base + delta > 0. Used as the "new
+/// state" view during batch incremental maintenance.
+class OverlaySource : public TupleSource {
+ public:
+  OverlaySource(const Table* table, const DeltaSet* delta)
+      : table_(table), delta_(delta) {}
+
+  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+    size_t n = table_->capacity();
+    for (size_t i = 0; i < n; ++i) {
+      int64_t id = static_cast<int64_t>(i);
+      if (!table_->is_live(id)) continue;
+      const Tuple& t = table_->row(id);
+      if (Present(t)) fn(t, 1);
+    }
+    // Tuples introduced purely by the delta.
+    for (const auto& [tuple, count] : *delta_) {
+      if (count > 0 && !table_->Contains(tuple)) fn(tuple, 1);
+    }
+  }
+
+  int64_t Count(const Tuple& tuple) const override { return Present(tuple) ? 1 : 0; }
+
+ private:
+  bool Present(const Tuple& t) const {
+    int64_t base = table_->Contains(t) ? 1 : 0;
+    auto it = delta_->find(t);
+    int64_t d = it == delta_->end() ? 0 : it->second;
+    return base + d > 0;
+  }
+
+  const Table* table_;
+  const DeltaSet* delta_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_QUERY_SOURCE_H_

@@ -1,0 +1,52 @@
+#include "storage/catalog.h"
+
+namespace dd {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(name, std::move(table));
+  return ptr;
+}
+
+Result<Table*> Catalog::GetOrCreateTable(const std::string& name, const Schema& schema) {
+  auto it = tables_.find(name);
+  if (it != tables_.end()) {
+    if (!(it->second->schema() == schema)) {
+      return Status::TypeError("table " + name + " exists with schema " +
+                               it->second->schema().ToString() + ", requested " +
+                               schema.ToString());
+    }
+    return it->second.get();
+  }
+  return CreateTable(name, schema);
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("no such table: " + name);
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return Status::NotFound("no such table: " + name);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dd

@@ -1,0 +1,48 @@
+#ifndef DEEPDIVE_STORAGE_CATALOG_H_
+#define DEEPDIVE_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// The database: a name → table map. All DeepDive state — documents,
+/// sentences, candidates, features, evidence, marginals — lives in here,
+/// mirroring the paper's "all data is stored in a relational database".
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Create an empty table. Fails with AlreadyExists on a duplicate name.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Create if absent; returns the existing table if schemas match, a
+  /// TypeError if the existing schema differs.
+  Result<Table*> GetOrCreateTable(const std::string& name, const Schema& schema);
+
+  /// Lookup; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+
+  Status DropTable(const std::string& name);
+
+  /// Table names in deterministic (sorted) order.
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_CATALOG_H_

@@ -1,0 +1,46 @@
+#ifndef DEEPDIVE_STORAGE_SCHEMA_H_
+#define DEEPDIVE_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A named, typed column.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered column list for a relation.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return columns_ == other.columns_; }
+
+  /// "(name type, name type, ...)" rendering for error messages.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_SCHEMA_H_

@@ -1,0 +1,90 @@
+#include "storage/table.h"
+
+#include "util/string_util.h"
+
+namespace dd {
+
+Status Table::CheckTuple(const Tuple& tuple) const {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::TypeError(StrFormat("table %s expects %zu columns, got %zu",
+                                       name_.c_str(), schema_.num_columns(),
+                                       tuple.size()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    const Value& v = tuple.at(i);
+    if (v.is_null()) continue;  // NULL is allowed in any column.
+    if (v.type() != schema_.column(i).type) {
+      return Status::TypeError(StrFormat(
+          "table %s column %s expects %s, got %s", name_.c_str(),
+          schema_.column(i).name.c_str(), ValueTypeName(schema_.column(i).type),
+          ValueTypeName(v.type())));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::pair<int64_t, bool>> Table::Insert(Tuple tuple) {
+  DD_RETURN_IF_ERROR(CheckTuple(tuple));
+  return InsertUnchecked(std::move(tuple));
+}
+
+std::pair<int64_t, bool> Table::InsertUnchecked(Tuple tuple) {
+  auto it = index_.find(tuple);
+  if (it != index_.end()) {
+    int64_t id = it->second;
+    if (!live_[static_cast<size_t>(id)]) {
+      live_[static_cast<size_t>(id)] = true;
+      ++live_count_;
+      return {id, true};
+    }
+    return {id, false};
+  }
+  int64_t id = static_cast<int64_t>(rows_.size());
+  index_.emplace(tuple, id);
+  rows_.push_back(std::move(tuple));
+  live_.push_back(true);
+  ++live_count_;
+  return {id, true};
+}
+
+bool Table::Erase(const Tuple& tuple) {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) return false;
+  size_t id = static_cast<size_t>(it->second);
+  if (!live_[id]) return false;
+  live_[id] = false;
+  --live_count_;
+  return true;
+}
+
+bool Table::Contains(const Tuple& tuple) const { return Find(tuple) >= 0; }
+
+int64_t Table::Find(const Tuple& tuple) const {
+  auto it = index_.find(tuple);
+  if (it == index_.end()) return -1;
+  if (!live_[static_cast<size_t>(it->second)]) return -1;
+  return it->second;
+}
+
+int64_t Table::FindIncludingDeleted(const Tuple& tuple) const {
+  auto it = index_.find(tuple);
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::vector<Tuple> Table::Scan() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (live_[i]) out.push_back(rows_[i]);
+  }
+  return out;
+}
+
+void Table::Clear() {
+  rows_.clear();
+  live_.clear();
+  index_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace dd

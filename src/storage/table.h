@@ -1,0 +1,83 @@
+#ifndef DEEPDIVE_STORAGE_TABLE_H_
+#define DEEPDIVE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// An in-memory relation with set semantics (datalog's natural model).
+/// Rows are stored densely; a hash index from tuple to row id provides
+/// O(1) membership tests and deduplicating inserts. Deletion uses
+/// tombstones so row ids stay stable for the lifetime of the table
+/// (grounding assigns factor-graph variable ids from row ids).
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live (non-deleted) rows.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Total slots including tombstones; valid row ids are [0, capacity()).
+  size_t capacity() const { return rows_.size(); }
+
+  /// Insert with type checking against the schema. Returns the row id of
+  /// the (new or existing) tuple; second=true if newly inserted.
+  Result<std::pair<int64_t, bool>> Insert(Tuple tuple);
+
+  /// Insert without schema validation (hot path for internal operators
+  /// whose output types are known by construction).
+  std::pair<int64_t, bool> InsertUnchecked(Tuple tuple);
+
+  /// Remove a tuple. Returns true if it was present.
+  bool Erase(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const;
+
+  /// Row id for a tuple, or -1 if absent/deleted.
+  int64_t Find(const Tuple& tuple) const;
+
+  /// Row id for a tuple even if tombstoned (-1 only if never inserted).
+  /// Row ids are stable across Erase/re-Insert, so callers tracking
+  /// per-row state (e.g. factor-graph variable ids) can re-identify
+  /// deleted tuples.
+  int64_t FindIncludingDeleted(const Tuple& tuple) const;
+
+  /// Access by row id. The id must be < capacity().
+  const Tuple& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
+  bool is_live(int64_t id) const { return live_[static_cast<size_t>(id)]; }
+
+  /// Snapshot of all live tuples (copy).
+  std::vector<Tuple> Scan() const;
+
+  /// Remove all rows but keep the schema.
+  void Clear();
+
+  /// Validate a tuple against this table's schema (arity and types;
+  /// kNull is accepted in any column, modeling SQL NULL).
+  Status CheckTuple(const Tuple& tuple) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<bool> live_;
+  std::unordered_map<Tuple, int64_t, TupleHash> index_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_TABLE_H_

@@ -1,0 +1,154 @@
+#include "storage/tsv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+void AppendEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\t': *out += "\\t"; break;
+      case '\n': *out += "\\n"; break;
+      case '\\': *out += "\\\\"; break;
+      default: *out += c;
+    }
+  }
+}
+
+std::string Unescape(const std::string& field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '\\' && i + 1 < field.size()) {
+      char next = field[++i];
+      out += next == 't' ? '\t' : next == 'n' ? '\n' : next;
+    } else {
+      out += field[i];
+    }
+  }
+  return out;
+}
+
+Result<Value> ParseField(const std::string& field, ValueType type, int line) {
+  if (field == "\\N") return Value::Null();
+  auto error = [&](const char* what) {
+    return Status::ParseError(
+        StrFormat("line %d: cannot parse %s value from '%s'", line, what,
+                  field.c_str()));
+  };
+  switch (type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == field.c_str() || *end != '\0') return error("int");
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == field.c_str() || *end != '\0') return error("double");
+      return Value::Double(v);
+    }
+    case ValueType::kBool:
+      if (field == "t" || field == "true" || field == "1") return Value::Bool(true);
+      if (field == "f" || field == "false" || field == "0") return Value::Bool(false);
+      return error("bool");
+    case ValueType::kString:
+      return Value::String(Unescape(field));
+    case ValueType::kNull:
+      return Value::Null();
+  }
+  return error("unknown-type");
+}
+
+}  // namespace
+
+std::string TableToTsv(const Table& table) {
+  std::string out;
+  const size_t cap = table.capacity();
+  for (size_t row = 0; row < cap; ++row) {
+    int64_t id = static_cast<int64_t>(row);
+    if (!table.is_live(id)) continue;
+    const Tuple& t = table.row(id);
+    for (size_t c = 0; c < t.size(); ++c) {
+      if (c > 0) out += '\t';
+      const Value& v = t.at(c);
+      switch (v.type()) {
+        case ValueType::kNull: out += "\\N"; break;
+        case ValueType::kBool: out += v.AsBool() ? 't' : 'f'; break;
+        case ValueType::kInt: out += std::to_string(v.AsInt()); break;
+        case ValueType::kDouble: out += StrFormat("%.17g", v.AsDouble()); break;
+        case ValueType::kString: AppendEscaped(v.AsString(), &out); break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<size_t> LoadTsv(Table* table, const std::string& tsv) {
+  const Schema& schema = table->schema();
+  size_t inserted = 0;
+  int line = 0;
+  std::istringstream in(tsv);
+  std::string row;
+  while (std::getline(in, row)) {
+    ++line;
+    if (row.empty()) continue;
+    // Split on unescaped tabs.
+    std::vector<std::string> fields;
+    std::string current;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i] == '\\' && i + 1 < row.size()) {
+        current += row[i];
+        current += row[i + 1];
+        ++i;
+      } else if (row[i] == '\t') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current += row[i];
+      }
+    }
+    fields.push_back(std::move(current));
+    if (fields.size() != schema.num_columns()) {
+      return Status::ParseError(StrFormat("line %d: expected %zu fields, got %zu",
+                                          line, schema.num_columns(),
+                                          fields.size()));
+    }
+    Tuple tuple;
+    for (size_t c = 0; c < fields.size(); ++c) {
+      DD_ASSIGN_OR_RETURN(Value v, ParseField(fields[c], schema.column(c).type, line));
+      tuple.Append(std::move(v));
+    }
+    DD_ASSIGN_OR_RETURN(auto result, table->Insert(std::move(tuple)));
+    inserted += result.second;
+  }
+  return inserted;
+}
+
+Status WriteTsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+  std::string tsv = TableToTsv(table);
+  out.write(tsv.data(), static_cast<std::streamsize>(tsv.size()));
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<size_t> LoadTsvFile(Table* table, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadTsv(table, buffer.str());
+}
+
+}  // namespace dd

@@ -1,0 +1,35 @@
+#ifndef DEEPDIVE_STORAGE_TSV_H_
+#define DEEPDIVE_STORAGE_TSV_H_
+
+#include <string>
+
+#include "storage/table.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// TSV import/export for tables — the bridge to the paper's §1 promise
+/// that DeepDive output feeds "standard data management tools ...
+/// analytical tools such as R or Excel", and the input path for loading
+/// KBs and pre-extracted base relations.
+///
+/// Format: tab-separated, one tuple per line, '\n' row terminator.
+/// Values are rendered per column type; NULL is the literal `\N`
+/// (PostgreSQL COPY convention). Strings escape tab, newline, backslash
+/// as \t, \n, \\. Booleans are `t`/`f`.
+
+/// Serialize all live rows (no header line).
+std::string TableToTsv(const Table& table);
+
+/// Parse TSV against `table`'s schema and insert every row (set
+/// semantics; duplicates collapse). Returns the number of NEW rows.
+/// Fails on arity mismatch or unparsable values, identifying the line.
+Result<size_t> LoadTsv(Table* table, const std::string& tsv);
+
+/// Convenience file wrappers.
+Status WriteTsvFile(const Table& table, const std::string& path);
+Result<size_t> LoadTsvFile(Table* table, const std::string& path);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_TSV_H_

@@ -1,0 +1,24 @@
+#include "storage/tuple.h"
+
+namespace dd {
+
+bool Tuple::operator<(const Tuple& other) const {
+  size_t n = values_.size() < other.values_.size() ? values_.size() : other.values_.size();
+  for (size_t i = 0; i < n; ++i) {
+    if (values_[i] < other.values_[i]) return true;
+    if (other.values_[i] < values_[i]) return false;
+  }
+  return values_.size() < other.values_.size();
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dd

@@ -1,0 +1,50 @@
+#ifndef DEEPDIVE_STORAGE_TUPLE_H_
+#define DEEPDIVE_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+#include "util/hash.h"
+
+namespace dd {
+
+/// A row: an ordered list of Values. Tuples are value types with deep
+/// equality/hash so they can key hash indexes and DRed derivation counts.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  bool operator<(const Tuple& other) const;
+
+  uint64_t Hash() const {
+    uint64_t h = 0x51ed270b;
+    for (const Value& v : values_) h = HashCombine(h, v.Hash());
+    return h;
+  }
+
+  /// "(v1, v2, ...)" rendering.
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// Hash functor for unordered containers keyed by Tuple.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return static_cast<size_t>(t.Hash()); }
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_TUPLE_H_

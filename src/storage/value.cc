@@ -1,0 +1,72 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+namespace dd {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+bool Value::operator<(const Value& other) const {
+  if (data_.index() != other.data_.index()) return data_.index() < other.data_.index();
+  switch (type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kBool: return AsBool() < other.AsBool();
+    case ValueType::kInt: return AsInt() < other.AsInt();
+    case ValueType::kDouble: return AsDouble() < other.AsDouble();
+    case ValueType::kString: return AsString() < other.AsString();
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kBool:
+      return AsBool() ? 0xb492b66fbe98f273ULL : 0x9ddfea08eb382d69ULL;
+    case ValueType::kInt: {
+      uint64_t x = static_cast<uint64_t>(AsInt());
+      x *= 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 29;
+      return x;
+    }
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      bits *= 0xc2b2ae3d27d4eb4fULL;
+      bits ^= bits >> 31;
+      return bits;
+    }
+    case ValueType::kString:
+      return Fnv1a(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return AsBool() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString: return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+}  // namespace dd

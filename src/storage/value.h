@@ -1,0 +1,62 @@
+#ifndef DEEPDIVE_STORAGE_VALUE_H_
+#define DEEPDIVE_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/hash.h"
+
+namespace dd {
+
+/// Column types supported by the relational substrate. This is the minimal
+/// set the DeepDive pipeline needs: ids and offsets (kInt), probabilities
+/// and measurements (kDouble), text (kString), and supervision labels
+/// (kBool, with kNull meaning "unlabeled").
+enum class ValueType { kNull = 0, kBool, kInt, kDouble, kString };
+
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed cell. Values are immutable once constructed and
+/// cheap to move; strings are the only heap-owning alternative.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Data(b)); }
+  static Value Int(int64_t i) { return Value(Data(i)); }
+  static Value Double(double d) { return Value(Data(d)); }
+  static Value String(std::string s) { return Value(Data(std::move(s))); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; the caller must have checked type() first.
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  /// Total order: first by type index, then by payload. Used by sort-based
+  /// operators and deterministic output ordering.
+  bool operator<(const Value& other) const;
+
+  uint64_t Hash() const;
+
+  /// Render for debugging and golden tests: NULL, true, 42, 3.5, "text".
+  std::string ToString() const;
+
+ private:
+  using Data = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Data data) : data_(std::move(data)) {}
+
+  Data data_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_VALUE_H_

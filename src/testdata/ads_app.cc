@@ -1,0 +1,120 @@
+#include "testdata/ads_app.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string AdsDdlog() {
+  return R"(
+    # Candidates from the extractor: every number that might be a price,
+    # every token that might be a city, the contact handle.
+    PriceCandidate(ad: text, price: int, f: text).
+    CityCandidate(ad: text, city: text).
+    Contact(ad: text, handle: text).
+
+    # Query relation: is this candidate the ad's hourly price?
+    AdPrice?(ad: text, price: int).
+    AdPrice_Ev(ad: text, price: int, label: bool).
+
+    AdPrice(ad, price) :- PriceCandidate(ad, price, f).
+    AdPrice(ad, price) :- PriceCandidate(ad, price, f) weight = identity(f).
+
+    # Distant supervision: the strict "$ N ... hour" pattern is reliable
+    # enough to label true; implausible prices are labeled false.
+    AdPrice_Ev(ad, price, true) :- PriceCandidate(ad, price, "pattern=dollar_hour").
+    AdPrice_Ev(ad, price, false) :- PriceCandidate(ad, price, f), price < 20.
+    AdPrice_Ev(ad, price, false) :- PriceCandidate(ad, price, f), price > 2000.
+  )";
+}
+
+namespace {
+
+int64_t ParseNumber(const std::string& text) {
+  std::string digits;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') digits += c;
+  }
+  if (digits.empty() || digits.size() > 9) return -1;
+  return std::strtoll(digits.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Extractor MakeAdsExtractor() {
+  return [](const Document& doc, TupleEmitter* emitter) -> Status {
+    static const std::set<std::string> kCityNames = {
+        "Dallas",  "Houston", "Phoenix", "Seattle", "Denver",
+        "Atlanta", "Miami",   "Chicago", "Boston",  "Portland"};
+    for (const Sentence& sentence : doc.sentences) {
+      const auto& tokens = sentence.tokens;
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        const std::string& text = tokens[i].text;
+        // Contact handles: 555-1234 style.
+        if (text.size() >= 8 && text.rfind("555-", 0) == 0) {
+          emitter->Emit("Contact",
+                        Tuple({Value::String(doc.id), Value::String(text)}));
+          continue;
+        }
+        if (kCityNames.count(text) > 0) {
+          emitter->Emit("CityCandidate",
+                        Tuple({Value::String(doc.id), Value::String(text)}));
+          continue;
+        }
+        // Price candidates: any number — high recall, low precision (§3).
+        int64_t number = ParseNumber(text);
+        if (number <= 0 || tokens[i].pos != "CD") continue;
+        auto emit = [&](const std::string& feature) {
+          emitter->Emit("PriceCandidate",
+                        Tuple({Value::String(doc.id), Value::Int(number),
+                               Value::String(feature)}));
+        };
+        bool dollar_left = i > 0 && tokens[i - 1].text == "$";
+        std::string right1 =
+            i + 1 < tokens.size() ? ToLower(tokens[i + 1].text) : "";
+        std::string right2 =
+            i + 2 < tokens.size() ? ToLower(tokens[i + 2].text) : "";
+        if (dollar_left) emit("left=$");
+        if (!right1.empty()) emit("right1=" + right1);
+        bool hourly = right1 == "roses" || right1 == "dollars" ||
+                      right2 == "hour" || right1 == "hr" || right1 == "hh";
+        if (dollar_left && (right2 == "hour" || right1 == "hr")) {
+          emit("pattern=dollar_hour");
+        }
+        if (hourly) emit("unit=hourly");
+      }
+    }
+    return Status::OK();
+  };
+}
+
+Result<std::unique_ptr<DeepDivePipeline>> MakeAdsPipeline(
+    const AdsCorpus& corpus, const PipelineOptions& pipeline_options) {
+  auto pipeline = std::make_unique<DeepDivePipeline>(pipeline_options);
+  DD_RETURN_IF_ERROR(pipeline->LoadProgram(AdsDdlog()));
+  pipeline->RegisterExtractor(MakeAdsExtractor());
+  for (const Ad& ad : corpus.ads) {
+    DD_RETURN_IF_ERROR(pipeline->AddDocument(ad.id, ad.text));
+  }
+  return pipeline;
+}
+
+std::map<std::string, int64_t> BestPricePerAd(const DeepDivePipeline& pipeline,
+                                              double threshold) {
+  std::map<std::string, int64_t> best;
+  std::map<std::string, double> best_prob;
+  auto marginals = pipeline.Marginals("AdPrice");
+  if (!marginals.ok()) return best;
+  for (const auto& [tuple, prob] : *marginals) {
+    const std::string& ad = tuple.at(0).AsString();
+    if (prob >= threshold && prob > best_prob[ad]) {
+      best[ad] = tuple.at(1).AsInt();
+      best_prob[ad] = prob;
+    }
+  }
+  return best;
+}
+
+}  // namespace dd

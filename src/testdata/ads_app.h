@@ -1,0 +1,31 @@
+#ifndef DEEPDIVE_TESTDATA_ADS_APP_H_
+#define DEEPDIVE_TESTDATA_ADS_APP_H_
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "testdata/corpus_ads.h"
+
+namespace dd {
+
+/// The human-trafficking application of §6.4 as a reusable component:
+/// structure classified ads into (handle, price, city). Price candidates
+/// are every number in the ad (high recall); distant supervision labels
+/// the strict "$ N per hour" pattern true and implausible prices false.
+std::string AdsDdlog();
+
+Extractor MakeAdsExtractor();
+
+/// Fully wired pipeline over the corpus, ready to Run().
+Result<std::unique_ptr<DeepDivePipeline>> MakeAdsPipeline(
+    const AdsCorpus& corpus, const PipelineOptions& pipeline_options);
+
+/// Highest-probability extracted price per ad (>= threshold), keyed by
+/// ad id.
+std::map<std::string, int64_t> BestPricePerAd(const DeepDivePipeline& pipeline,
+                                              double threshold);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_ADS_APP_H_

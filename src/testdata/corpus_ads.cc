@@ -1,0 +1,99 @@
+#include "testdata/corpus_ads.h"
+
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+const char* kCities[] = {"Dallas",  "Houston", "Phoenix", "Seattle", "Denver",
+                         "Atlanta", "Miami",   "Chicago", "Boston",  "Portland"};
+
+const char* kOpeners[] = {
+    "Sweet girl new in town",
+    "Upscale companion available tonight",
+    "100 percent real pics no games",
+    "Visiting this week only dont miss out",
+    "Sexy and classy your dream date",
+    "New to the area available now",
+};
+
+const char* kPriceForms[] = {
+    "$ %lld per hour",
+    "%lld roses for an hour",
+    "special %lld dollars hh",
+    "$ %lld hr incall",
+};
+
+const char* kClosers[] = {
+    "call me at %s",
+    "text %s anytime",
+    "serious gentlemen only %s",
+    "no blocked numbers %s",
+};
+
+}  // namespace
+
+AdsCorpus GenerateAdsCorpus(const AdsCorpusOptions& options) {
+  Rng rng(options.seed);
+  AdsCorpus corpus;
+  const size_t ncities = sizeof(kCities) / sizeof(kCities[0]);
+  for (size_t c = 0; c < ncities; ++c) corpus.cities.push_back(kCities[c]);
+
+  struct Worker {
+    std::string handle;
+    int64_t base_price;
+    std::vector<std::string> cities;
+    bool multi_city;
+  };
+  std::vector<Worker> workers;
+  std::set<std::string> seen_handles;
+  for (int w = 0; w < options.num_workers; ++w) {
+    Worker worker;
+    do {
+      worker.handle = StrFormat("555-%04d", static_cast<int>(rng.NextBounded(10000)));
+    } while (!seen_handles.insert(worker.handle).second);
+    bool low_price = rng.NextDouble() < options.low_price_fraction;
+    worker.base_price = low_price ? 40 + static_cast<int64_t>(rng.NextBounded(4)) * 10
+                                  : 150 + static_cast<int64_t>(rng.NextBounded(20)) * 10;
+    worker.multi_city = rng.NextDouble() < options.multi_city_fraction;
+    size_t home = rng.NextBounded(ncities);
+    worker.cities.push_back(kCities[home]);
+    if (worker.multi_city) {
+      for (int extra = 0; extra < 3; ++extra) {
+        worker.cities.push_back(kCities[rng.NextBounded(ncities)]);
+      }
+      corpus.multi_city_workers.push_back(worker.handle);
+    }
+    workers.push_back(std::move(worker));
+  }
+
+  for (int a = 0; a < options.num_ads; ++a) {
+    const Worker& worker = workers[rng.NextBounded(workers.size())];
+    Ad ad;
+    ad.id = StrFormat("ad%05d", a);
+    ad.worker = worker.handle;
+    ad.price = worker.base_price + static_cast<int64_t>(rng.NextBounded(3)) * 10 - 10;
+    if (ad.price < 30) ad.price = 30;
+    ad.city = worker.cities[rng.NextBounded(worker.cities.size())];
+
+    std::string text = kOpeners[rng.NextBounded(sizeof(kOpeners) / sizeof(char*))];
+    text += ". ";
+    text += StrFormat(kPriceForms[rng.NextBounded(sizeof(kPriceForms) / sizeof(char*))],
+                      static_cast<long long>(ad.price));
+    text += ". ";
+    text += ad.city;
+    text += " area. ";
+    text += StrFormat(kClosers[rng.NextBounded(sizeof(kClosers) / sizeof(char*))],
+                      ad.worker.c_str());
+    text += ".";
+    ad.text = std::move(text);
+    corpus.ads.push_back(std::move(ad));
+  }
+  return corpus;
+}
+
+}  // namespace dd

@@ -1,0 +1,43 @@
+#ifndef DEEPDIVE_TESTDATA_CORPUS_ADS_H_
+#define DEEPDIVE_TESTDATA_CORPUS_ADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dd {
+
+/// Synthetic Craigslist-style classified ads modeled on the human-
+/// trafficking application (§6.4): short, non-standard English, a price,
+/// a location, a contact handle. Some "workers" post from multiple
+/// cities in rapid succession — the trafficking warning sign the paper
+/// describes — and the generator plants that ground truth.
+struct AdsCorpusOptions {
+  int num_workers = 30;
+  int num_ads = 200;
+  double multi_city_fraction = 0.2;  ///< workers that post across cities
+  double low_price_fraction = 0.15;  ///< workers with anomalously low prices
+  uint64_t seed = 99;
+};
+
+struct Ad {
+  std::string id;
+  std::string text;
+  // Planted truth:
+  std::string worker;  ///< contact handle (phone-like)
+  int64_t price = 0;   ///< dollars per hour
+  std::string city;
+};
+
+struct AdsCorpus {
+  std::vector<Ad> ads;
+  std::vector<std::string> cities;
+  /// Workers flagged as multi-city posters (trafficking warning sign).
+  std::vector<std::string> multi_city_workers;
+};
+
+AdsCorpus GenerateAdsCorpus(const AdsCorpusOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_CORPUS_ADS_H_

@@ -1,0 +1,121 @@
+#include "testdata/corpus_genomics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+const char* kGeneStems[] = {"BRCA", "TP",  "EGFR", "KRAS", "MYC",  "PTEN", "RB",
+                            "APC",  "VHL", "MLH",  "MSH",  "ATM",  "CFTR", "DMD",
+                            "FBN",  "HTT", "LMNA", "NF",   "PKD",  "SMN"};
+
+const char* kPhenotypeAdjectives[] = {"hereditary", "congenital", "progressive",
+                                      "juvenile",   "familial",   "idiopathic",
+                                      "chronic",    "acute"};
+const char* kPhenotypeNouns[] = {"anemia",        "cardiomyopathy", "neuropathy",
+                                 "retinopathy",   "dystrophy",      "ataxia",
+                                 "nephropathy",   "myopathy",       "deafness",
+                                 "blindness",     "epilepsy",       "dementia"};
+
+const char* kPositiveTemplates[] = {
+    "Mutations in %s cause %s in affected families.",
+    "%s is associated with %s according to our cohort study.",
+    "We found that %s variants lead to %s.",
+    "Loss of %s function results in %s.",
+    "Patients carrying %s mutations exhibited %s.",
+};
+
+const char* kNegativeTemplates[] = {
+    "%s was sequenced in patients screened for %s but showed no association.",
+    "Expression of %s was unchanged in %s cases.",
+    "%s lies outside the locus linked to %s.",
+    "No variants of %s were enriched among %s probands.",
+};
+
+const char* kFillerTemplates[] = {
+    "The study enrolled 120 participants across three centers.",
+    "Sequencing was performed on the HiSeq platform.",
+    "Statistical analysis used a Bonferroni correction.",
+    "Informed consent was obtained from all subjects.",
+};
+
+}  // namespace
+
+GenomicsCorpus GenerateGenomicsCorpus(const GenomicsCorpusOptions& options) {
+  Rng rng(options.seed);
+  GenomicsCorpus corpus;
+
+  std::set<std::string> used;
+  const size_t nstem = sizeof(kGeneStems) / sizeof(kGeneStems[0]);
+  while (corpus.genes.size() < static_cast<size_t>(options.num_genes)) {
+    std::string gene = StrFormat("%s%d", kGeneStems[rng.NextBounded(nstem)],
+                                 static_cast<int>(rng.NextBounded(9)) + 1);
+    if (used.insert(gene).second) corpus.genes.push_back(gene);
+    if (used.size() >= nstem * 9) break;
+  }
+  const size_t nadj = sizeof(kPhenotypeAdjectives) / sizeof(kPhenotypeAdjectives[0]);
+  const size_t nnoun = sizeof(kPhenotypeNouns) / sizeof(kPhenotypeNouns[0]);
+  used.clear();
+  while (corpus.phenotypes.size() < static_cast<size_t>(options.num_phenotypes)) {
+    std::string phen = std::string(kPhenotypeAdjectives[rng.NextBounded(nadj)]) + " " +
+                       kPhenotypeNouns[rng.NextBounded(nnoun)];
+    if (used.insert(phen).second) corpus.phenotypes.push_back(phen);
+    if (used.size() >= nadj * nnoun) break;
+  }
+
+  std::set<std::pair<std::string, std::string>> truth_set;
+  while (truth_set.size() < static_cast<size_t>(options.num_true_associations) &&
+         truth_set.size() < corpus.genes.size() * corpus.phenotypes.size()) {
+    truth_set.emplace(corpus.genes[rng.NextBounded(corpus.genes.size())],
+                      corpus.phenotypes[rng.NextBounded(corpus.phenotypes.size())]);
+  }
+  corpus.association_truth.assign(truth_set.begin(), truth_set.end());
+  for (const auto& pair : corpus.association_truth) {
+    if (rng.NextDouble() < options.kb_coverage) corpus.kb_associations.push_back(pair);
+  }
+
+  for (int d = 0; d < options.num_abstracts; ++d) {
+    std::string text;
+    for (int s = 0; s < options.sentences_per_abstract; ++s) {
+      double dice = rng.NextDouble();
+      std::string sentence;
+      if (dice < 0.35 && !corpus.association_truth.empty()) {
+        const auto& pair = corpus.association_truth[rng.NextBounded(
+            corpus.association_truth.size())];
+        sentence = StrFormat(
+            kPositiveTemplates[rng.NextBounded(sizeof(kPositiveTemplates) /
+                                               sizeof(kPositiveTemplates[0]))],
+            pair.first.c_str(), pair.second.c_str());
+      } else if (dice < 0.7) {
+        // Negative pair: not in the truth.
+        for (int attempt = 0; attempt < 10; ++attempt) {
+          std::string g = corpus.genes[rng.NextBounded(corpus.genes.size())];
+          std::string p =
+              corpus.phenotypes[rng.NextBounded(corpus.phenotypes.size())];
+          if (truth_set.count({g, p}) == 0) {
+            sentence = StrFormat(
+                kNegativeTemplates[rng.NextBounded(sizeof(kNegativeTemplates) /
+                                                   sizeof(kNegativeTemplates[0]))],
+                g.c_str(), p.c_str());
+            break;
+          }
+        }
+        if (sentence.empty()) continue;
+      } else {
+        sentence = kFillerTemplates[rng.NextBounded(sizeof(kFillerTemplates) /
+                                                    sizeof(kFillerTemplates[0]))];
+      }
+      text += sentence;
+      text += ' ';
+    }
+    corpus.documents.emplace_back(StrFormat("pmid%05d", 10000 + d), std::move(text));
+  }
+  return corpus;
+}
+
+}  // namespace dd

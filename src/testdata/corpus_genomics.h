@@ -1,0 +1,40 @@
+#ifndef DEEPDIVE_TESTDATA_CORPUS_GENOMICS_H_
+#define DEEPDIVE_TESTDATA_CORPUS_GENOMICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dd {
+
+/// Synthetic medical-genetics literature (§6.1): abstracts mentioning
+/// gene-phenotype associations, with a planted truth set and a partial
+/// OMIM-like curated database for distant supervision. Gene symbols and
+/// phenotype phrases come from fixed dictionaries so the gazetteer NER
+/// exercises the same code path a real deployment would.
+struct GenomicsCorpusOptions {
+  int num_genes = 40;
+  int num_phenotypes = 25;
+  int num_true_associations = 30;
+  int num_abstracts = 100;
+  int sentences_per_abstract = 4;
+  double kb_coverage = 0.4;  ///< fraction of true associations in the KB
+  uint64_t seed = 7;
+};
+
+struct GenomicsCorpus {
+  std::vector<std::pair<std::string, std::string>> documents;  ///< (id, text)
+  std::vector<std::string> genes;
+  std::vector<std::string> phenotypes;
+  /// Complete truth: (gene, phenotype) associations.
+  std::vector<std::pair<std::string, std::string>> association_truth;
+  /// The incomplete curated KB (OMIM stand-in).
+  std::vector<std::pair<std::string, std::string>> kb_associations;
+};
+
+GenomicsCorpus GenerateGenomicsCorpus(const GenomicsCorpusOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_CORPUS_GENOMICS_H_

@@ -1,0 +1,171 @@
+#include "testdata/corpus_spouse.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+const char* kFirstNames[] = {
+    "Barack", "Michelle", "George",  "Laura",  "Bill",    "Hillary", "James",
+    "Sarah",  "Robert",   "Emily",   "David",  "Anna",    "Thomas",  "Maria",
+    "Daniel", "Sofia",    "Henry",   "Grace",  "Samuel",  "Alice",   "Victor",
+    "Elena",  "Walter",   "Nina",    "Oscar",  "Julia",   "Peter",   "Clara",
+    "Frank",  "Diana",    "Arthur",  "Rosa",   "Martin",  "Irene",   "Leon",
+    "Vera",   "Hugo",     "Martha",  "Felix",  "Edith"};
+const char* kLastNames[] = {
+    "Obama",   "Smith",   "Johnson",  "Chen",    "Garcia",  "Kim",    "Patel",
+    "Mueller", "Rossi",   "Tanaka",   "Novak",   "Silva",   "Dubois", "Larsen",
+    "Petrov",  "Okafor",  "Haddad",   "Svensson", "Moreau",  "Ricci",  "Weber",
+    "Castillo", "Yamamoto", "Kowalski", "Andersen", "Popescu", "Fischer",
+    "Romano",  "Vargas",  "Nakamura"};
+
+/// Positive (spouse-indicating) sentence templates; %1 and %2 are names.
+const char* kPositiveTemplates[] = {
+    "%s and his wife %s attended the state dinner.",
+    "%s married %s in a small ceremony.",
+    "%s and %s celebrated their wedding anniversary.",
+    "%s , who wed %s years ago , smiled at the crowd.",
+    "The couple %s and %s bought a house together.",
+    "%s and her husband %s hosted the gala.",
+};
+
+/// Negative templates mentioning two people without a marriage relation.
+const char* kNegativeTemplates[] = {
+    "%s met %s at the annual conference.",
+    "%s debated %s on live television.",
+    "%s and %s are siblings who grew up in Ohio.",
+    "%s criticized %s during the hearing.",
+    "%s interviewed %s about the new book.",
+    "%s succeeded %s as chief executive.",
+    "%s and his colleague %s published a report.",
+};
+
+/// Filler sentences with no person pair.
+const char* kFillerSentences[] = {
+    "The committee approved the budget after a long debate.",
+    "Markets rallied on news of the trade agreement.",
+    "The museum reopened after extensive renovations.",
+    "Heavy rain delayed the championship game.",
+    "The city council voted to expand the park.",
+};
+
+/// Apply OCR-style corruption: swap two characters and drop one space.
+std::string Corrupt(const std::string& text, Rng* rng) {
+  std::string out = text;
+  if (out.size() > 4) {
+    size_t i = 1 + rng->NextBounded(out.size() - 3);
+    std::swap(out[i], out[i + 1]);
+  }
+  size_t space = out.find(' ', out.size() / 2);
+  if (space != std::string::npos) out.erase(space, 1);
+  return out;
+}
+
+}  // namespace
+
+SpouseCorpus GenerateSpouseCorpus(const SpouseCorpusOptions& options) {
+  Rng rng(options.seed);
+  SpouseCorpus corpus;
+
+  // Unique person names: first + last, no repeats.
+  std::set<std::string> used;
+  const size_t nf = sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+  const size_t nl = sizeof(kLastNames) / sizeof(kLastNames[0]);
+  while (corpus.persons.size() < static_cast<size_t>(options.num_persons) &&
+         used.size() < nf * nl) {
+    std::string name = std::string(kFirstNames[rng.NextBounded(nf)]) + " " +
+                       kLastNames[rng.NextBounded(nl)];
+    if (used.insert(name).second) corpus.persons.push_back(name);
+  }
+
+  auto ordered = [](std::string a, std::string b) {
+    if (b < a) std::swap(a, b);
+    return std::make_pair(std::move(a), std::move(b));
+  };
+
+  // Disjoint married and sibling pairs.
+  std::vector<size_t> shuffled(corpus.persons.size());
+  for (size_t i = 0; i < shuffled.size(); ++i) shuffled[i] = i;
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.NextBounded(i)]);
+  }
+  size_t cursor = 0;
+  for (int p = 0; p < options.num_married_pairs && cursor + 1 < shuffled.size();
+       ++p, cursor += 2) {
+    corpus.married_truth.push_back(ordered(corpus.persons[shuffled[cursor]],
+                                           corpus.persons[shuffled[cursor + 1]]));
+  }
+  for (int p = 0; p < options.num_sibling_pairs && cursor + 1 < shuffled.size();
+       ++p, cursor += 2) {
+    corpus.kb_siblings.push_back(ordered(corpus.persons[shuffled[cursor]],
+                                         corpus.persons[shuffled[cursor + 1]]));
+  }
+
+  // The distant-supervision KB covers only part of the truth.
+  for (const auto& pair : corpus.married_truth) {
+    if (rng.NextDouble() < options.kb_coverage) corpus.kb_married.push_back(pair);
+  }
+
+  // Documents: each sentence is positive (about a married pair), negative
+  // (about a sibling/random pair), or filler.
+  for (int d = 0; d < options.num_documents; ++d) {
+    std::string text;
+    for (int s = 0; s < options.sentences_per_doc; ++s) {
+      double dice = rng.NextDouble();
+      std::string sentence;
+      if (dice < 0.35 && !corpus.married_truth.empty()) {
+        const auto& pair = corpus.married_truth[rng.NextBounded(
+            corpus.married_truth.size())];
+        const char* tmpl =
+            kPositiveTemplates[rng.NextBounded(sizeof(kPositiveTemplates) /
+                                               sizeof(kPositiveTemplates[0]))];
+        bool flip = rng.NextBernoulli(0.5);
+        sentence = StrFormat(tmpl, (flip ? pair.second : pair.first).c_str(),
+                             (flip ? pair.first : pair.second).c_str());
+      } else if (dice < 0.7) {
+        // Negative pair: siblings or a random non-married pair.
+        std::pair<std::string, std::string> pair;
+        if (!corpus.kb_siblings.empty() && rng.NextBernoulli(0.4)) {
+          pair = corpus.kb_siblings[rng.NextBounded(corpus.kb_siblings.size())];
+        } else {
+          // Random pair that is not married.
+          for (int attempt = 0; attempt < 10; ++attempt) {
+            std::string a = corpus.persons[rng.NextBounded(corpus.persons.size())];
+            std::string b = corpus.persons[rng.NextBounded(corpus.persons.size())];
+            if (a == b) continue;
+            auto candidate = ordered(a, b);
+            if (std::find(corpus.married_truth.begin(), corpus.married_truth.end(),
+                          candidate) == corpus.married_truth.end()) {
+              pair = candidate;
+              break;
+            }
+          }
+          if (pair.first.empty()) continue;
+        }
+        const char* tmpl =
+            kNegativeTemplates[rng.NextBounded(sizeof(kNegativeTemplates) /
+                                               sizeof(kNegativeTemplates[0]))];
+        bool flip = rng.NextBernoulli(0.5);
+        sentence = StrFormat(tmpl, (flip ? pair.second : pair.first).c_str(),
+                             (flip ? pair.first : pair.second).c_str());
+      } else {
+        sentence = kFillerSentences[rng.NextBounded(sizeof(kFillerSentences) /
+                                                    sizeof(kFillerSentences[0]))];
+      }
+      if (options.corruption > 0 && rng.NextBernoulli(options.corruption)) {
+        sentence = Corrupt(sentence, &rng);
+      }
+      text += sentence;
+      text += ' ';
+    }
+    corpus.documents.emplace_back(StrFormat("doc%04d", d), std::move(text));
+  }
+  return corpus;
+}
+
+}  // namespace dd

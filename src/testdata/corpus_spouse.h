@@ -1,0 +1,47 @@
+#ifndef DEEPDIVE_TESTDATA_CORPUS_SPOUSE_H_
+#define DEEPDIVE_TESTDATA_CORPUS_SPOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dd {
+
+/// Knobs for the synthetic spouse (TAC-KBP-style) news corpus. The
+/// corpus plants a complete ground truth — which the paper could only
+/// approximate with human annotation — while reproducing the error
+/// structure §5 describes: distractor relations (siblings, colleagues),
+/// ambiguous phrasing, OCR-style corruption, and a *partial* KB for
+/// distant supervision (Example 3.3's incomplete Married list).
+struct SpouseCorpusOptions {
+  int num_persons = 60;
+  int num_married_pairs = 20;
+  int num_sibling_pairs = 10;
+  int num_documents = 80;
+  int sentences_per_doc = 4;
+  double kb_coverage = 0.5;   ///< fraction of married pairs the KB knows
+  double corruption = 0.0;    ///< per-sentence OCR-noise probability
+  uint64_t seed = 42;
+};
+
+struct SpouseCorpus {
+  /// (document id, raw text).
+  std::vector<std::pair<std::string, std::string>> documents;
+  /// Complete planted truth: married pairs by canonical name, ordered
+  /// (first < second lexicographically).
+  std::vector<std::pair<std::string, std::string>> married_truth;
+  /// The incomplete KB for distant supervision (subset of the truth).
+  std::vector<std::pair<std::string, std::string>> kb_married;
+  /// Sibling pairs — the "largely disjoint relation" used to generate
+  /// negative labels (§3.2).
+  std::vector<std::pair<std::string, std::string>> kb_siblings;
+  /// All person names (the entity-linking dictionary).
+  std::vector<std::string> persons;
+};
+
+SpouseCorpus GenerateSpouseCorpus(const SpouseCorpusOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_CORPUS_SPOUSE_H_

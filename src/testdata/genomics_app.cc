@@ -1,0 +1,99 @@
+#include "testdata/genomics_app.h"
+
+#include "core/features.h"
+#include "nlp/ner.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string GenomicsDdlog(const GenomicsAppOptions& options) {
+  std::string program = R"(
+    GenePhenMention(doc: text, s: int, g: text, p: text).
+    GpFeature(doc: text, s: int, g: text, p: text, f: text).
+    KbAssociation(g: text, p: text).
+
+    # Mention-level: does this sentence assert gene g causes/regulates p?
+    AssocMention?(doc: text, s: int, g: text, p: text).
+    AssocMention_Ev(doc: text, s: int, g: text, p: text, label: bool).
+
+    # Entity-level aspirational relation (the clinician's database, §6.1).
+    Association?(g: text, p: text).
+
+    AssocMention(doc, s, g, p) :- GenePhenMention(doc, s, g, p).
+    AssocMention(doc, s, g, p) :-
+        GenePhenMention(doc, s, g, p), GpFeature(doc, s, g, p, f)
+        weight = identity(f).
+    AssocMention_Ev(doc, s, g, p, true) :-
+        GenePhenMention(doc, s, g, p), KbAssociation(g, p).
+  )";
+  if (options.use_closure_negatives) {
+    program += R"(
+    AssocMention_Ev(doc, s, g, p, false) :-
+        GenePhenMention(doc, s, g, p), KbAssociation(g, other), other != p.
+    )";
+  }
+  program += StrFormat(R"(
+    Association(g, p) :- GenePhenMention(doc, s, g, p).
+    Association(g, p) :- GenePhenMention(doc, s, g, p) weight = %.2f.
+    AssocMention(doc, s, g, p) => Association(g, p) :-
+        GenePhenMention(doc, s, g, p) weight = %.2f.
+  )",
+                       options.entity_prior, options.mention_implies);
+  return program;
+}
+
+Extractor MakeGenomicsExtractor(const GenomicsCorpus& corpus) {
+  auto gazetteer = std::make_shared<Gazetteer>();
+  for (const std::string& gene : corpus.genes) gazetteer->Add(gene, "GENE");
+  for (const std::string& phen : corpus.phenotypes) {
+    gazetteer->Add(phen, "PHENOTYPE");
+  }
+  return [gazetteer](const Document& doc, TupleEmitter* emitter) -> Status {
+    for (const Sentence& sentence : doc.sentences) {
+      auto mentions = gazetteer->FindMentions(sentence);
+      for (const Mention& gene : mentions) {
+        if (gene.type != "GENE") continue;
+        for (const Mention& phen : mentions) {
+          if (phen.type != "PHENOTYPE") continue;
+          Tuple key({Value::String(doc.id), Value::Int(sentence.index),
+                     Value::String(gene.text), Value::String(phen.text)});
+          emitter->Emit("GenePhenMention", key);
+          for (const std::string& f :
+               RelationFeatureTemplates(sentence, gene, phen)) {
+            Tuple feat = key;
+            feat.Append(Value::String(f));
+            emitter->Emit("GpFeature", std::move(feat));
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+}
+
+std::unordered_set<Tuple, TupleHash> GenomicsTruthTuples(
+    const GenomicsCorpus& corpus) {
+  std::unordered_set<Tuple, TupleHash> truth;
+  for (const auto& [g, p] : corpus.association_truth) {
+    truth.insert(Tuple({Value::String(g), Value::String(p)}));
+  }
+  return truth;
+}
+
+Result<std::unique_ptr<DeepDivePipeline>> MakeGenomicsPipeline(
+    const GenomicsCorpus& corpus, const GenomicsAppOptions& app_options,
+    const PipelineOptions& pipeline_options) {
+  auto pipeline = std::make_unique<DeepDivePipeline>(pipeline_options);
+  DD_RETURN_IF_ERROR(pipeline->LoadProgram(GenomicsDdlog(app_options)));
+  pipeline->RegisterExtractor(MakeGenomicsExtractor(corpus));
+  for (const auto& [g, p] : corpus.kb_associations) {
+    pipeline->QueueDelta("KbAssociation",
+                         Tuple({Value::String(g), Value::String(p)}), 1);
+  }
+  for (const auto& [id, text] : corpus.documents) {
+    DD_RETURN_IF_ERROR(pipeline->AddDocument(id, text));
+  }
+  return pipeline;
+}
+
+}  // namespace dd

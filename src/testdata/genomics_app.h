@@ -1,0 +1,40 @@
+#ifndef DEEPDIVE_TESTDATA_GENOMICS_APP_H_
+#define DEEPDIVE_TESTDATA_GENOMICS_APP_H_
+
+#include <memory>
+#include <unordered_set>
+
+#include "core/pipeline.h"
+#include "testdata/corpus_genomics.h"
+
+namespace dd {
+
+/// The medical-genetics application of §6.1 as a reusable library
+/// component: gazetteer NER over gene/phenotype dictionaries, mention-
+/// level AssocMention with distant supervision from the incomplete
+/// OMIM-like KB, entity-level Association aggregated through imply
+/// factors.
+struct GenomicsAppOptions {
+  double entity_prior = -2.0;     ///< fixed weight on entity pairs
+  double mention_implies = 3.0;   ///< mention -> entity imply weight
+  bool use_closure_negatives = true;
+};
+
+/// The application's DDlog program.
+std::string GenomicsDdlog(const GenomicsAppOptions& options);
+
+/// Candidate + feature extractor bound to the corpus dictionaries.
+Extractor MakeGenomicsExtractor(const GenomicsCorpus& corpus);
+
+/// Ground-truth tuples of the Association relation.
+std::unordered_set<Tuple, TupleHash> GenomicsTruthTuples(
+    const GenomicsCorpus& corpus);
+
+/// Fully wired pipeline over the corpus, ready to Run().
+Result<std::unique_ptr<DeepDivePipeline>> MakeGenomicsPipeline(
+    const GenomicsCorpus& corpus, const GenomicsAppOptions& app_options,
+    const PipelineOptions& pipeline_options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_GENOMICS_APP_H_

@@ -1,0 +1,176 @@
+#include "testdata/spouse_app.h"
+
+#include <algorithm>
+
+#include "core/features.h"
+#include "nlp/ner.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string SpouseDdlog(const SpouseAppOptions& options) {
+  std::string program = R"(
+    # Base relations written by the extractor.
+    MentionPair(doc: text, s: int, m1: int, m2: int, n1: text, n2: text).
+    PairFeature(doc: text, s: int, m1: int, m2: int, f: text).
+    # Distant-supervision KBs.
+    KbMarried(e1: text, e2: text).
+    KbSiblings(e1: text, e2: text).
+
+    # Mention-level query relation (the paper's MarriedMentions).
+    MarriedMention?(doc: text, s: int, m1: int, m2: int).
+    MarriedMention_Ev(doc: text, s: int, m1: int, m2: int, label: bool).
+
+    # R1: candidate mapping.
+    MarriedMention(doc, s, m1, m2) :- MentionPair(doc, s, m1, m2, n1, n2).
+
+    # FE1: one tied weight per feature string (Example 3.2).
+    MarriedMention(doc, s, m1, m2) :-
+        MentionPair(doc, s, m1, m2, n1, n2),
+        PairFeature(doc, s, m1, m2, f) weight = identity(f).
+
+    # S1: distant supervision from the incomplete Married KB (Example 3.3).
+    MarriedMention_Ev(doc, s, m1, m2, true) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbMarried(n1, n2).
+  )";
+  if (options.use_sibling_negatives) {
+    program += R"(
+    # Negative supervision from the largely disjoint sibling relation.
+    MarriedMention_Ev(doc, s, m1, m2, false) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbSiblings(n1, n2).
+    )";
+  }
+  if (options.use_closure_negatives) {
+    program += R"(
+    # Negative supervision by KB closure: the KB already knows n1's (or
+    # n2's) spouse and it is somebody else.
+    MarriedMention_Ev(doc, s, m1, m2, false) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbMarried(n1, other), other != n2.
+    MarriedMention_Ev(doc, s, m1, m2, false) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbMarried(other, n2), other != n1.
+    MarriedMention_Ev(doc, s, m1, m2, false) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbMarried(n2, other), other != n1.
+    MarriedMention_Ev(doc, s, m1, m2, false) :-
+        MentionPair(doc, s, m1, m2, n1, n2), KbMarried(other, n1), other != n2.
+    )";
+  }
+  if (options.entity_level) {
+    program += R"(
+    # Entity-level aggregate: do these two PEOPLE (not mentions) appear
+    # to be married anywhere in the corpus?
+    MarriedPair?(n1: text, n2: text).
+    MarriedPair(n1, n2) :- MentionPair(doc, s, m1, m2, n1, n2).
+
+    # Entity pairs are false unless mentions push them up.
+    MarriedPair(n1, n2) :- MentionPair(doc, s, m1, m2, n1, n2) weight = -2.0.
+
+    # Each confident mention implies the entity-level fact.
+    MarriedMention(doc, s, m1, m2) => MarriedPair(n1, n2) :-
+        MentionPair(doc, s, m1, m2, n1, n2) weight = 3.0.
+    )";
+  }
+  return program;
+}
+
+Extractor MakeSpouseExtractor(const SpouseAppOptions& options) {
+  return [options](const Document& doc, TupleEmitter* emitter) -> Status {
+    for (const Sentence& sentence : doc.sentences) {
+      auto mentions = Gazetteer::FindPersonCandidates(sentence);
+      if (options.min_name_tokens > 1) {
+        // §5.2 fix: single capitalized tokens ("Ohio", "Dallas") are not
+        // person names in this domain.
+        mentions.erase(std::remove_if(mentions.begin(), mentions.end(),
+                                      [&](const Mention& m) {
+                                        return m.token_end - m.token_begin <
+                                               options.min_name_tokens;
+                                      }),
+                       mentions.end());
+      }
+      for (size_t i = 0; i < mentions.size(); ++i) {
+        for (size_t j = i + 1; j < mentions.size(); ++j) {
+          const Mention* a = &mentions[i];
+          const Mention* b = &mentions[j];
+          // Canonical order: by name so (n1, n2) matches the KB's order.
+          if (b->text < a->text) std::swap(a, b);
+          if (a->text == b->text) continue;  // same entity twice
+
+          Tuple key({Value::String(doc.id), Value::Int(sentence.index),
+                     Value::Int(a->token_begin), Value::Int(b->token_begin)});
+          Tuple pair = key;
+          pair.Append(Value::String(a->text));
+          pair.Append(Value::String(b->text));
+          emitter->Emit("MentionPair", std::move(pair));
+
+          auto emit_feature = [&](const std::string& f) {
+            Tuple feat = key;
+            feat.Append(Value::String(f));
+            emitter->Emit("PairFeature", std::move(feat));
+          };
+          if (options.use_distance_features) {
+            emit_feature(DistanceFeature(*a, *b));
+          }
+          if (options.use_bow_features) {
+            for (const auto& f : BagOfWordsBetween(sentence, *a, *b)) {
+              emit_feature(f);
+            }
+          }
+          if (options.use_phrase_features) {
+            std::string phrase = PhraseBetween(sentence, *a, *b);
+            if (!phrase.empty() && phrase.size() < 64) {
+              emit_feature("phrase=" + phrase);
+            }
+          }
+          if (options.use_pos_features) {
+            emit_feature(PosSequenceBetween(sentence, *a, *b));
+          }
+          if (options.use_window_features) {
+            for (const auto& f : WindowFeatures(sentence, *a, options.window)) {
+              emit_feature("m1_" + f);
+            }
+            for (const auto& f : WindowFeatures(sentence, *b, options.window)) {
+              emit_feature("m2_" + f);
+            }
+          }
+        }
+      }
+    }
+    return Status::OK();
+  };
+}
+
+void LoadSpouseKb(DeepDivePipeline* pipeline, const SpouseCorpus& corpus,
+                  const SpouseAppOptions& options) {
+  for (const auto& [a, b] : corpus.kb_married) {
+    pipeline->QueueDelta("KbMarried",
+                         Tuple({Value::String(a), Value::String(b)}), 1);
+  }
+  if (options.use_sibling_negatives) {
+    for (const auto& [a, b] : corpus.kb_siblings) {
+      pipeline->QueueDelta("KbSiblings",
+                           Tuple({Value::String(a), Value::String(b)}), 1);
+    }
+  }
+}
+
+std::unordered_set<Tuple, TupleHash> SpouseTruthTuples(const SpouseCorpus& corpus) {
+  std::unordered_set<Tuple, TupleHash> truth;
+  for (const auto& [a, b] : corpus.married_truth) {
+    truth.insert(Tuple({Value::String(a), Value::String(b)}));
+  }
+  return truth;
+}
+
+Result<std::unique_ptr<DeepDivePipeline>> MakeSpousePipeline(
+    const SpouseCorpus& corpus, const SpouseAppOptions& app_options,
+    const PipelineOptions& pipeline_options) {
+  auto pipeline = std::make_unique<DeepDivePipeline>(pipeline_options);
+  DD_RETURN_IF_ERROR(pipeline->LoadProgram(SpouseDdlog(app_options)));
+  pipeline->RegisterExtractor(MakeSpouseExtractor(app_options));
+  LoadSpouseKb(pipeline.get(), corpus, app_options);
+  for (const auto& [id, text] : corpus.documents) {
+    DD_RETURN_IF_ERROR(pipeline->AddDocument(id, text));
+  }
+  return pipeline;
+}
+
+}  // namespace dd

@@ -1,0 +1,62 @@
+#ifndef DEEPDIVE_TESTDATA_SPOUSE_APP_H_
+#define DEEPDIVE_TESTDATA_SPOUSE_APP_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "core/pipeline.h"
+#include "testdata/corpus_spouse.h"
+
+namespace dd {
+
+/// Feature/rule toggles for the spouse application — the knobs the
+/// scripted development loop (§5) turns one iteration at a time.
+struct SpouseAppOptions {
+  bool use_distance_features = true;
+  bool use_bow_features = true;
+  bool use_phrase_features = true;
+  bool use_pos_features = true;
+  bool use_window_features = true;
+  bool use_sibling_negatives = true;
+  /// Negative supervision from KB closure: if the KB knows n1's spouse
+  /// and it is not n2, label (n1, n2) false (Example 3.3's "largely
+  /// disjoint relations" idea applied to the KB itself).
+  bool use_closure_negatives = true;
+  /// Candidate-generation fix from the §5.2 debugging loop: require
+  /// person names to span at least this many tokens (1 = accept single
+  /// capitalized tokens like "Ohio", the classic bad-person-name bug).
+  int min_name_tokens = 2;
+  /// Include the entity-level MarriedPair relation, aggregated from
+  /// mention-level evidence through correlation (imply) factors.
+  bool entity_level = true;
+  int window = 2;
+};
+
+/// The spouse application's DDlog program (the paper's running example,
+/// §3). With entity_level, adds the MarriedPair relation plus the
+/// mention→entity imply rule.
+std::string SpouseDdlog(const SpouseAppOptions& options);
+
+/// Candidate-generation + feature-extraction UDF for the spouse app:
+/// finds person-mention pairs per sentence, emits MentionPair rows and
+/// PairFeature rows per enabled feature family.
+Extractor MakeSpouseExtractor(const SpouseAppOptions& options);
+
+/// Queue the distant-supervision KB (married + sibling pairs) into the
+/// pipeline. Call before the first Run().
+void LoadSpouseKb(DeepDivePipeline* pipeline, const SpouseCorpus& corpus,
+                  const SpouseAppOptions& options);
+
+/// Ground-truth entity pairs as tuples of the MarriedPair relation.
+std::unordered_set<Tuple, TupleHash> SpouseTruthTuples(const SpouseCorpus& corpus);
+
+/// Convenience: build a fully wired pipeline over the corpus (program
+/// loaded, extractor registered, KB queued, documents added) — ready to
+/// Run().
+Result<std::unique_ptr<DeepDivePipeline>> MakeSpousePipeline(
+    const SpouseCorpus& corpus, const SpouseAppOptions& app_options,
+    const PipelineOptions& pipeline_options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_SPOUSE_APP_H_

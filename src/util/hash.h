@@ -1,0 +1,27 @@
+#ifndef DEEPDIVE_UTIL_HASH_H_
+#define DEEPDIVE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace dd {
+
+/// FNV-1a 64-bit hash; stable across platforms so that hashed feature ids
+/// and weight-tying keys are reproducible (unlike std::hash).
+inline uint64_t Fnv1a(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combine two hashes (boost::hash_combine style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_HASH_H_

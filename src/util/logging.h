@@ -1,0 +1,49 @@
+#ifndef DEEPDIVE_UTIL_LOGGING_H_
+#define DEEPDIVE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace dd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; emits on destruction. Used via the DD_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define DD_LOG(level) \
+  ::dd::internal::LogMessage(::dd::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+/// Invariant check that survives in release builds: logs and aborts.
+#define DD_CHECK(cond)                                                  \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      DD_LOG(Error) << "Check failed: " #cond;                          \
+      ::abort();                                                        \
+    }                                                                   \
+  } while (0)
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_LOGGING_H_

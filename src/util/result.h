@@ -1,0 +1,76 @@
+#ifndef DEEPDIVE_UTIL_RESULT_H_
+#define DEEPDIVE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Either a value of type T or an error Status. The value accessors
+/// assert ok() in debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  /// Accessing the value of an error Result is a programming error;
+  /// fail loudly in every build mode instead of dereferencing nullopt.
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluate `expr` (a Result<T>); on error return its Status, otherwise
+/// move the value into `lhs`.
+#define DD_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value();
+
+#define DD_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DD_ASSIGN_OR_RETURN_NAME(a, b) DD_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define DD_ASSIGN_OR_RETURN(lhs, expr) \
+  DD_ASSIGN_OR_RETURN_IMPL(DD_ASSIGN_OR_RETURN_NAME(_dd_result_, __LINE__), lhs, expr)
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_RESULT_H_

@@ -1,0 +1,97 @@
+#ifndef DEEPDIVE_UTIL_STATUS_H_
+#define DEEPDIVE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace dd {
+
+/// Error categories used across the library. Mirrors the RocksDB/Arrow
+/// Status idiom: library code never throws; every fallible operation
+/// returns a Status (or Result<T>).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kParseError,
+  kTypeError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation), carries a message on the error path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kParseError: return "ParseError";
+      case StatusCode::kTypeError: return "TypeError";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK Status to the caller.
+#define DD_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::dd::Status _dd_status = (expr);            \
+    if (!_dd_status.ok()) return _dd_status;     \
+  } while (0)
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef DEEPDIVE_UTIL_STRING_UTIL_H_
+#define DEEPDIVE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dd {
+
+/// Split `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Split `input` on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view input);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view input);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Join the elements with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if every character is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True if the first character is an ASCII uppercase letter.
+bool IsCapitalized(std::string_view s);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_STRING_UTIL_H_

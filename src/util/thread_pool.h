@@ -1,0 +1,50 @@
+#ifndef DEEPDIVE_UTIL_THREAD_POOL_H_
+#define DEEPDIVE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dd {
+
+/// Minimal fixed-size thread pool used by the parallel samplers. Tasks are
+/// std::function<void()>; Wait() blocks until the queue drains and all
+/// workers are idle.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_THREAD_POOL_H_

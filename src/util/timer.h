@@ -1,0 +1,30 @@
+#ifndef DEEPDIVE_UTIL_TIMER_H_
+#define DEEPDIVE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dd {
+
+/// Wall-clock stopwatch used by the benchmark harnesses and the pipeline's
+/// per-phase runtime report (Figure 2).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_TIMER_H_

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "query/aggregates.h"
+
+namespace dd {
+namespace {
+
+/// claims(doctor text, amount double, city text)
+Table MakeClaims() {
+  Table t("claims", Schema({{"doctor", ValueType::kString},
+                            {"amount", ValueType::kDouble},
+                            {"city", ValueType::kString}}));
+  auto add = [&](const char* doctor, double amount, const char* city) {
+    EXPECT_TRUE(t.Insert(Tuple({Value::String(doctor), Value::Double(amount),
+                                Value::String(city)}))
+                    .ok());
+  };
+  add("Smith", 100, "Dallas");
+  add("Smith", 300, "Dallas");
+  add("Smith", 200, "Boston");
+  add("Jones", 50, "Dallas");
+  add("Jones", 150, "Boston");
+  add("Lee", 1000, "Boston");
+  return t;
+}
+
+TEST(AggregatesTest, CountStarGroupBy) {
+  Table t = MakeClaims();
+  auto rows = GroupBy(t, {"doctor"}, {{AggFunc::kCount, ""}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // Jones, Lee, Smith (sorted)
+  EXPECT_EQ((*rows)[0].at(0).AsString(), "Jones");
+  EXPECT_EQ((*rows)[0].at(1).AsInt(), 2);
+  EXPECT_EQ((*rows)[2].at(0).AsString(), "Smith");
+  EXPECT_EQ((*rows)[2].at(1).AsInt(), 3);
+}
+
+TEST(AggregatesTest, SumAvgMinMax) {
+  Table t = MakeClaims();
+  auto rows = GroupBy(t, {"city"},
+                      {{AggFunc::kSum, "amount"},
+                       {AggFunc::kAvg, "amount"},
+                       {AggFunc::kMin, "amount"},
+                       {AggFunc::kMax, "amount"}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  // Boston: 200 + 150 + 1000.
+  EXPECT_EQ((*rows)[0].at(0).AsString(), "Boston");
+  EXPECT_DOUBLE_EQ((*rows)[0].at(1).AsDouble(), 1350.0);
+  EXPECT_DOUBLE_EQ((*rows)[0].at(2).AsDouble(), 450.0);
+  EXPECT_DOUBLE_EQ((*rows)[0].at(3).AsDouble(), 150.0);
+  EXPECT_DOUBLE_EQ((*rows)[0].at(4).AsDouble(), 1000.0);
+  // Dallas: 100 + 300 + 50.
+  EXPECT_EQ((*rows)[1].at(0).AsString(), "Dallas");
+  EXPECT_DOUBLE_EQ((*rows)[1].at(1).AsDouble(), 450.0);
+}
+
+TEST(AggregatesTest, MultiColumnGroupBy) {
+  Table t = MakeClaims();
+  auto rows = GroupBy(t, {"doctor", "city"}, {{AggFunc::kCount, ""}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);  // Smith appears in 2 cities, others 1-2
+}
+
+TEST(AggregatesTest, EmptyGroupByAggregatesWholeTable) {
+  Table t = MakeClaims();
+  auto rows = GroupBy(t, {}, {{AggFunc::kSum, "amount"}});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_DOUBLE_EQ((*rows)[0].at(0).AsDouble(), 1800.0);
+}
+
+TEST(AggregatesTest, EmptyTable) {
+  Table t("empty", Schema({{"x", ValueType::kInt}}));
+  auto rows = GroupBy(t, {"x"}, {{AggFunc::kCount, ""}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(AggregatesTest, ErrorsOnBadColumns) {
+  Table t = MakeClaims();
+  EXPECT_FALSE(GroupBy(t, {"nope"}, {{AggFunc::kCount, ""}}).ok());
+  EXPECT_FALSE(GroupBy(t, {"city"}, {{AggFunc::kSum, "nope"}}).ok());
+  // SUM over a string column.
+  EXPECT_FALSE(GroupBy(t, {"city"}, {{AggFunc::kSum, "doctor"}}).ok());
+}
+
+TEST(AggregatesTest, NullsSkipped) {
+  Table t("t", Schema({{"g", ValueType::kInt}, {"x", ValueType::kDouble}}));
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int(1), Value::Double(10)})).ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int(1), Value::Null()})).ok());
+  auto rows = GroupBy(t, {"g"}, {{AggFunc::kSum, "x"}, {AggFunc::kMin, "x"}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ((*rows)[0].at(1).AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ((*rows)[0].at(2).AsDouble(), 10.0);
+}
+
+TEST(AggregatesTest, TopCountsSortedDescending) {
+  Table t = MakeClaims();
+  auto top = TopCounts(t, "doctor", 2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);  // limit applied
+  EXPECT_EQ((*top)[0].first.AsString(), "Smith");
+  EXPECT_EQ((*top)[0].second, 3);
+  EXPECT_EQ((*top)[1].second, 2);
+}
+
+TEST(AggregatesTest, IgnoresDeletedRows) {
+  Table t = MakeClaims();
+  t.Erase(Tuple({Value::String("Lee"), Value::Double(1000), Value::String("Boston")}));
+  auto rows = GroupBy(t, {}, {{AggFunc::kSum, "amount"}});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_DOUBLE_EQ((*rows)[0].at(0).AsDouble(), 800.0);
+}
+
+}  // namespace
+}  // namespace dd

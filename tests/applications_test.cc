@@ -1,0 +1,111 @@
+// End-to-end quality gates for the genomics and ads applications (the
+// spouse application is covered by pipeline_test.cc). Ensures every §6
+// application in the repository actually reaches DeepDive-grade quality
+// on its planted truth, not just the headline one.
+
+#include <gtest/gtest.h>
+
+#include "core/error_analysis.h"
+#include "testdata/ads_app.h"
+#include "testdata/genomics_app.h"
+
+namespace dd {
+namespace {
+
+PipelineOptions FastOptions() {
+  PipelineOptions options;
+  options.learn.epochs = 200;
+  options.learn.learning_rate = 0.05;
+  options.inference.full_burn_in = 100;
+  options.inference.num_samples = 400;
+  options.strategy = PipelineOptions::Strategy::kSampling;
+  return options;
+}
+
+TEST(GenomicsAppTest, EndToEndQuality) {
+  GenomicsCorpusOptions corpus_options;
+  corpus_options.num_abstracts = 200;
+  corpus_options.seed = 71;
+  GenomicsCorpus corpus = GenerateGenomicsCorpus(corpus_options);
+
+  PipelineOptions options = FastOptions();
+  options.learn.epochs = 250;
+  options.threshold = 0.8;
+  auto pipeline = MakeGenomicsPipeline(corpus, GenomicsAppOptions(), options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  auto extractions = (*pipeline)->Extractions("Association");
+  ASSERT_TRUE(extractions.ok());
+  auto metrics = Evaluate(*extractions, GenomicsTruthTuples(corpus));
+  EXPECT_GT(metrics.precision, 0.85);
+  EXPECT_GT(metrics.recall, 0.6);
+  EXPECT_GT(metrics.f1, 0.75);
+}
+
+TEST(GenomicsAppTest, ClosureNegativesMatter) {
+  GenomicsCorpusOptions corpus_options;
+  corpus_options.num_abstracts = 120;
+  corpus_options.seed = 72;
+  GenomicsCorpus corpus = GenerateGenomicsCorpus(corpus_options);
+
+  GenomicsAppOptions without;
+  without.use_closure_negatives = false;
+  PipelineOptions options = FastOptions();
+  options.threshold = 0.8;
+
+  auto with_pipeline = MakeGenomicsPipeline(corpus, GenomicsAppOptions(), options);
+  auto without_pipeline = MakeGenomicsPipeline(corpus, without, options);
+  ASSERT_TRUE(with_pipeline.ok() && without_pipeline.ok());
+  ASSERT_TRUE((*with_pipeline)->Run().ok());
+  ASSERT_TRUE((*without_pipeline)->Run().ok());
+
+  auto truth = GenomicsTruthTuples(corpus);
+  auto with_metrics = Evaluate(*(*with_pipeline)->Extractions("Association"), truth);
+  auto without_metrics =
+      Evaluate(*(*without_pipeline)->Extractions("Association"), truth);
+  EXPECT_GT(with_metrics.precision, without_metrics.precision);
+}
+
+TEST(AdsAppTest, PriceExtractionAccuracy) {
+  AdsCorpusOptions corpus_options;
+  corpus_options.num_ads = 200;
+  corpus_options.seed = 73;
+  AdsCorpus corpus = GenerateAdsCorpus(corpus_options);
+
+  PipelineOptions options = FastOptions();
+  options.threshold = 0.8;
+  auto pipeline = MakeAdsPipeline(corpus, options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  auto best = BestPricePerAd(**pipeline, options.threshold);
+  size_t correct = 0;
+  for (const Ad& ad : corpus.ads) {
+    auto it = best.find(ad.id);
+    if (it != best.end() && it->second == ad.price) ++correct;
+  }
+  // The generator plants exactly one price per ad; nearly all should be
+  // recovered exactly.
+  EXPECT_GT(static_cast<double>(correct) / corpus.ads.size(), 0.9);
+}
+
+TEST(AdsAppTest, ImplausiblePricesSuppressed) {
+  AdsCorpusOptions corpus_options;
+  corpus_options.num_ads = 150;
+  corpus_options.seed = 74;
+  AdsCorpus corpus = GenerateAdsCorpus(corpus_options);
+  PipelineOptions options = FastOptions();
+  auto pipeline = MakeAdsPipeline(corpus, options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Run().ok());
+  // No extracted price is outside the supervised plausibility band.
+  auto best = BestPricePerAd(**pipeline, 0.8);
+  for (const auto& [ad, price] : best) {
+    EXPECT_GE(price, 20);
+    EXPECT_LE(price, 2000);
+  }
+}
+
+}  // namespace
+}  // namespace dd

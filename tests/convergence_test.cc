@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/convergence.h"
+#include "testdata/synthetic_graphs.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(ConvergenceTest, EasyGraphConverges) {
+  SyntheticGraphOptions options;
+  options.num_variables = 40;
+  options.factors_per_variable = 1.5;
+  options.weight_scale = 0.8;
+  options.seed = 81;
+  FactorGraph graph = MakeRandomGraph(options);
+
+  ConvergenceOptions conv;
+  conv.burn_in = 200;
+  conv.num_samples = 2000;
+  auto report = CheckConvergence(graph, conv);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->converged_fraction, 0.95);
+  EXPECT_LT(report->max_r_hat, 1.3);
+}
+
+TEST(ConvergenceTest, StickyChainDetected) {
+  // A long strongly-coupled chain mixes slowly; with a short run the
+  // diagnostic must complain.
+  FactorGraph graph = MakeChainGraph(60, 4.0, 82);
+  ConvergenceOptions conv;
+  conv.burn_in = 2;
+  conv.num_samples = 40;
+  conv.num_segments = 4;
+  auto short_run = CheckConvergence(graph, conv);
+  ASSERT_TRUE(short_run.ok());
+  EXPECT_LT(short_run->converged_fraction, 0.9)
+      << "short run on a sticky chain should NOT look converged";
+
+  conv.burn_in = 1000;
+  conv.num_samples = 8000;
+  conv.num_segments = 8;
+  auto long_run = CheckConvergence(graph, conv);
+  ASSERT_TRUE(long_run.ok());
+  EXPECT_GT(long_run->converged_fraction, short_run->converged_fraction);
+}
+
+TEST(ConvergenceTest, EvidenceSkipped) {
+  FactorGraph graph;
+  uint32_t v = graph.AddVariable(true, true);
+  uint32_t w = graph.AddWeight(1.0, false, "w");
+  ASSERT_TRUE(graph.AddFactor(FactorFunc::kIsTrue, w, {{v, true}}).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  ConvergenceOptions conv;
+  conv.num_samples = 100;
+  auto report = CheckConvergence(graph, conv);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(std::isnan(report->r_hat[v]));
+  EXPECT_DOUBLE_EQ(report->converged_fraction, 1.0);  // vacuous
+}
+
+TEST(ConvergenceTest, InvalidOptionsRejected) {
+  FactorGraph graph = MakeChainGraph(5, 1.0, 1);
+  ConvergenceOptions conv;
+  conv.num_chains = 1;
+  EXPECT_FALSE(CheckConvergence(graph, conv).ok());
+  conv.num_chains = 4;
+  conv.num_segments = 1;
+  EXPECT_FALSE(CheckConvergence(graph, conv).ok());
+}
+
+TEST(EssTest, WhiteNoiseNearN) {
+  Rng rng(83);
+  std::vector<uint8_t> iid(4000);
+  for (auto& s : iid) s = rng.NextBernoulli(0.5);
+  double ess = EffectiveSampleSize(iid);
+  EXPECT_GT(ess, 2500.0);
+}
+
+TEST(EssTest, StickySequenceMuchSmaller) {
+  // Markov chain that flips with probability 0.02: heavy autocorrelation.
+  Rng rng(84);
+  std::vector<uint8_t> sticky(4000);
+  uint8_t state = 0;
+  for (auto& s : sticky) {
+    if (rng.NextBernoulli(0.02)) state ^= 1;
+    s = state;
+  }
+  double ess = EffectiveSampleSize(sticky);
+  EXPECT_LT(ess, 400.0);
+  EXPECT_GE(ess, 1.0);
+}
+
+TEST(EssTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({}), 0.0);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize({1}), 1.0);
+  std::vector<uint8_t> constant(100, 1);
+  EXPECT_DOUBLE_EQ(EffectiveSampleSize(constant), 100.0);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "ddlog/parser.h"
+#include "testdata/spouse_app.h"
+
+namespace dd {
+namespace {
+
+// Round trip: parse -> print -> parse again yields a structurally
+// identical program (the printer emits parseable DDlog).
+TEST(DdlogPrinterTest, RoundTripSpouseProgram) {
+  SpouseAppOptions app;
+  auto first = ParseDdlog(SpouseDdlog(app));
+  ASSERT_TRUE(first.ok());
+  std::string printed = first->ToString();
+  auto second = ParseDdlog(printed);
+  ASSERT_TRUE(second.ok()) << second.status().ToString() << "\n" << printed;
+
+  ASSERT_EQ(first->declarations.size(), second->declarations.size());
+  for (size_t i = 0; i < first->declarations.size(); ++i) {
+    EXPECT_EQ(first->declarations[i].name, second->declarations[i].name);
+    EXPECT_EQ(first->declarations[i].is_query, second->declarations[i].is_query);
+    EXPECT_TRUE(first->declarations[i].schema == second->declarations[i].schema);
+  }
+  ASSERT_EQ(first->rules.size(), second->rules.size());
+  for (size_t i = 0; i < first->rules.size(); ++i) {
+    EXPECT_EQ(first->rules[i].kind, second->rules[i].kind);
+    EXPECT_EQ(first->rules[i].ToString(), second->rules[i].ToString());
+  }
+  // And the re-printed text is stable (fixed point).
+  EXPECT_EQ(printed, second->ToString());
+}
+
+TEST(DdlogPrinterTest, WeightSpecsRendered) {
+  auto program = ParseDdlog(R"(
+    T(x: int, f: text).
+    Q?(x: int).
+    Q(x) :- T(x, f) weight = identity(f).
+    Q(x) :- T(x, f) weight = 2.5.
+    Q(x) :- T(x, f) weight = ?.
+    Q(x) :- T(x, f) weight = f.
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_NE(program->rules[0].ToString().find("weight = identity(f)"),
+            std::string::npos);
+  EXPECT_NE(program->rules[1].ToString().find("weight = 2.5"), std::string::npos);
+  EXPECT_NE(program->rules[2].ToString().find("weight = ?"), std::string::npos);
+  EXPECT_NE(program->rules[3].ToString().find("weight = f"), std::string::npos);
+}
+
+TEST(SupervisionWarningsTest, PipelineSurfacesOverlap) {
+  // Feature identical to the supervision rule -> warning via pipeline API.
+  DeepDivePipeline pipeline;
+  ASSERT_TRUE(pipeline
+                  .LoadProgram(R"(
+    Cand(id: int).
+    Feat(id: int, f: text).
+    Kb(id: int).
+    Q?(id: int).
+    Q_Ev(id: int, label: bool).
+    Q(id) :- Cand(id).
+    Q(id) :- Cand(id), Feat(id, f) weight = identity(f).
+    Q_Ev(id, true) :- Cand(id), Kb(id).
+    Q_Ev(id, false) :- Cand(id), !Kb(id).
+  )")
+                  .ok());
+  pipeline.RegisterExtractor([](const Document&, TupleEmitter* emitter) -> Status {
+    for (int i = 0; i < 40; ++i) {
+      emitter->Emit("Cand", Tuple({Value::Int(i)}));
+      if (i < 20) {
+        emitter->Emit("Kb", Tuple({Value::Int(i)}));
+        emitter->Emit("Feat", Tuple({Value::Int(i), Value::String("in_kb")}));
+      }
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(pipeline.AddDocument("d", "x").ok());
+  ASSERT_TRUE(pipeline.Run().ok());
+  auto warnings = pipeline.SupervisionWarnings();
+  ASSERT_TRUE(warnings.ok());
+  EXPECT_NE(warnings->find("in_kb"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include "ddlog/lexer.h"
+#include "ddlog/parser.h"
+
+namespace dd {
+namespace {
+
+constexpr char kSpouseProgram[] = R"(
+# Schema (Example 3.1 of the paper).
+PersonCandidate(s: int, m: int).
+Sentence(s: int, content: text).
+Mention(s: int, m: int).
+EL(m: int, e: text).
+Married(e1: text, e2: text).
+MarriedCandidate?(m1: int, m2: int).
+MarriedCandidate_Ev(m1: int, m2: int, label: bool).
+
+// R1: candidate mapping.
+MarriedCandidate(m1, m2) :- PersonCandidate(s, m1), PersonCandidate(s, m2), m1 < m2.
+
+// FE1: feature rule with UDF weight (Example 3.2).
+MarriedCandidate(m1, m2) :- MarriedCandidate(m1, m2), Mention(s, m1), Mention(s, m2),
+                            Sentence(s, sent) weight = phrase(m1, m2, sent).
+
+// S1: distant supervision (Example 3.3).
+MarriedCandidate_Ev(m1, m2, true) :- MarriedCandidate(m1, m2), EL(m1, e1), EL(m2, e2),
+                                     Married(e1, e2).
+)";
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = LexDdlog("Foo(x, 42, \"bar\", true) :- !Baz(x), x != 3.5.");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokKind> kinds;
+  for (const Tok& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), TokKind::kIdent);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kColonDash), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kBang), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), TokKind::kNeq), kinds.end());
+  EXPECT_EQ(kinds.back(), TokKind::kEof);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = LexDdlog("3.14 42 -7 \"hello\\nworld\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 3.14);
+  EXPECT_FALSE((*tokens)[0].is_integer);
+  EXPECT_TRUE((*tokens)[1].is_integer);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, -7.0);
+  EXPECT_EQ((*tokens)[3].text, "hello\nworld");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = LexDdlog("# a comment\nFoo // trailing\nBar");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 3u);  // Foo, Bar, EOF
+  EXPECT_EQ((*tokens)[0].text, "Foo");
+  EXPECT_EQ((*tokens)[1].text, "Bar");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = LexDdlog("\"oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = LexDdlog("a\n  b");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[1].line, 2);
+  EXPECT_EQ((*tokens)[1].column, 3);
+}
+
+TEST(ParserTest, ParsesPaperProgram) {
+  auto program = ParseDdlog(kSpouseProgram);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->declarations.size(), 7u);
+  EXPECT_EQ(program->rules.size(), 3u);
+
+  const RelationDecl* mc = program->FindDecl("MarriedCandidate");
+  ASSERT_NE(mc, nullptr);
+  EXPECT_TRUE(mc->is_query);
+  EXPECT_FALSE(program->FindDecl("Sentence")->is_query);
+
+  EXPECT_EQ(program->rules[0].kind, RuleKind::kDerivation);
+  EXPECT_EQ(program->rules[0].rule.conditions.size(), 1u);
+  EXPECT_EQ(program->rules[1].kind, RuleKind::kFeature);
+  ASSERT_TRUE(program->rules[1].weight.has_value());
+  EXPECT_EQ(program->rules[1].weight->kind, WeightSpec::Kind::kUdf);
+  EXPECT_EQ(program->rules[1].weight->udf_name, "phrase");
+  EXPECT_EQ(program->rules[1].weight->args.size(), 3u);
+  // Supervision rule: plain derivation into the _Ev relation.
+  EXPECT_EQ(program->rules[2].kind, RuleKind::kDerivation);
+  EXPECT_EQ(program->rules[2].rule.head.relation, "MarriedCandidate_Ev");
+  // The bool constant in the head.
+  EXPECT_EQ(program->rules[2].rule.head.terms[2].constant, Value::Bool(true));
+}
+
+TEST(ParserTest, AnalyzesPaperProgram) {
+  auto program = ParseDdlog(kSpouseProgram);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(AnalyzeProgram(*program).ok());
+}
+
+TEST(ParserTest, CorrelationRule) {
+  auto program = ParseDdlog(R"(
+    A?(x: int).
+    B?(x: int).
+    Link(x: int, y: int).
+    A(x) => B(y) :- Link(x, y) weight = 1.5.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 1u);
+  EXPECT_EQ(program->rules[0].kind, RuleKind::kCorrelation);
+  EXPECT_EQ(program->rules[0].implied_head.relation, "B");
+  ASSERT_TRUE(program->rules[0].weight.has_value());
+  EXPECT_EQ(program->rules[0].weight->kind, WeightSpec::Kind::kFixed);
+  EXPECT_DOUBLE_EQ(program->rules[0].weight->fixed_value, 1.5);
+  EXPECT_TRUE(AnalyzeProgram(*program).ok());
+}
+
+TEST(ParserTest, LearnableWeight) {
+  auto program = ParseDdlog(R"(
+    T(x: int).
+    Q?(x: int).
+    Q(x) :- T(x) weight = ?.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules[0].weight->kind, WeightSpec::Kind::kLearnable);
+}
+
+TEST(ParserTest, VariableListWeight) {
+  auto program = ParseDdlog(R"(
+    T(x: int, y: text).
+    Q?(x: int).
+    Q(x) :- T(x, y) weight = y.
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules[0].weight->kind, WeightSpec::Kind::kVariables);
+  EXPECT_EQ(program->rules[0].weight->args, std::vector<std::string>{"y"});
+}
+
+TEST(ParserTest, SyntaxErrorsCarryPositions) {
+  auto program = ParseDdlog("Foo(x :- Bar(x).");
+  ASSERT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kParseError);
+  EXPECT_NE(program.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UndeclaredRelationRejected) {
+  auto program = ParseDdlog("Q(x) :- Mystery(x).");
+  ASSERT_TRUE(program.ok());
+  Status st = AnalyzeProgram(*program);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("undeclared"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ArityMismatchRejected) {
+  auto program = ParseDdlog(R"(
+    T(x: int, y: int).
+    Q(x: int).
+    Q(x) :- T(x).
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(AnalyzeProgram(*program).ok());
+}
+
+TEST(AnalyzerTest, ConstantTypeMismatchRejected) {
+  auto program = ParseDdlog(R"(
+    T(x: int).
+    Q(x: int).
+    Q(x) :- T(x), x = "nope".
+  )");
+  ASSERT_TRUE(program.ok());
+  // Condition constants are not type-checked against columns (values are
+  // dynamically typed), but atom constants are:
+  auto program2 = ParseDdlog(R"(
+    T(x: int).
+    Q(x: int).
+    Q(x) :- T("nope").
+  )");
+  ASSERT_TRUE(program2.ok());
+  EXPECT_EQ(AnalyzeProgram(*program2).code(), StatusCode::kTypeError);
+}
+
+TEST(AnalyzerTest, FeatureRuleHeadMustBeQuery) {
+  auto program = ParseDdlog(R"(
+    T(x: int).
+    Q(x: int).
+    Q(x) :- T(x) weight = ?.
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(AnalyzeProgram(*program).ok());
+}
+
+TEST(AnalyzerTest, EvidenceSchemaChecked) {
+  // Evidence relation missing the bool column.
+  auto program = ParseDdlog(R"(
+    Q?(x: int).
+    Q_Ev(x: int).
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(AnalyzeProgram(*program).ok());
+
+  auto good = ParseDdlog(R"(
+    Q?(x: int).
+    Q_Ev(x: int, label: bool).
+  )");
+  ASSERT_TRUE(good.ok());
+  EXPECT_TRUE(AnalyzeProgram(*good).ok());
+}
+
+TEST(AnalyzerTest, EvidenceTargetMustExistAndBeQuery) {
+  auto no_target = ParseDdlog("Lonely_Ev(x: int, l: bool).");
+  ASSERT_TRUE(no_target.ok());
+  EXPECT_FALSE(AnalyzeProgram(*no_target).ok());
+
+  auto not_query = ParseDdlog(R"(
+    Q(x: int).
+    Q_Ev(x: int, l: bool).
+  )");
+  ASSERT_TRUE(not_query.ok());
+  EXPECT_FALSE(AnalyzeProgram(*not_query).ok());
+}
+
+TEST(AnalyzerTest, WeightArgMustBeBound) {
+  auto program = ParseDdlog(R"(
+    T(x: int).
+    Q?(x: int).
+    Q(x) :- T(x) weight = f(zzz).
+  )");
+  ASSERT_TRUE(program.ok());
+  Status st = AnalyzeProgram(*program);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("zzz"), std::string::npos);
+}
+
+TEST(AnalyzerTest, DuplicateDeclarationRejected) {
+  auto program = ParseDdlog("T(x: int). T(y: text).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(AnalyzeProgram(*program).ok());
+}
+
+TEST(AnalyzerTest, UnsafeRuleRejected) {
+  auto program = ParseDdlog(R"(
+    T(x: int).
+    Q(x: int, y: int).
+    Q(x, y) :- T(x).
+  )");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(AnalyzeProgram(*program).ok());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/diagnostics.h"
+#include "core/mindtagger.h"
+#include "core/udf.h"
+#include "ddlog/parser.h"
+#include "grounding/grounder.h"
+#include "storage/catalog.h"
+
+namespace dd {
+namespace {
+
+/// A program where one feature string is emitted by the SAME join as the
+/// positive supervision rule — the §8 failure mode.
+constexpr char kOverlapProgram[] = R"(
+  Cand(id: int).
+  Feat(id: int, f: text).
+  Kb(id: int).
+  Q?(id: int).
+  Q_Ev(id: int, label: bool).
+
+  Q(id) :- Cand(id).
+  Q(id) :- Cand(id), Feat(id, f) weight = identity(f).
+  Q_Ev(id, true) :- Cand(id), Kb(id).
+  Q_Ev(id, false) :- Cand(id), !Kb(id).
+)";
+
+class DiagnosticsTest : public ::testing::Test {
+ protected:
+  void Populate(bool overlapping) {
+    Table* cand = *catalog_.CreateTable("Cand", Schema({{"id", ValueType::kInt}}));
+    Table* feat = *catalog_.CreateTable(
+        "Feat", Schema({{"id", ValueType::kInt}, {"f", ValueType::kString}}));
+    Table* kb = *catalog_.CreateTable("Kb", Schema({{"id", ValueType::kInt}}));
+    for (int i = 0; i < 60; ++i) {
+      ASSERT_TRUE(cand->Insert(Tuple({Value::Int(i)})).ok());
+      bool positive = i < 30;
+      if (positive) {
+        ASSERT_TRUE(kb->Insert(Tuple({Value::Int(i)})).ok());
+      }
+      // A benign feature appearing on ~half of each class.
+      if (i % 2 == 0) {
+        ASSERT_TRUE(
+            feat->Insert(Tuple({Value::Int(i), Value::String("benign")})).ok());
+      }
+      // The overlapping feature mirrors the KB exactly.
+      if (overlapping && positive) {
+        ASSERT_TRUE(
+            feat->Insert(Tuple({Value::Int(i), Value::String("in_kb")})).ok());
+      }
+    }
+  }
+
+  Catalog catalog_;
+  UdfRegistry udfs_;
+};
+
+TEST_F(DiagnosticsTest, DetectsSupervisionOverlap) {
+  Populate(true);
+  auto program = ParseDdlog(kOverlapProgram);
+  ASSERT_TRUE(program.ok());
+  Grounder grounder(&catalog_, &*program, &udfs_);
+  ASSERT_TRUE(grounder.Initialize().ok());
+
+  auto stats = SupervisionDiagnostics::Analyze(grounder);
+  ASSERT_FALSE(stats.empty());
+  // The in_kb feature is flagged (it IS the supervision rule).
+  bool flagged_overlap = false;
+  for (const auto& s : stats) {
+    if (s.key.find("in_kb") != std::string::npos) {
+      EXPECT_TRUE(s.suspicious);
+      EXPECT_EQ(s.on_negative, 0u);
+      EXPECT_DOUBLE_EQ(s.positive_coverage, 1.0);
+      flagged_overlap = true;
+    }
+    if (s.key.find("benign") != std::string::npos) {
+      EXPECT_FALSE(s.suspicious);
+    }
+  }
+  EXPECT_TRUE(flagged_overlap);
+  EXPECT_NE(SupervisionDiagnostics::Report(stats).find("in_kb"), std::string::npos);
+}
+
+TEST_F(DiagnosticsTest, CleanProgramHasNoWarnings) {
+  Populate(false);
+  auto program = ParseDdlog(kOverlapProgram);
+  ASSERT_TRUE(program.ok());
+  Grounder grounder(&catalog_, &*program, &udfs_);
+  ASSERT_TRUE(grounder.Initialize().ok());
+  auto stats = SupervisionDiagnostics::Analyze(grounder);
+  for (const auto& s : stats) EXPECT_FALSE(s.suspicious) << s.key;
+  EXPECT_TRUE(SupervisionDiagnostics::Report(stats).empty());
+}
+
+std::vector<std::pair<Tuple, double>> FakeMarginals(int n, double above_frac) {
+  std::vector<std::pair<Tuple, double>> out;
+  for (int i = 0; i < n; ++i) {
+    double p = i < n * above_frac ? 0.95 : 0.2;
+    out.emplace_back(Tuple({Value::Int(i)}), p);
+  }
+  return out;
+}
+
+TEST(AnnotationSessionTest, PrecisionSampling) {
+  auto marginals = FakeMarginals(200, 0.5);  // 100 above threshold
+  auto session = AnnotationSession::ForPrecision(marginals, 0.9, 30, 7);
+  EXPECT_EQ(session.items().size(), 30u);
+  EXPECT_EQ(session.num_annotated(), 0u);
+  for (const AnnotationItem& item : session.items()) {
+    EXPECT_GE(item.probability, 0.9);  // only extractions sampled
+  }
+  // Deterministic for a fixed seed.
+  auto session2 = AnnotationSession::ForPrecision(marginals, 0.9, 30, 7);
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(session.items()[i].tuple, session2.items()[i].tuple);
+  }
+}
+
+TEST(AnnotationSessionTest, SampleLargerThanPopulation) {
+  auto marginals = FakeMarginals(10, 1.0);
+  auto session = AnnotationSession::ForPrecision(marginals, 0.9, 100, 7);
+  EXPECT_EQ(session.items().size(), 10u);
+}
+
+TEST(AnnotationSessionTest, AnnotateAndEstimate) {
+  auto marginals = FakeMarginals(100, 1.0);
+  auto session = AnnotationSession::ForPrecision(marginals, 0.9, 20, 7);
+  EXPECT_FALSE(session.Estimate().ok());  // nothing annotated
+  for (size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(session.Annotate(i, i < 18).ok());  // 90% correct
+  }
+  EXPECT_FALSE(session.Annotate(99, true).ok());  // out of range
+  auto estimate = session.Estimate();
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->first, 0.9, 1e-9);
+  EXPECT_GT(estimate->second, 0.0);  // binomial stderr
+  EXPECT_FALSE(session.ToText().empty());
+}
+
+TEST(AnnotationSessionTest, RecallPrefill) {
+  auto marginals = FakeMarginals(100, 0.5);
+  std::vector<Tuple> known_true;
+  for (int i = 40; i < 60; ++i) known_true.push_back(Tuple({Value::Int(i)}));
+  auto session = AnnotationSession::ForRecall(known_true, marginals, 0.9, 20, 7);
+  EXPECT_EQ(session.items().size(), 20u);
+  // Items 40-49 are above threshold (prefilled correct), 50-59 below.
+  auto estimate = session.Estimate();
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->first, 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace dd

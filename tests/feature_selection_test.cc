@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/feature_selection.h"
+#include "core/udf.h"
+#include "ddlog/parser.h"
+#include "grounding/grounder.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+/// Labeled candidates where one feature ("signal") tracks the label,
+/// one ("noise") is random, and one ("rare") appears once.
+class FeatureSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = ParseDdlog(R"(
+      Cand(id: int).
+      Feat(id: int, f: text).
+      Kb(id: int).
+      Q?(id: int).
+      Q_Ev(id: int, label: bool).
+      Q(id) :- Cand(id).
+      Q(id) :- Cand(id), Feat(id, f) weight = identity(f).
+      Q_Ev(id, true) :- Cand(id), Kb(id).
+      Q_Ev(id, false) :- Cand(id), !Kb(id).
+    )");
+    ASSERT_TRUE(program.ok());
+    program_ = std::move(program).value();
+
+    Table* cand = *catalog_.CreateTable("Cand", Schema({{"id", ValueType::kInt}}));
+    Table* feat = *catalog_.CreateTable(
+        "Feat", Schema({{"id", ValueType::kInt}, {"f", ValueType::kString}}));
+    Table* kb = *catalog_.CreateTable("Kb", Schema({{"id", ValueType::kInt}}));
+
+    Rng rng(4);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(cand->Insert(Tuple({Value::Int(i)})).ok());
+      bool positive = i % 2 == 0;
+      if (positive) {
+        ASSERT_TRUE(kb->Insert(Tuple({Value::Int(i)})).ok());
+      }
+      // Signal feature: tracks the label with 90% fidelity.
+      if (rng.NextBernoulli(positive ? 0.9 : 0.1)) {
+        ASSERT_TRUE(
+            feat->Insert(Tuple({Value::Int(i), Value::String("signal")})).ok());
+      }
+      // Noise feature: label-independent coin flip.
+      if (rng.NextBernoulli(0.5)) {
+        ASSERT_TRUE(
+            feat->Insert(Tuple({Value::Int(i), Value::String("noise")})).ok());
+      }
+    }
+    // A feature observed exactly once.
+    ASSERT_TRUE(feat->Insert(Tuple({Value::Int(0), Value::String("rare")})).ok());
+  }
+
+  Catalog catalog_;
+  DdlogProgram program_;
+  UdfRegistry udfs_;
+};
+
+TEST_F(FeatureSelectionTest, KeepsSignalPrunesNoiseAndRare) {
+  Grounder grounder(&catalog_, &program_, &udfs_);
+  ASSERT_TRUE(grounder.Initialize().ok());
+
+  FeatureSelectionOptions options;
+  options.learn.epochs = 400;
+  options.learn.learning_rate = 0.05;
+  options.learn.decay = 0.995;
+  options.min_abs_weight = 0.15;
+  options.min_observations = 3;
+  auto selected = FeatureSelector::Run(&grounder, options);
+  ASSERT_TRUE(selected.ok()) << selected.status().ToString();
+
+  bool signal_kept = false, noise_kept = true, rare_kept = true;
+  double signal_weight = 0, noise_weight = 0;
+  for (const SelectedFeature& f : *selected) {
+    if (f.key.find("\"signal\"") != std::string::npos) {
+      signal_kept = f.kept;
+      signal_weight = f.learned_weight;
+    }
+    if (f.key.find("\"noise\"") != std::string::npos) {
+      noise_kept = f.kept;
+      noise_weight = f.learned_weight;
+    }
+    if (f.key.find("\"rare\"") != std::string::npos) rare_kept = f.kept;
+  }
+  EXPECT_TRUE(signal_kept);
+  EXPECT_FALSE(rare_kept);  // below min_observations
+  // The signal feature out-weighs the noise one decisively; noise may or
+  // may not cross the pruning bar on a given seed, but never beats signal.
+  EXPECT_GT(std::fabs(signal_weight), std::fabs(noise_weight) * 2);
+  (void)noise_kept;
+
+  // Report renders and ranks by |weight| (signal first among features).
+  std::string report = FeatureSelector::Report(*selected, 5);
+  EXPECT_NE(report.find("signal"), std::string::npos);
+  auto kept_keys = FeatureSelector::KeptKeys(*selected);
+  EXPECT_FALSE(kept_keys.empty());
+}
+
+TEST_F(FeatureSelectionTest, SortedByEffectSize) {
+  Grounder grounder(&catalog_, &program_, &udfs_);
+  ASSERT_TRUE(grounder.Initialize().ok());
+  FeatureSelectionOptions options;
+  options.learn.epochs = 200;
+  auto selected = FeatureSelector::Run(&grounder, options);
+  ASSERT_TRUE(selected.ok());
+  for (size_t i = 1; i < selected->size(); ++i) {
+    EXPECT_GE(std::fabs((*selected)[i - 1].learned_weight),
+              std::fabs((*selected)[i].learned_weight));
+  }
+}
+
+}  // namespace
+}  // namespace dd

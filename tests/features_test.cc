@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/features.h"
+#include "core/udf.h"
+#include "nlp/document.h"
+
+namespace dd {
+namespace {
+
+/// Sentence: "Barack Obama and his wife Michelle Obama smiled"
+///            0      1     2   3   4    5        6     7
+struct Fixture {
+  Fixture() {
+    doc = AnnotateDocument("d", "Barack Obama and his wife Michelle Obama smiled");
+    m1 = Mention{0, 0, 2, "PERSON", "Barack Obama"};
+    m2 = Mention{0, 5, 7, "PERSON", "Michelle Obama"};
+  }
+  Document doc;
+  Mention m1, m2;
+  const Sentence& sentence() const { return doc.sentences[0]; }
+};
+
+TEST(FeaturesTest, PhraseBetween) {
+  Fixture f;
+  EXPECT_EQ(PhraseBetween(f.sentence(), f.m1, f.m2), "and his wife");
+  // Order-insensitive.
+  EXPECT_EQ(PhraseBetween(f.sentence(), f.m2, f.m1), "and his wife");
+}
+
+TEST(FeaturesTest, PhraseBetweenAdjacent) {
+  Document doc = AnnotateDocument("d", "Barack Obama Michelle Obama");
+  Mention a{0, 0, 2, "PERSON", "Barack Obama"};
+  Mention b{0, 2, 4, "PERSON", "Michelle Obama"};
+  EXPECT_EQ(PhraseBetween(doc.sentences[0], a, b), "");
+}
+
+TEST(FeaturesTest, PhraseBetweenOverlapping) {
+  Fixture f;
+  Mention overlap{0, 1, 3, "PERSON", "Obama and"};
+  // Overlapping mentions: empty gap, no crash.
+  EXPECT_EQ(PhraseBetween(f.sentence(), f.m1, overlap), "");
+}
+
+TEST(FeaturesTest, BagOfWordsBetween) {
+  Fixture f;
+  auto bow = BagOfWordsBetween(f.sentence(), f.m1, f.m2);
+  ASSERT_EQ(bow.size(), 3u);
+  EXPECT_EQ(bow[0], "word=and");
+  EXPECT_EQ(bow[1], "word=his");
+  EXPECT_EQ(bow[2], "word=wife");
+}
+
+TEST(FeaturesTest, WindowFeatures) {
+  Fixture f;
+  auto window = WindowFeatures(f.sentence(), f.m2, 2);
+  // left1=wife left2=his right1=smiled (no right2: end of sentence).
+  EXPECT_EQ(window.size(), 3u);
+  EXPECT_NE(std::find(window.begin(), window.end(), "left1=wife"), window.end());
+  EXPECT_NE(std::find(window.begin(), window.end(), "left2=his"), window.end());
+  EXPECT_NE(std::find(window.begin(), window.end(), "right1=smiled"), window.end());
+}
+
+TEST(FeaturesTest, WindowAtSentenceStart) {
+  Fixture f;
+  auto window = WindowFeatures(f.sentence(), f.m1, 2);
+  // No left tokens; right1=and right2=his.
+  EXPECT_EQ(window.size(), 2u);
+}
+
+TEST(FeaturesTest, PosSequence) {
+  Fixture f;
+  std::string pos = PosSequenceBetween(f.sentence(), f.m1, f.m2);
+  EXPECT_EQ(pos, "pos_between=CC PRP$ NN");
+}
+
+TEST(FeaturesTest, DistanceBuckets) {
+  Mention a{0, 0, 1, "X", "a"};
+  auto at = [](int begin, int end) { return Mention{0, begin, end, "X", "b"}; };
+  EXPECT_EQ(DistanceFeature(a, at(1, 2)), "dist=adjacent");
+  EXPECT_EQ(DistanceFeature(a, at(3, 4)), "dist=short");
+  EXPECT_EQ(DistanceFeature(a, at(6, 7)), "dist=medium");
+  EXPECT_EQ(DistanceFeature(a, at(15, 16)), "dist=long");
+  // Symmetric.
+  EXPECT_EQ(DistanceFeature(at(15, 16), a), "dist=long");
+}
+
+TEST(FeaturesTest, TemplatesDeduplicatedAndSorted) {
+  Fixture f;
+  auto features = RelationFeatureTemplates(f.sentence(), f.m1, f.m2);
+  EXPECT_FALSE(features.empty());
+  EXPECT_TRUE(std::is_sorted(features.begin(), features.end()));
+  EXPECT_EQ(std::adjacent_find(features.begin(), features.end()), features.end());
+  // Contains the phrase feature.
+  EXPECT_NE(std::find(features.begin(), features.end(), "phrase=and his wife"),
+            features.end());
+}
+
+TEST(UdfTest, Builtins) {
+  UdfRegistry registry;
+  EXPECT_TRUE(registry.Has("identity"));
+  auto id = registry.Call("identity", {Value::Int(5)});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, Value::Int(5));
+
+  auto lower = registry.Call("lower", {Value::String("ABC")});
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ(lower->AsString(), "abc");
+
+  auto concat = registry.Call("concat", {Value::Int(1), Value::String("x")});
+  ASSERT_TRUE(concat.ok());
+  EXPECT_EQ(concat->AsString(), "1|\"x\"");
+
+  auto bucket = registry.Call("bucket", {Value::Double(1234.0)});
+  ASSERT_TRUE(bucket.ok());
+  EXPECT_EQ(bucket->AsString(), "1e3");
+  auto nonpos = registry.Call("bucket", {Value::Int(-3)});
+  ASSERT_TRUE(nonpos.ok());
+  EXPECT_EQ(nonpos->AsString(), "nonpositive");
+}
+
+TEST(UdfTest, ErrorsAndRegistration) {
+  UdfRegistry registry;
+  EXPECT_EQ(registry.Call("missing", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(registry.Call("identity", {}).ok());  // wrong arity
+  EXPECT_FALSE(registry.Call("lower", {Value::Int(1)}).ok());  // wrong type
+
+  registry.Register("twice", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value::Int(args[0].AsInt() * 2);
+  });
+  auto result = registry.Call("twice", {Value::Int(21)});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->AsInt(), 42);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/exact.h"
+#include "inference/incremental.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace dd {
+namespace {
+
+double MaxDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double out = 0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) out = std::max(out, std::fabs(a[i] - b[i]));
+  return out;
+}
+
+/// Small base graph plus a two-variable extension, exactly checkable.
+struct VersionedGraphs {
+  FactorGraph base;
+  FactorGraph extended;
+  std::vector<uint32_t> changed;
+
+  explicit VersionedGraphs(uint64_t seed) {
+    SyntheticGraphOptions options;
+    options.num_variables = 12;
+    options.factors_per_variable = 1.5;
+    options.evidence_fraction = 0.0;
+    options.seed = seed;
+    base = MakeRandomGraph(options);
+    extended = ExtendGraph(base, 2, 1.0, seed + 1, &changed);
+  }
+};
+
+class IncrementalStrategyTest
+    : public ::testing::TestWithParam<MaterializationStrategy> {};
+
+TEST_P(IncrementalStrategyTest, UpdateTracksExactMarginals) {
+  VersionedGraphs graphs(101);
+  IncrementalOptions options;
+  options.full_burn_in = 500;
+  options.num_samples = 20000;
+  options.update_burn_in = 500;
+  options.mf_max_iterations = 300;
+  options.mf_tolerance = 1e-7;
+  options.mf_damping = 0.3;
+
+  IncrementalInference engine(&graphs.base, GetParam(), options);
+  ASSERT_TRUE(engine.Materialize().ok());
+  auto exact_base = ExactMarginals(graphs.base);
+  ASSERT_TRUE(exact_base.ok());
+  double tolerance =
+      GetParam() == MaterializationStrategy::kSampling ? 0.03 : 0.15;
+  EXPECT_LT(MaxDiff(*exact_base, engine.marginals()), tolerance);
+
+  auto updated = engine.Update(&graphs.extended, graphs.changed);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  auto exact_extended = ExactMarginals(graphs.extended);
+  ASSERT_TRUE(exact_extended.ok());
+  EXPECT_LT(MaxDiff(*exact_extended, *updated), tolerance);
+  EXPECT_GT(engine.last_work_units(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStrategies, IncrementalStrategyTest,
+                         ::testing::Values(MaterializationStrategy::kSampling,
+                                           MaterializationStrategy::kVariational));
+
+TEST(IncrementalInferenceTest, UpdateBeforeMaterializeFails) {
+  VersionedGraphs graphs(102);
+  IncrementalOptions options;
+  IncrementalInference engine(&graphs.base, MaterializationStrategy::kSampling,
+                              options);
+  auto result = engine.Update(&graphs.extended, graphs.changed);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(IncrementalInferenceTest, ShrinkingGraphRejected) {
+  VersionedGraphs graphs(103);
+  IncrementalOptions options;
+  options.num_samples = 50;
+  options.full_burn_in = 10;
+  IncrementalInference engine(&graphs.extended, MaterializationStrategy::kSampling,
+                              options);
+  ASSERT_TRUE(engine.Materialize().ok());
+  auto result = engine.Update(&graphs.base, {});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(IncrementalInferenceTest, VariationalUpdateIsLocalized) {
+  // A large sparse graph: updating 2 variables must touch far fewer
+  // variables than a full relaxation.
+  SyntheticGraphOptions options;
+  options.num_variables = 5000;
+  options.factors_per_variable = 1.0;
+  options.evidence_fraction = 0.0;
+  options.seed = 104;
+  FactorGraph base = MakeRandomGraph(options);
+  std::vector<uint32_t> changed;
+  FactorGraph extended = ExtendGraph(base, 2, 1.0, 105, &changed);
+
+  IncrementalOptions inc_options;
+  inc_options.mf_tolerance = 1e-3;
+  inc_options.mf_damping = 0.2;
+  IncrementalInference engine(&base, MaterializationStrategy::kVariational,
+                              inc_options);
+  ASSERT_TRUE(engine.Materialize().ok());
+  uint64_t full_work = engine.last_work_units();
+
+  auto updated = engine.Update(&extended, changed);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_LT(engine.last_work_units(), full_work / 10)
+      << "warm-started update should be far cheaper than materialization";
+}
+
+TEST(ChooseStrategyTest, OptimizerRules) {
+  // Dense graphs -> sampling regardless of changes.
+  EXPECT_EQ(ChooseStrategy(100000, 10.0, 100), MaterializationStrategy::kSampling);
+  // Few anticipated changes -> sampling.
+  EXPECT_EQ(ChooseStrategy(100000, 2.0, 1), MaterializationStrategy::kSampling);
+  // Tiny graphs -> sampling.
+  EXPECT_EQ(ChooseStrategy(100, 2.0, 100), MaterializationStrategy::kSampling);
+  // Large, sparse, many changes -> variational.
+  EXPECT_EQ(ChooseStrategy(100000, 2.0, 50), MaterializationStrategy::kVariational);
+}
+
+TEST(StrategyNameTest, Names) {
+  EXPECT_STREQ(StrategyName(MaterializationStrategy::kSampling), "sampling");
+  EXPECT_STREQ(StrategyName(MaterializationStrategy::kVariational), "variational");
+}
+
+}  // namespace
+}  // namespace dd

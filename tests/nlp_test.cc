@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "nlp/document.h"
+#include "nlp/html.h"
+#include "nlp/ner.h"
+#include "nlp/pos.h"
+#include "nlp/tokenizer.h"
+
+namespace dd {
+namespace {
+
+TEST(HtmlTest, StripsTagsAndEntities) {
+  EXPECT_EQ(StripHtml("<b>bold</b> text"), "bold text");
+  EXPECT_EQ(StripHtml("a &amp; b &lt;c&gt;"), "a & b <c>");
+  EXPECT_EQ(StripHtml("x&nbsp;y"), "x y");
+}
+
+TEST(HtmlTest, BlockTagsBecomeNewlines) {
+  std::string out = StripHtml("<p>one</p><p>two</p>");
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find("one"), std::string::npos);
+  EXPECT_NE(out.find("two"), std::string::npos);
+}
+
+TEST(HtmlTest, DropsScriptAndStyleBodies) {
+  EXPECT_EQ(StripHtml("a<script>var x = 1;</script>b"), "ab");
+  EXPECT_EQ(StripHtml("a<style>.c { color: red }</style>b"), "ab");
+}
+
+TEST(HtmlTest, MalformedMarkupNeverCrashes) {
+  EXPECT_EQ(StripHtml("text with < stray bracket"), "text with ");
+  EXPECT_EQ(StripHtml("<unclosed"), "");
+  EXPECT_EQ(StripHtml("<script>never closed"), "");
+  EXPECT_EQ(StripHtml(""), "");
+}
+
+TEST(TokenizerTest, BasicWordsAndPunctuation) {
+  auto tokens = Tokenize("Hello, world!");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "Hello");
+  EXPECT_EQ(tokens[1].text, ",");
+  EXPECT_EQ(tokens[2].text, "world");
+  EXPECT_EQ(tokens[3].text, "!");
+}
+
+TEST(TokenizerTest, OffsetsPointIntoSource) {
+  std::string text = "ab  cd";
+  auto tokens = Tokenize(text);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(text.substr(tokens[0].begin, tokens[0].end - tokens[0].begin), "ab");
+  EXPECT_EQ(text.substr(tokens[1].begin, tokens[1].end - tokens[1].begin), "cd");
+}
+
+TEST(TokenizerTest, DecimalsAndThousandsStayWhole) {
+  auto tokens = Tokenize("price is 1,200.50 today");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[2].text, "1,200.50");
+}
+
+TEST(TokenizerTest, AbbreviationsKeepDots) {
+  auto tokens = Tokenize("the U.S.A team");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "U.S.A");
+}
+
+TEST(TokenizerTest, CurrencySymbolSplits) {
+  auto tokens = Tokenize("$120");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "$");
+  EXPECT_EQ(tokens[1].text, "120");
+}
+
+TEST(SentenceSplitTest, SplitsOnTerminators) {
+  auto ranges = SplitSentences("First sentence. Second one! Third?");
+  EXPECT_EQ(ranges.size(), 3u);
+}
+
+TEST(SentenceSplitTest, AbbreviationsDoNotSplit) {
+  auto ranges = SplitSentences("Dr. Smith met Mr. Jones. They spoke.");
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST(SentenceSplitTest, InitialsDoNotSplit) {
+  auto ranges = SplitSentences("B. Obama and Michelle were married Oct. 3, 1992.");
+  EXPECT_EQ(ranges.size(), 1u);
+}
+
+TEST(SentenceSplitTest, BlankLineSplits) {
+  auto ranges = SplitSentences("para one\n\npara two");
+  EXPECT_EQ(ranges.size(), 2u);
+}
+
+TEST(SentenceSplitTest, EmptyInput) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   \n  ").empty());
+}
+
+TEST(PosTest, ClosedClassWords) {
+  auto tokens = Tokenize("the cat sat on a mat");
+  TagPos(&tokens);
+  EXPECT_EQ(tokens[0].pos, "DT");
+  EXPECT_EQ(tokens[3].pos, "IN");
+  EXPECT_EQ(tokens[4].pos, "DT");
+}
+
+TEST(PosTest, OpenClassHeuristics) {
+  auto tokens = Tokenize("Barack quickly walking walked 42 beautiful");
+  TagPos(&tokens);
+  EXPECT_EQ(tokens[0].pos, "NNP");  // capitalized
+  EXPECT_EQ(tokens[1].pos, "RB");   // -ly
+  EXPECT_EQ(tokens[2].pos, "VBG");  // -ing
+  EXPECT_EQ(tokens[3].pos, "VBD");  // -ed
+  EXPECT_EQ(tokens[4].pos, "CD");   // digits
+  EXPECT_EQ(tokens[5].pos, "JJ");   // -ful
+}
+
+TEST(PosTest, PunctuationTagsAreThemselves) {
+  auto tokens = Tokenize("yes , no .");
+  TagPos(&tokens);
+  EXPECT_EQ(tokens[1].pos, ",");
+  EXPECT_EQ(tokens[3].pos, ".");
+}
+
+TEST(DocumentTest, FullPipeline) {
+  Document doc = AnnotateDocument("d1", "B. Obama and Michelle were married. They live.");
+  EXPECT_EQ(doc.id, "d1");
+  ASSERT_EQ(doc.sentences.size(), 2u);
+  EXPECT_EQ(doc.sentences[0].index, 0);
+  EXPECT_EQ(doc.sentences[1].index, 1);
+  EXPECT_FALSE(doc.sentences[0].tokens.empty());
+  EXPECT_FALSE(doc.sentences[0].tokens[0].pos.empty());
+}
+
+TEST(DocumentTest, HtmlPipeline) {
+  Document doc = AnnotateDocument("d2", "<p>Hello there.</p><p>Bye now.</p>", true);
+  EXPECT_EQ(doc.sentences.size(), 2u);
+}
+
+TEST(DocumentTest, Deterministic) {
+  std::string text = "Dr. A met Dr. B. They agreed on $1,200.";
+  Document d1 = AnnotateDocument("x", text);
+  Document d2 = AnnotateDocument("x", text);
+  ASSERT_EQ(d1.sentences.size(), d2.sentences.size());
+  for (size_t s = 0; s < d1.sentences.size(); ++s) {
+    ASSERT_EQ(d1.sentences[s].tokens.size(), d2.sentences[s].tokens.size());
+    for (size_t t = 0; t < d1.sentences[s].tokens.size(); ++t) {
+      EXPECT_EQ(d1.sentences[s].tokens[t].text, d2.sentences[s].tokens[t].text);
+      EXPECT_EQ(d1.sentences[s].tokens[t].pos, d2.sentences[s].tokens[t].pos);
+    }
+  }
+}
+
+TEST(GazetteerTest, LongestMatchWins) {
+  Gazetteer gaz;
+  gaz.Add("heart disease", "PHENOTYPE");
+  gaz.Add("heart", "ORGAN");
+  Document doc = AnnotateDocument("d", "Patients with heart disease improved.");
+  auto mentions = gaz.FindMentions(doc.sentences[0]);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].type, "PHENOTYPE");
+  EXPECT_EQ(mentions[0].text, "heart disease");
+}
+
+TEST(GazetteerTest, CaseInsensitive) {
+  Gazetteer gaz;
+  gaz.Add("BRCA1", "GENE");
+  Document doc = AnnotateDocument("d", "Expression of brca1 rose.");
+  auto mentions = gaz.FindMentions(doc.sentences[0]);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].type, "GENE");
+}
+
+TEST(GazetteerTest, PersonCandidates) {
+  Document doc = AnnotateDocument("d", "Barack Obama and Michelle Obama were married.");
+  auto mentions = Gazetteer::FindPersonCandidates(doc.sentences[0]);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].text, "Barack Obama");
+  EXPECT_EQ(mentions[1].text, "Michelle Obama");
+}
+
+TEST(GazetteerTest, PriceCandidates) {
+  Document doc = AnnotateDocument("d", "Special $ 120 per hour or 150 roses tonight.");
+  auto mentions = Gazetteer::FindPriceCandidates(doc.sentences[0]);
+  ASSERT_EQ(mentions.size(), 2u);
+  EXPECT_EQ(mentions[0].type, "PRICE");
+  EXPECT_EQ(mentions[1].type, "PRICE");
+}
+
+TEST(GazetteerTest, EmptySentence) {
+  Gazetteer gaz;
+  gaz.Add("x", "T");
+  Sentence s;
+  EXPECT_TRUE(gaz.FindMentions(s).empty());
+  EXPECT_TRUE(Gazetteer::FindPersonCandidates(s).empty());
+  EXPECT_TRUE(Gazetteer::FindPriceCandidates(s).empty());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "query/datalog.h"
+#include "query/evaluator.h"
+#include "query/rule.h"
+#include "storage/catalog.h"
+
+namespace dd {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) { return Tuple({Value::Int(a), Value::Int(b)}); }
+Tuple T1(int64_t a) { return Tuple({Value::Int(a)}); }
+
+Schema Int2() { return Schema({{"x", ValueType::kInt}, {"y", ValueType::kInt}}); }
+Schema Int1() { return Schema({{"x", ValueType::kInt}}); }
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    r_ = *catalog_.CreateTable("R", Int2());
+    s_ = *catalog_.CreateTable("S", Int2());
+    q_ = *catalog_.CreateTable("Q", Int1());
+  }
+
+  std::set<Tuple> Eval(const ConjunctiveRule& rule) {
+    RuleEvaluator ev(&catalog_);
+    std::set<Tuple> out;
+    Status st = ev.Evaluate(rule, [&](const Tuple& t) { out.insert(t); });
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  Catalog catalog_;
+  Table* r_;
+  Table* s_;
+  Table* q_;
+};
+
+ConjunctiveRule JoinRule() {
+  // Q(x) :- R(x, y), S(y, z).
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  rule.body.push_back({"S", {Term::Var("y"), Term::Var("z")}, false});
+  return rule;
+}
+
+TEST_F(QueryTest, SimpleJoin) {
+  ASSERT_TRUE(r_->Insert(T2(1, 10)).ok());
+  ASSERT_TRUE(r_->Insert(T2(2, 20)).ok());
+  ASSERT_TRUE(r_->Insert(T2(3, 30)).ok());
+  ASSERT_TRUE(s_->Insert(T2(10, 100)).ok());
+  ASSERT_TRUE(s_->Insert(T2(30, 300)).ok());
+
+  auto out = Eval(JoinRule());
+  EXPECT_EQ(out, (std::set<Tuple>{T1(1), T1(3)}));
+}
+
+TEST_F(QueryTest, JoinWithConstant) {
+  // Q(x) :- R(x, 10).
+  ASSERT_TRUE(r_->Insert(T2(1, 10)).ok());
+  ASSERT_TRUE(r_->Insert(T2(2, 20)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Const(Value::Int(10))}, false});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T1(1)}));
+}
+
+TEST_F(QueryTest, RepeatedVariableWithinAtom) {
+  // Q(x) :- R(x, x).
+  ASSERT_TRUE(r_->Insert(T2(5, 5)).ok());
+  ASSERT_TRUE(r_->Insert(T2(5, 6)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("x")}, false});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T1(5)}));
+}
+
+TEST_F(QueryTest, SelfJoin) {
+  // Q(x) :- R(x, y), R(y, x).
+  ASSERT_TRUE(r_->Insert(T2(1, 2)).ok());
+  ASSERT_TRUE(r_->Insert(T2(2, 1)).ok());
+  ASSERT_TRUE(r_->Insert(T2(3, 4)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  rule.body.push_back({"R", {Term::Var("y"), Term::Var("x")}, false});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T1(1), T1(2)}));
+}
+
+TEST_F(QueryTest, NegationAsAbsence) {
+  // Q(x) :- R(x, y), !S(y, y).
+  ASSERT_TRUE(r_->Insert(T2(1, 10)).ok());
+  ASSERT_TRUE(r_->Insert(T2(2, 20)).ok());
+  ASSERT_TRUE(s_->Insert(T2(10, 10)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  rule.body.push_back({"S", {Term::Var("y"), Term::Var("y")}, true});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T1(2)}));
+}
+
+TEST_F(QueryTest, Conditions) {
+  // Q(x) :- R(x, y), x != y, y > 5.
+  ASSERT_TRUE(r_->Insert(T2(1, 1)).ok());
+  ASSERT_TRUE(r_->Insert(T2(2, 9)).ok());
+  ASSERT_TRUE(r_->Insert(T2(3, 4)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  rule.conditions.push_back({Term::Var("x"), CmpOp::kNe, Term::Var("y")});
+  rule.conditions.push_back({Term::Var("y"), CmpOp::kGt, Term::Const(Value::Int(5))});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T1(2)}));
+}
+
+TEST_F(QueryTest, HeadConstants) {
+  // Q2(x, 99) :- R(x, y).  (using S as a 2-col output table)
+  ASSERT_TRUE(r_->Insert(T2(7, 8)).ok());
+  ConjunctiveRule rule;
+  rule.head = {"S", {Term::Var("x"), Term::Const(Value::Int(99))}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  EXPECT_EQ(Eval(rule), (std::set<Tuple>{T2(7, 99)}));
+}
+
+TEST_F(QueryTest, UnsafeRuleRejected) {
+  // Q(z) :- R(x, y).  z unbound.
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("z")}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, false});
+  RuleEvaluator ev(&catalog_);
+  Status st = ev.Evaluate(rule, [](const Tuple&) {});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(QueryTest, NegatedOnlyBodyRejected) {
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Const(Value::Int(1))}, false};
+  rule.body.push_back({"R", {Term::Var("x"), Term::Var("y")}, true});
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+TEST_F(QueryTest, MissingTableIsError) {
+  ConjunctiveRule rule;
+  rule.head = {"Q", {Term::Var("x")}, false};
+  rule.body.push_back({"ZZZ", {Term::Var("x")}, false});
+  RuleEvaluator ev(&catalog_);
+  Status st = ev.Evaluate(rule, [](const Tuple&) {});
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(DatalogTest, TransitiveClosure) {
+  Catalog catalog;
+  Table* edge = *catalog.CreateTable("Edge", Int2());
+  ASSERT_TRUE(catalog.CreateTable("Path", Int2()).ok());
+  ASSERT_TRUE(edge->Insert(T2(1, 2)).ok());
+  ASSERT_TRUE(edge->Insert(T2(2, 3)).ok());
+  ASSERT_TRUE(edge->Insert(T2(3, 4)).ok());
+
+  std::vector<ConjunctiveRule> rules(2);
+  rules[0].head = {"Path", {Term::Var("x"), Term::Var("y")}, false};
+  rules[0].body.push_back({"Edge", {Term::Var("x"), Term::Var("y")}, false});
+  rules[1].head = {"Path", {Term::Var("x"), Term::Var("z")}, false};
+  rules[1].body.push_back({"Path", {Term::Var("x"), Term::Var("y")}, false});
+  rules[1].body.push_back({"Edge", {Term::Var("y"), Term::Var("z")}, false});
+
+  DatalogEngine engine(&catalog);
+  ASSERT_TRUE(engine.Evaluate(rules).ok());
+  Table* path = *catalog.GetTable("Path");
+  EXPECT_EQ(path->size(), 6u);  // 1->2,1->3,1->4,2->3,2->4,3->4
+  EXPECT_TRUE(path->Contains(T2(1, 4)));
+  EXPECT_FALSE(path->Contains(T2(4, 1)));
+}
+
+TEST(DatalogTest, StratifiedNegation) {
+  Catalog catalog;
+  Table* node = *catalog.CreateTable("Node", Int1());
+  Table* edge = *catalog.CreateTable("Edge", Int2());
+  ASSERT_TRUE(catalog.CreateTable("Reach", Int1()).ok());
+  ASSERT_TRUE(catalog.CreateTable("Unreach", Int1()).ok());
+  for (int i = 1; i <= 5; ++i) ASSERT_TRUE(node->Insert(T1(i)).ok());
+  ASSERT_TRUE(edge->Insert(T2(1, 2)).ok());
+  ASSERT_TRUE(edge->Insert(T2(2, 3)).ok());
+
+  std::vector<ConjunctiveRule> rules(3);
+  // Reach(1). encoded as Reach(x) :- Node(x), x = 1.
+  rules[0].head = {"Reach", {Term::Var("x")}, false};
+  rules[0].body.push_back({"Node", {Term::Var("x")}, false});
+  rules[0].conditions.push_back({Term::Var("x"), CmpOp::kEq, Term::Const(Value::Int(1))});
+  rules[1].head = {"Reach", {Term::Var("y")}, false};
+  rules[1].body.push_back({"Reach", {Term::Var("x")}, false});
+  rules[1].body.push_back({"Edge", {Term::Var("x"), Term::Var("y")}, false});
+  rules[2].head = {"Unreach", {Term::Var("x")}, false};
+  rules[2].body.push_back({"Node", {Term::Var("x")}, false});
+  rules[2].body.push_back({"Reach", {Term::Var("x")}, true});
+
+  DatalogEngine engine(&catalog);
+  ASSERT_TRUE(engine.Evaluate(rules).ok());
+  EXPECT_EQ((*catalog.GetTable("Reach"))->size(), 3u);    // 1,2,3
+  EXPECT_EQ((*catalog.GetTable("Unreach"))->size(), 2u);  // 4,5
+}
+
+TEST(DatalogTest, NegationThroughRecursionRejected) {
+  // P(x) :- Node(x), !P(x). — not stratifiable.
+  std::vector<ConjunctiveRule> rules(1);
+  rules[0].head = {"P", {Term::Var("x")}, false};
+  rules[0].body.push_back({"Node", {Term::Var("x")}, false});
+  rules[0].body.push_back({"P", {Term::Var("x")}, true});
+  auto strat = Stratify(rules);
+  EXPECT_FALSE(strat.ok());
+}
+
+TEST(DatalogTest, StratifyOrdersDependenciesFirst) {
+  // B :- A.  C :- B.  A is base.
+  std::vector<ConjunctiveRule> rules(2);
+  rules[0].head = {"C", {Term::Var("x")}, false};
+  rules[0].body.push_back({"B", {Term::Var("x")}, false});
+  rules[1].head = {"B", {Term::Var("x")}, false};
+  rules[1].body.push_back({"A", {Term::Var("x")}, false});
+  auto strat = Stratify(rules);
+  ASSERT_TRUE(strat.ok());
+  ASSERT_EQ(strat->strata.size(), 2u);
+  EXPECT_EQ(strat->strata[0][0], "B");
+  EXPECT_EQ(strat->strata[1][0], "C");
+  EXPECT_FALSE(strat->has_recursion);
+}
+
+TEST(ConditionTest, AllOperators) {
+  Value a = Value::Int(1), b = Value::Int(2);
+  EXPECT_TRUE(EvalCondition(a, CmpOp::kLt, b));
+  EXPECT_TRUE(EvalCondition(a, CmpOp::kLe, b));
+  EXPECT_TRUE(EvalCondition(a, CmpOp::kLe, a));
+  EXPECT_TRUE(EvalCondition(b, CmpOp::kGt, a));
+  EXPECT_TRUE(EvalCondition(b, CmpOp::kGe, b));
+  EXPECT_TRUE(EvalCondition(a, CmpOp::kNe, b));
+  EXPECT_TRUE(EvalCondition(a, CmpOp::kEq, a));
+  EXPECT_FALSE(EvalCondition(a, CmpOp::kEq, b));
+}
+
+}  // namespace
+}  // namespace dd

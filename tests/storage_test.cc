@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "storage/value.h"
+
+namespace dd {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));  // typed equality
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Cross-type: ordered by type tag, stable both directions.
+  Value a = Value::Int(5), b = Value::String("x");
+  EXPECT_NE(a < b, b < a);
+}
+
+TEST(ValueTest, HashDistinguishesValues) {
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+  EXPECT_NE(Value::String("a").Hash(), Value::String("b").Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Bool(true).Hash(), Value::Bool(false).Hash());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("x").ToString(), "\"x\"");
+}
+
+Tuple T2(int64_t a, int64_t b) {
+  return Tuple({Value::Int(a), Value::Int(b)});
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  EXPECT_EQ(T2(1, 2), T2(1, 2));
+  EXPECT_NE(T2(1, 2), T2(2, 1));
+  EXPECT_EQ(T2(1, 2).Hash(), T2(1, 2).Hash());
+  EXPECT_NE(T2(1, 2).Hash(), T2(2, 1).Hash());  // order-sensitive
+}
+
+TEST(TupleTest, Ordering) {
+  EXPECT_LT(T2(1, 2), T2(1, 3));
+  EXPECT_LT(T2(1, 9), T2(2, 0));
+  Tuple shorter({Value::Int(1)});
+  EXPECT_LT(shorter, T2(1, 0));
+}
+
+Schema TwoIntSchema() {
+  return Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}});
+}
+
+TEST(TableTest, InsertDedup) {
+  Table t("t", TwoIntSchema());
+  auto r1 = t.Insert(T2(1, 2));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->second);
+  auto r2 = t.Insert(T2(1, 2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->second);               // duplicate
+  EXPECT_EQ(r1->first, r2->first);        // same row id
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, TypeChecking) {
+  Table t("t", TwoIntSchema());
+  auto bad = t.Insert(Tuple({Value::Int(1), Value::String("x")}));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+  auto wrong_arity = t.Insert(Tuple({Value::Int(1)}));
+  EXPECT_FALSE(wrong_arity.ok());
+  // NULL allowed in any column.
+  auto with_null = t.Insert(Tuple({Value::Int(1), Value::Null()}));
+  EXPECT_TRUE(with_null.ok());
+}
+
+TEST(TableTest, EraseAndReinsertKeepsRowId) {
+  Table t("t", TwoIntSchema());
+  auto r1 = t.Insert(T2(1, 2));
+  ASSERT_TRUE(r1.ok());
+  int64_t id = r1->first;
+  EXPECT_TRUE(t.Erase(T2(1, 2)));
+  EXPECT_FALSE(t.Contains(T2(1, 2)));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.Erase(T2(1, 2)));  // double erase is a no-op
+  auto r2 = t.Insert(T2(1, 2));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->first, id);  // tombstone reuse: stable id
+  EXPECT_TRUE(r2->second);
+}
+
+TEST(TableTest, ScanReturnsOnlyLive) {
+  Table t("t", TwoIntSchema());
+  ASSERT_TRUE(t.Insert(T2(1, 1)).ok());
+  ASSERT_TRUE(t.Insert(T2(2, 2)).ok());
+  ASSERT_TRUE(t.Insert(T2(3, 3)).ok());
+  t.Erase(T2(2, 2));
+  auto rows = t.Scan();
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(TableTest, FindReturnsMinusOneForDeleted) {
+  Table t("t", TwoIntSchema());
+  ASSERT_TRUE(t.Insert(T2(1, 1)).ok());
+  t.Erase(T2(1, 1));
+  EXPECT_EQ(t.Find(T2(1, 1)), -1);
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Catalog catalog;
+  auto t = catalog.CreateTable("r", TwoIntSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(catalog.HasTable("r"));
+  auto dup = catalog.CreateTable("r", TwoIntSchema());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  auto got = catalog.GetTable("r");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, *t);
+  EXPECT_TRUE(catalog.DropTable("r").ok());
+  EXPECT_EQ(catalog.GetTable("r").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, GetOrCreateChecksSchema) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("r", TwoIntSchema()).ok());
+  auto same = catalog.GetOrCreateTable("r", TwoIntSchema());
+  EXPECT_TRUE(same.ok());
+  Schema other({{"a", ValueType::kString}});
+  auto mismatch = catalog.GetOrCreateTable("r", other);
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kTypeError);
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TwoIntSchema();
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("zzz"), -1);
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,95 @@
+// Model-based stress tests: the Table against a reference std::set under
+// random workloads, and every SpouseApp option combination producing a
+// valid, analyzable DDlog program (the devloop/bench paths toggle these
+// freely, so all 2^6 program variants must parse).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ddlog/parser.h"
+#include "storage/table.h"
+#include "testdata/ads_app.h"
+#include "testdata/genomics_app.h"
+#include "testdata/spouse_app.h"
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+class TableModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TableModelTest, MatchesReferenceSetModel) {
+  Rng rng(GetParam());
+  Table table("t", Schema({{"a", ValueType::kInt}, {"b", ValueType::kString}}));
+  std::set<std::pair<int64_t, std::string>> model;
+
+  const char* words[] = {"x", "y", "z", "w"};
+  for (int op = 0; op < 3000; ++op) {
+    int64_t a = rng.NextInt(0, 20);
+    std::string b = words[rng.NextBounded(4)];
+    Tuple t({Value::Int(a), Value::String(b)});
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      auto result = table.Insert(t);
+      ASSERT_TRUE(result.ok());
+      bool was_new = model.emplace(a, b).second;
+      EXPECT_EQ(result->second, was_new);
+    } else if (dice < 0.9) {
+      bool erased_table = table.Erase(t);
+      bool erased_model = model.erase({a, b}) > 0;
+      EXPECT_EQ(erased_table, erased_model);
+    } else {
+      EXPECT_EQ(table.Contains(t), model.count({a, b}) > 0);
+    }
+    if (op % 500 == 0) {
+      ASSERT_EQ(table.size(), model.size());
+      // Full content check.
+      for (const Tuple& row : table.Scan()) {
+        EXPECT_TRUE(model.count({row.at(0).AsInt(), row.at(1).AsString()}) > 0);
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TableModelTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(SpouseAppMatrixTest, EveryOptionComboYieldsValidProgram) {
+  for (int mask = 0; mask < 64; ++mask) {
+    SpouseAppOptions app;
+    app.use_distance_features = mask & 1;
+    app.use_bow_features = mask & 2;
+    app.use_phrase_features = mask & 4;
+    app.use_sibling_negatives = mask & 8;
+    app.use_closure_negatives = mask & 16;
+    app.entity_level = mask & 32;
+    std::string source = SpouseDdlog(app);
+    auto program = ParseDdlog(source);
+    ASSERT_TRUE(program.ok()) << "mask " << mask << ": "
+                              << program.status().ToString();
+    ASSERT_TRUE(AnalyzeProgram(*program).ok())
+        << "mask " << mask << ": " << source;
+    // Round-trip through the printer too.
+    auto reparsed = ParseDdlog(program->ToString());
+    ASSERT_TRUE(reparsed.ok()) << "mask " << mask;
+    EXPECT_EQ(program->rules.size(), reparsed->rules.size());
+  }
+}
+
+TEST(GenomicsAdsProgramsTest, ParseAndAnalyze) {
+  // The other two applications' programs are valid under both toggles.
+  for (bool closure : {false, true}) {
+    GenomicsAppOptions genomics;
+    genomics.use_closure_negatives = closure;
+    auto program = ParseDdlog(GenomicsDdlog(genomics));
+    ASSERT_TRUE(program.ok());
+    EXPECT_TRUE(AnalyzeProgram(*program).ok());
+  }
+  auto ads = ParseDdlog(AdsDdlog());
+  ASSERT_TRUE(ads.ok());
+  EXPECT_TRUE(AnalyzeProgram(*ads).ok());
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testdata/corpus_ads.h"
+#include "testdata/corpus_genomics.h"
+#include "testdata/corpus_spouse.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace dd {
+namespace {
+
+TEST(SpouseCorpusTest, ShapeAndDeterminism) {
+  SpouseCorpusOptions options;
+  options.num_documents = 50;
+  options.seed = 5;
+  SpouseCorpus a = GenerateSpouseCorpus(options);
+  SpouseCorpus b = GenerateSpouseCorpus(options);
+  EXPECT_EQ(a.documents.size(), 50u);
+  EXPECT_EQ(a.married_truth.size(),
+            static_cast<size_t>(options.num_married_pairs));
+  ASSERT_EQ(a.documents.size(), b.documents.size());
+  for (size_t i = 0; i < a.documents.size(); ++i) {
+    EXPECT_EQ(a.documents[i].second, b.documents[i].second);
+  }
+  // KB is a subset of the truth.
+  std::set<std::pair<std::string, std::string>> truth(a.married_truth.begin(),
+                                                      a.married_truth.end());
+  for (const auto& pair : a.kb_married) EXPECT_TRUE(truth.count(pair) > 0);
+  EXPECT_LE(a.kb_married.size(), a.married_truth.size());
+}
+
+TEST(SpouseCorpusTest, PairsAreOrderedAndDisjoint) {
+  SpouseCorpus corpus = GenerateSpouseCorpus(SpouseCorpusOptions());
+  std::set<std::string> married_members;
+  for (const auto& [x, y] : corpus.married_truth) {
+    EXPECT_LT(x, y);  // canonical order
+    married_members.insert(x);
+    married_members.insert(y);
+  }
+  for (const auto& [x, y] : corpus.kb_siblings) {
+    // Siblings are disjoint from married pairs (a person is in only one).
+    EXPECT_EQ(married_members.count(x), 0u);
+    EXPECT_EQ(married_members.count(y), 0u);
+  }
+}
+
+TEST(SpouseCorpusTest, CorruptionChangesText) {
+  SpouseCorpusOptions clean_options;
+  clean_options.seed = 6;
+  SpouseCorpusOptions noisy_options = clean_options;
+  noisy_options.corruption = 1.0;
+  SpouseCorpus clean = GenerateSpouseCorpus(clean_options);
+  SpouseCorpus noisy = GenerateSpouseCorpus(noisy_options);
+  size_t differing = 0;
+  for (size_t i = 0; i < clean.documents.size(); ++i) {
+    if (clean.documents[i].second != noisy.documents[i].second) ++differing;
+  }
+  EXPECT_GT(differing, clean.documents.size() / 2);
+}
+
+TEST(GenomicsCorpusTest, ShapeAndDictionaries) {
+  GenomicsCorpusOptions options;
+  options.seed = 7;
+  GenomicsCorpus corpus = GenerateGenomicsCorpus(options);
+  EXPECT_EQ(corpus.documents.size(), static_cast<size_t>(options.num_abstracts));
+  EXPECT_FALSE(corpus.genes.empty());
+  EXPECT_FALSE(corpus.phenotypes.empty());
+  EXPECT_FALSE(corpus.association_truth.empty());
+  EXPECT_LE(corpus.kb_associations.size(), corpus.association_truth.size());
+  // Phenotypes are two-word phrases (gazetteer exercises multi-token).
+  for (const std::string& p : corpus.phenotypes) {
+    EXPECT_NE(p.find(' '), std::string::npos);
+  }
+}
+
+TEST(AdsCorpusTest, ShapeAndTruth) {
+  AdsCorpusOptions options;
+  options.num_ads = 100;
+  options.seed = 8;
+  AdsCorpus corpus = GenerateAdsCorpus(options);
+  EXPECT_EQ(corpus.ads.size(), 100u);
+  for (const Ad& ad : corpus.ads) {
+    EXPECT_FALSE(ad.text.empty());
+    EXPECT_GT(ad.price, 0);
+    // The planted truth values appear in the ad text.
+    EXPECT_NE(ad.text.find(ad.city), std::string::npos);
+    EXPECT_NE(ad.text.find(ad.worker), std::string::npos);
+    EXPECT_NE(ad.text.find(std::to_string(ad.price)), std::string::npos);
+  }
+}
+
+TEST(AdsCorpusTest, MultiCityWorkersExist) {
+  AdsCorpusOptions options;
+  options.num_workers = 50;
+  options.multi_city_fraction = 0.5;
+  options.seed = 9;
+  AdsCorpus corpus = GenerateAdsCorpus(options);
+  EXPECT_GT(corpus.multi_city_workers.size(), 10u);
+}
+
+TEST(SyntheticGraphsTest, RandomGraphShape) {
+  SyntheticGraphOptions options;
+  options.num_variables = 500;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.2;
+  FactorGraph graph = MakeRandomGraph(options);
+  EXPECT_EQ(graph.num_variables(), 500u);
+  EXPECT_EQ(graph.num_factors(), 1000u);
+  EXPECT_TRUE(graph.finalized());
+  size_t evidence = 0;
+  for (uint32_t v = 0; v < graph.num_variables(); ++v) {
+    evidence += graph.is_evidence(v);
+  }
+  EXPECT_NEAR(static_cast<double>(evidence) / 500.0, 0.2, 0.08);
+}
+
+TEST(SyntheticGraphsTest, ChainGraph) {
+  FactorGraph graph = MakeChainGraph(50, 1.5, 1);
+  EXPECT_EQ(graph.num_variables(), 50u);
+  EXPECT_TRUE(graph.finalized());
+  // 49 imply factors + ceil(50/7)=8 priors.
+  EXPECT_EQ(graph.num_factors(), 49u + 8u);
+}
+
+TEST(SyntheticGraphsTest, ClassificationGraphAllEvidence) {
+  FactorGraph graph = MakeClassificationGraph(200, 30, 5, 2);
+  EXPECT_EQ(graph.num_variables(), 200u);
+  EXPECT_EQ(graph.num_weights(), 30u);
+  EXPECT_EQ(graph.num_factors(), 1000u);
+  for (uint32_t v = 0; v < graph.num_variables(); ++v) {
+    EXPECT_TRUE(graph.is_evidence(v));
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,180 @@
+// Tests for the TSV bridge, MAP inference, and holdout calibration.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "inference/exact.h"
+#include "inference/map.h"
+#include "storage/tsv.h"
+#include "testdata/spouse_app.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace dd {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({{"id", ValueType::kInt},
+                 {"name", ValueType::kString},
+                 {"score", ValueType::kDouble},
+                 {"flag", ValueType::kBool}});
+}
+
+TEST(TsvTest, RoundTrip) {
+  Table t("t", MixedSchema());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int(1), Value::String("plain"),
+                              Value::Double(1.5), Value::Bool(true)}))
+                  .ok());
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int(-2), Value::String("tab\there\nand nl\\"),
+                              Value::Null(), Value::Bool(false)}))
+                  .ok());
+  std::string tsv = TableToTsv(t);
+
+  Table back("back", MixedSchema());
+  auto loaded = LoadTsv(&back, tsv);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_TRUE(back.Contains(Tuple({Value::Int(1), Value::String("plain"),
+                                   Value::Double(1.5), Value::Bool(true)})));
+  EXPECT_TRUE(back.Contains(Tuple({Value::Int(-2),
+                                   Value::String("tab\there\nand nl\\"),
+                                   Value::Null(), Value::Bool(false)})));
+}
+
+TEST(TsvTest, DuplicatesCollapse) {
+  Table t("t", Schema({{"x", ValueType::kInt}}));
+  auto loaded = LoadTsv(&t, "1\n1\n2\n");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(TsvTest, ParseErrorsIdentified) {
+  Table t("t", Schema({{"x", ValueType::kInt}, {"y", ValueType::kDouble}}));
+  auto bad_arity = LoadTsv(&t, "1\t2.0\n3\n");
+  EXPECT_FALSE(bad_arity.ok());
+  EXPECT_NE(bad_arity.status().message().find("line 2"), std::string::npos);
+  auto bad_int = LoadTsv(&t, "xyz\t2.0\n");
+  EXPECT_FALSE(bad_int.ok());
+  auto bad_bool_table = Table("b", Schema({{"f", ValueType::kBool}}));
+  EXPECT_FALSE(LoadTsv(&bad_bool_table, "maybe\n").ok());
+}
+
+TEST(TsvTest, FileRoundTrip) {
+  Table t("t", Schema({{"x", ValueType::kInt}}));
+  ASSERT_TRUE(t.Insert(Tuple({Value::Int(7)})).ok());
+  std::string path = "/tmp/dd_tsv_test.tsv";
+  ASSERT_TRUE(WriteTsvFile(t, path).ok());
+  Table back("back", t.schema());
+  auto loaded = LoadTsvFile(&back, path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(back.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadTsvFile(&back, "/tmp/definitely_missing_dd.tsv").ok());
+}
+
+/// Exact MAP by enumeration (test oracle).
+double ExactMapLogPotential(const FactorGraph& graph) {
+  const size_t nv = graph.num_variables();
+  std::vector<uint8_t> assignment(nv, 0);
+  std::vector<uint32_t> free_vars;
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (graph.is_evidence(v)) {
+      assignment[v] = graph.evidence_value(v) ? 1 : 0;
+    } else {
+      free_vars.push_back(v);
+    }
+  }
+  double best = -1e300;
+  for (uint64_t world = 0; world < (1ULL << free_vars.size()); ++world) {
+    for (size_t i = 0; i < free_vars.size(); ++i) {
+      assignment[free_vars[i]] = (world >> i) & 1;
+    }
+    best = std::max(best, graph.LogPotential(assignment.data()));
+  }
+  return best;
+}
+
+class MapOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapOracleTest, FindsOptimalWorld) {
+  SyntheticGraphOptions options;
+  options.num_variables = 14;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.15;
+  options.seed = GetParam();
+  FactorGraph graph = MakeRandomGraph(options);
+
+  MapOptions map_options;
+  map_options.sweeps = 300;
+  map_options.restarts = 4;
+  auto result = MapInference(graph, map_options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  double exact = ExactMapLogPotential(graph);
+  // Annealing + greedy polish should land on (or within a hair of) the
+  // global optimum at this size.
+  EXPECT_NEAR(result->log_potential, exact, 1e-9) << "seed " << GetParam();
+  // Evidence stays clamped.
+  for (uint32_t v = 0; v < graph.num_variables(); ++v) {
+    if (graph.is_evidence(v)) {
+      EXPECT_EQ(result->assignment[v], graph.evidence_value(v) ? 1 : 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapOracleTest, ::testing::Values(31, 32, 33, 34, 35));
+
+TEST(MapTest, InvalidOptionsRejected) {
+  FactorGraph graph = MakeChainGraph(5, 1.0, 1);
+  MapOptions options;
+  options.sweeps = 0;
+  EXPECT_FALSE(MapInference(graph, options).ok());
+  options.sweeps = 10;
+  options.initial_temperature = -1;
+  EXPECT_FALSE(MapInference(graph, options).ok());
+}
+
+TEST(HoldoutTest, PipelineCalibration) {
+  SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = 120;
+  corpus_options.seed = 61;
+  SpouseCorpus corpus = GenerateSpouseCorpus(corpus_options);
+
+  PipelineOptions options;
+  options.learn.epochs = 150;
+  options.learn.learning_rate = 0.05;
+  options.inference.full_burn_in = 100;
+  options.inference.num_samples = 400;
+  options.holdout_fraction = 0.25;
+  options.strategy = PipelineOptions::Strategy::kSampling;
+
+  auto pipeline = MakeSpousePipeline(corpus, SpouseAppOptions(), options);
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  // A quarter of the labels were held out of training.
+  const GroundingStats& stats = (*pipeline)->grounding_stats();
+  EXPECT_GT(stats.num_holdout, 0u);
+  EXPECT_GT(stats.num_evidence, stats.num_holdout);
+
+  auto calibration = (*pipeline)->Calibration("MarriedMention");
+  ASSERT_TRUE(calibration.ok()) << calibration.status().ToString();
+  EXPECT_EQ(calibration->num_test, stats.num_holdout);
+  EXPECT_GT(calibration->num_train, 0u);
+  // The held-out items were never clamped, yet the model should be well
+  // calibrated on them (generalization, not memorization).
+  EXPECT_LT(calibration->test.MaxCalibrationGap(), 0.35);
+  EXPECT_GT(calibration->test.ExtremeMassFraction(), 0.5);
+
+  // Without holdout the test panel is empty.
+  options.holdout_fraction = 0.0;
+  auto no_holdout = MakeSpousePipeline(corpus, SpouseAppOptions(), options);
+  ASSERT_TRUE(no_holdout.ok());
+  ASSERT_TRUE((*no_holdout)->Run().ok());
+  auto empty_cal = (*no_holdout)->Calibration("MarriedMention");
+  ASSERT_TRUE(empty_cal.ok());
+  EXPECT_EQ(empty_cal->num_test, 0u);
+}
+
+}  // namespace
+}  // namespace dd
