@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dw_vs_graphlab"
+  "../bench/bench_dw_vs_graphlab.pdb"
+  "CMakeFiles/bench_dw_vs_graphlab.dir/bench_dw_vs_graphlab.cc.o"
+  "CMakeFiles/bench_dw_vs_graphlab.dir/bench_dw_vs_graphlab.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dw_vs_graphlab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_dw_vs_graphlab.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dw_vs_graphlab.
+# This may be replaced when dependencies are built.

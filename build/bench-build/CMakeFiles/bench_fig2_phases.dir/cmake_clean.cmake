@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_phases"
+  "../bench/bench_fig2_phases.pdb"
+  "CMakeFiles/bench_fig2_phases.dir/bench_fig2_phases.cc.o"
+  "CMakeFiles/bench_fig2_phases.dir/bench_fig2_phases.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_grounding"
+  "../bench/bench_incremental_grounding.pdb"
+  "CMakeFiles/bench_incremental_grounding.dir/bench_incremental_grounding.cc.o"
+  "CMakeFiles/bench_incremental_grounding.dir/bench_incremental_grounding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_grounding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

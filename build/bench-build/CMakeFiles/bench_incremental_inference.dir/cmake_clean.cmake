@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_inference"
+  "../bench/bench_incremental_inference.pdb"
+  "CMakeFiles/bench_incremental_inference.dir/bench_incremental_inference.cc.o"
+  "CMakeFiles/bench_incremental_inference.dir/bench_incremental_inference.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_incremental_pipeline"
+  "../bench/bench_incremental_pipeline.pdb"
+  "CMakeFiles/bench_incremental_pipeline.dir/bench_incremental_pipeline.cc.o"
+  "CMakeFiles/bench_incremental_pipeline.dir/bench_incremental_pipeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incremental_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

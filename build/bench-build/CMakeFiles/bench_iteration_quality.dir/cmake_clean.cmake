@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_iteration_quality"
+  "../bench/bench_iteration_quality.pdb"
+  "CMakeFiles/bench_iteration_quality.dir/bench_iteration_quality.cc.o"
+  "CMakeFiles/bench_iteration_quality.dir/bench_iteration_quality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iteration_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

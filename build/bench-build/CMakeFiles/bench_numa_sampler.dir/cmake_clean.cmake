@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_numa_sampler"
+  "../bench/bench_numa_sampler.pdb"
+  "CMakeFiles/bench_numa_sampler.dir/bench_numa_sampler.cc.o"
+  "CMakeFiles/bench_numa_sampler.dir/bench_numa_sampler.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

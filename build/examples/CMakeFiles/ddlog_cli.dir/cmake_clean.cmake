@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddlog_cli.dir/ddlog_cli.cpp.o"
+  "CMakeFiles/ddlog_cli.dir/ddlog_cli.cpp.o.d"
+  "ddlog_cli"
+  "ddlog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddlog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

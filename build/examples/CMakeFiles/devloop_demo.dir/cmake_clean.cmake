@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devloop_demo.dir/devloop_demo.cpp.o"
+  "CMakeFiles/devloop_demo.dir/devloop_demo.cpp.o.d"
+  "devloop_demo"
+  "devloop_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devloop_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics.dir/genomics.cpp.o"
+  "CMakeFiles/genomics.dir/genomics.cpp.o.d"
+  "genomics"
+  "genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

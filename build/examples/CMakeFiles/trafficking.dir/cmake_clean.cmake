@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trafficking.dir/trafficking.cpp.o"
+  "CMakeFiles/trafficking.dir/trafficking.cpp.o.d"
+  "trafficking"
+  "trafficking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trafficking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

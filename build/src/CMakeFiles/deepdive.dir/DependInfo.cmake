@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cc" "src/CMakeFiles/deepdive.dir/core/calibration.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/calibration.cc.o.d"
+  "/root/repo/src/core/devloop.cc" "src/CMakeFiles/deepdive.dir/core/devloop.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/devloop.cc.o.d"
+  "/root/repo/src/core/diagnostics.cc" "src/CMakeFiles/deepdive.dir/core/diagnostics.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/diagnostics.cc.o.d"
+  "/root/repo/src/core/error_analysis.cc" "src/CMakeFiles/deepdive.dir/core/error_analysis.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/error_analysis.cc.o.d"
+  "/root/repo/src/core/feature_selection.cc" "src/CMakeFiles/deepdive.dir/core/feature_selection.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/feature_selection.cc.o.d"
+  "/root/repo/src/core/features.cc" "src/CMakeFiles/deepdive.dir/core/features.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/features.cc.o.d"
+  "/root/repo/src/core/mindtagger.cc" "src/CMakeFiles/deepdive.dir/core/mindtagger.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/mindtagger.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/deepdive.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/udf.cc" "src/CMakeFiles/deepdive.dir/core/udf.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/core/udf.cc.o.d"
+  "/root/repo/src/ddlog/lexer.cc" "src/CMakeFiles/deepdive.dir/ddlog/lexer.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/ddlog/lexer.cc.o.d"
+  "/root/repo/src/ddlog/parser.cc" "src/CMakeFiles/deepdive.dir/ddlog/parser.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/ddlog/parser.cc.o.d"
+  "/root/repo/src/factor/graph.cc" "src/CMakeFiles/deepdive.dir/factor/graph.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/factor/graph.cc.o.d"
+  "/root/repo/src/factor/io.cc" "src/CMakeFiles/deepdive.dir/factor/io.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/factor/io.cc.o.d"
+  "/root/repo/src/grounding/grounder.cc" "src/CMakeFiles/deepdive.dir/grounding/grounder.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/grounding/grounder.cc.o.d"
+  "/root/repo/src/inference/convergence.cc" "src/CMakeFiles/deepdive.dir/inference/convergence.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/convergence.cc.o.d"
+  "/root/repo/src/inference/exact.cc" "src/CMakeFiles/deepdive.dir/inference/exact.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/exact.cc.o.d"
+  "/root/repo/src/inference/gibbs.cc" "src/CMakeFiles/deepdive.dir/inference/gibbs.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/gibbs.cc.o.d"
+  "/root/repo/src/inference/hogwild.cc" "src/CMakeFiles/deepdive.dir/inference/hogwild.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/hogwild.cc.o.d"
+  "/root/repo/src/inference/incremental.cc" "src/CMakeFiles/deepdive.dir/inference/incremental.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/incremental.cc.o.d"
+  "/root/repo/src/inference/learner.cc" "src/CMakeFiles/deepdive.dir/inference/learner.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/learner.cc.o.d"
+  "/root/repo/src/inference/map.cc" "src/CMakeFiles/deepdive.dir/inference/map.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/map.cc.o.d"
+  "/root/repo/src/inference/meanfield.cc" "src/CMakeFiles/deepdive.dir/inference/meanfield.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/meanfield.cc.o.d"
+  "/root/repo/src/inference/numa.cc" "src/CMakeFiles/deepdive.dir/inference/numa.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/inference/numa.cc.o.d"
+  "/root/repo/src/nlp/document.cc" "src/CMakeFiles/deepdive.dir/nlp/document.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/nlp/document.cc.o.d"
+  "/root/repo/src/nlp/html.cc" "src/CMakeFiles/deepdive.dir/nlp/html.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/nlp/html.cc.o.d"
+  "/root/repo/src/nlp/ner.cc" "src/CMakeFiles/deepdive.dir/nlp/ner.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/nlp/ner.cc.o.d"
+  "/root/repo/src/nlp/pos.cc" "src/CMakeFiles/deepdive.dir/nlp/pos.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/nlp/pos.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/CMakeFiles/deepdive.dir/nlp/tokenizer.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/nlp/tokenizer.cc.o.d"
+  "/root/repo/src/query/aggregates.cc" "src/CMakeFiles/deepdive.dir/query/aggregates.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/query/aggregates.cc.o.d"
+  "/root/repo/src/query/datalog.cc" "src/CMakeFiles/deepdive.dir/query/datalog.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/query/datalog.cc.o.d"
+  "/root/repo/src/query/dred.cc" "src/CMakeFiles/deepdive.dir/query/dred.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/query/dred.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/CMakeFiles/deepdive.dir/query/evaluator.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/query/evaluator.cc.o.d"
+  "/root/repo/src/query/rule.cc" "src/CMakeFiles/deepdive.dir/query/rule.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/query/rule.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/deepdive.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/deepdive.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/deepdive.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tsv.cc" "src/CMakeFiles/deepdive.dir/storage/tsv.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/tsv.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/deepdive.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/tuple.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/deepdive.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/storage/value.cc.o.d"
+  "/root/repo/src/testdata/ads_app.cc" "src/CMakeFiles/deepdive.dir/testdata/ads_app.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/ads_app.cc.o.d"
+  "/root/repo/src/testdata/corpus_ads.cc" "src/CMakeFiles/deepdive.dir/testdata/corpus_ads.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/corpus_ads.cc.o.d"
+  "/root/repo/src/testdata/corpus_genomics.cc" "src/CMakeFiles/deepdive.dir/testdata/corpus_genomics.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/corpus_genomics.cc.o.d"
+  "/root/repo/src/testdata/corpus_spouse.cc" "src/CMakeFiles/deepdive.dir/testdata/corpus_spouse.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/corpus_spouse.cc.o.d"
+  "/root/repo/src/testdata/genomics_app.cc" "src/CMakeFiles/deepdive.dir/testdata/genomics_app.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/genomics_app.cc.o.d"
+  "/root/repo/src/testdata/spouse_app.cc" "src/CMakeFiles/deepdive.dir/testdata/spouse_app.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/spouse_app.cc.o.d"
+  "/root/repo/src/testdata/synthetic_graphs.cc" "src/CMakeFiles/deepdive.dir/testdata/synthetic_graphs.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/testdata/synthetic_graphs.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/deepdive.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/deepdive.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/deepdive.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/deepdive.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dred_test.dir/dred_test.cc.o"
+  "CMakeFiles/dred_test.dir/dred_test.cc.o.d"
+  "dred_test"
+  "dred_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_graph_test.dir/factor_graph_test.cc.o"
+  "CMakeFiles/factor_graph_test.dir/factor_graph_test.cc.o.d"
+  "factor_graph_test"
+  "factor_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

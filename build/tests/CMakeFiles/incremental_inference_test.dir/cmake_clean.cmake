@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_inference_test.dir/incremental_inference_test.cc.o"
+  "CMakeFiles/incremental_inference_test.dir/incremental_inference_test.cc.o.d"
+  "incremental_inference_test"
+  "incremental_inference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/testdata_test.dir/testdata_test.cc.o"
+  "CMakeFiles/testdata_test.dir/testdata_test.cc.o.d"
+  "testdata_test"
+  "testdata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/testdata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

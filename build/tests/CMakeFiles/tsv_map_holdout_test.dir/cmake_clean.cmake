@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsv_map_holdout_test.dir/tsv_map_holdout_test.cc.o"
+  "CMakeFiles/tsv_map_holdout_test.dir/tsv_map_holdout_test.cc.o.d"
+  "tsv_map_holdout_test"
+  "tsv_map_holdout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsv_map_holdout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
