@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: plain build + tests, then the same suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (catches the OOB/UB class
+# of bugs the compiled kernel streams could introduce).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== plain build + ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+ctest --test-dir build --output-on-failure
+
+echo "=== sanitized build + ctest (address;undefined) ==="
+cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null
+cmake --build build-san -j
+ctest --test-dir build-san --output-on-failure
+
+echo "ci/check.sh: all green"

@@ -30,8 +30,12 @@ struct Literal {
   bool is_positive = true;
 };
 
-/// A tied weight. Multiple factors grounded from the same rule with the
-/// same feature value share one WeightId (Example 3.2's weight tying).
+/// Cold side of a tied weight: metadata that inference never touches.
+/// Multiple factors grounded from the same rule with the same feature
+/// value share one WeightId (Example 3.2's weight tying). The hot value
+/// lives in FactorGraph's dense weight_values_ array; `value` here is a
+/// mirror kept in sync by set_weight_value() so io/diagnostics code can
+/// keep reading the struct.
 struct Weight {
   double value = 0.0;
   bool is_fixed = false;      ///< fixed weights are not learned
@@ -40,8 +44,10 @@ struct Weight {
 
 /// Builder + compiled CSR ("column-to-row") representation of a factor
 /// graph. Build with AddVariable/AddWeight/AddFactor, then Finalize()
-/// compiles the flat arrays DimmWitted-style: factor→vars adjacency and
-/// the inverted var→factors adjacency, both contiguous.
+/// compiles the flat arrays DimmWitted-style: factor→vars adjacency, the
+/// inverted var→factors adjacency, and the per-variable delta kernel
+/// streams that the samplers execute (see DESIGN.md "Compiled kernel
+/// layout").
 class FactorGraph {
  public:
   FactorGraph() = default;
@@ -58,8 +64,8 @@ class FactorGraph {
   /// `weight_id`. Must be called before Finalize().
   Status AddFactor(FactorFunc func, uint32_t weight_id, std::vector<Literal> literals);
 
-  /// Compile the CSR arrays. Idempotent; called automatically by the
-  /// samplers if needed.
+  /// Compile the CSR arrays and the per-variable kernel streams.
+  /// Idempotent; called automatically by the samplers if needed.
   Status Finalize();
   bool finalized() const { return finalized_; }
 
@@ -71,7 +77,14 @@ class FactorGraph {
   bool is_evidence(uint32_t v) const { return var_is_evidence_[v]; }
   bool evidence_value(uint32_t v) const { return var_evidence_value_[v]; }
   const Weight& weight(uint32_t w) const { return weights_[w]; }
-  Weight* mutable_weight(uint32_t w) { return &weights_[w]; }
+
+  /// Hot-side weight access: the dense SoA array every inference and
+  /// learning loop reads. Writes go through set_weight_value so the cold
+  /// Weight mirror (and any compiled bias folding the weight) stays
+  /// consistent.
+  double weight_value(uint32_t w) const { return weight_values_[w]; }
+  const double* weight_values() const { return weight_values_.data(); }
+  void set_weight_value(uint32_t w, double value);
 
   FactorFunc factor_func(uint32_t f) const { return factor_func_[f]; }
   uint32_t factor_weight(uint32_t f) const { return factor_weight_[f]; }
@@ -101,14 +114,36 @@ class FactorGraph {
   /// Energy difference experienced by variable v:
   /// Σ_{f ∋ v} w_f · (h_f(v=1) − h_f(v=0)) under `assignment`.
   /// The Gibbs conditional is sigmoid of this value.
+  ///
+  /// This is the interpreted reference implementation (two EvalFactor
+  /// calls per adjacent factor through the CSR indirection); the
+  /// samplers run PotentialDeltaCompiled, which must agree bit-for-bit.
   double PotentialDelta(uint32_t v, const uint8_t* assignment) const;
 
+  /// Compiled delta kernel: walks variable v's flattened stream (built
+  /// by Finalize) — one contiguous buffer of ops with v's own position
+  /// pre-resolved, reading weights from the dense hot array. Produces
+  /// exactly the same double as PotentialDelta for every assignment.
+  double PotentialDeltaCompiled(uint32_t v, const uint8_t* assignment) const;
+
+  /// Size of the compiled stream in 32-bit words (diagnostics/tests).
+  size_t kernel_stream_words() const { return kernel_stream_.size(); }
+
  private:
+  // Classify factor f's contribution to v's delta and append the
+  // compiled op to *out. Returns false when the contribution is provably
+  // zero (op dropped). Sets *foldable_sign to ±1 when the op reduces to
+  // a signed weight read (kOpUnary), else 0.
+  bool CompileFactorOp(uint32_t f, uint32_t v, std::vector<uint32_t>* out,
+                       int* foldable_sign) const;
+  void CompileKernels();
+
   // Variables.
   std::vector<uint8_t> var_is_evidence_;
   std::vector<uint8_t> var_evidence_value_;
-  // Weights.
+  // Weights: cold metadata (AoS) + hot values (SoA), kept in sync.
   std::vector<Weight> weights_;
+  std::vector<double> weight_values_;
   // Factors (flat CSR).
   std::vector<FactorFunc> factor_func_;
   std::vector<uint32_t> factor_weight_;
@@ -117,6 +152,12 @@ class FactorGraph {
   // Inverted index (built by Finalize).
   std::vector<uint32_t> var_offsets_;  // size num_variables+1
   std::vector<uint32_t> var_factor_ids_;
+  // Compiled per-variable kernel streams (built by Finalize). Stream
+  // word format is documented in graph.cc next to the op tags.
+  std::vector<uint32_t> kernel_offsets_;  // size num_variables+1
+  std::vector<uint32_t> kernel_stream_;
+  std::vector<double> var_bias_;        // fully-folded constant deltas
+  std::vector<uint8_t> weight_in_bias_; // weight w folded into some bias?
   bool finalized_ = false;
 };
 

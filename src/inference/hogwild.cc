@@ -49,6 +49,9 @@ Result<std::vector<double>> HogwildSampler::RunMarginals() {
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (options_.num_samples < 1) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
   Rng init_rng(options_.seed);
   std::vector<uint8_t> assignment;
   auto parts = PartitionAndInit(*graph_, options_, &assignment, &init_rng);
@@ -70,10 +73,12 @@ Result<std::vector<double>> HogwildSampler::RunMarginals() {
     threads.emplace_back([&, t] {
       Rng rng(options_.seed + 0x9e3779b9 * (t + 1));
       uint8_t* a = assignment.data();
+      const bool compiled = options_.use_compiled;
       uint64_t local_steps = 0;
       for (int sweep = 0; sweep < total_sweeps; ++sweep) {
         for (uint32_t v : parts[t]) {
-          double delta = graph_->PotentialDelta(v, a);
+          double delta = compiled ? graph_->PotentialDeltaCompiled(v, a)
+                                  : graph_->PotentialDelta(v, a);
           a[v] = rng.NextBernoulli(Sigmoid(delta)) ? 1 : 0;
         }
         local_steps += parts[t].size();
@@ -114,6 +119,9 @@ Result<std::vector<double>> LockingSampler::RunMarginals() {
   }
   if (options_.num_threads < 1) {
     return Status::InvalidArgument("num_threads must be >= 1");
+  }
+  if (options_.num_samples < 1) {
+    return Status::InvalidArgument("num_samples must be >= 1");
   }
   Rng init_rng(options_.seed);
   const size_t nv = graph_->num_variables();
@@ -177,7 +185,8 @@ Result<std::vector<double>> LockingSampler::RunMarginals() {
           }
           // Lock the neighborhood in id order (deadlock-free).
           for (uint32_t u : scope[v]) locks[u].lock();
-          double delta = graph_->PotentialDelta(v, a);
+          double delta = options_.use_compiled ? graph_->PotentialDeltaCompiled(v, a)
+                                               : graph_->PotentialDelta(v, a);
           a[v] = rng.NextBernoulli(Sigmoid(delta)) ? 1 : 0;
           if (sweep >= options_.burn_in) counts[t][v] += a[v];
           for (auto it = scope[v].rbegin(); it != scope[v].rend(); ++it) {

@@ -44,10 +44,10 @@ Status Learner::Learn(const LearnOptions& options) {
     }
     double norm = 0.0;
     for (uint32_t w = 0; w < nw; ++w) {
-      Weight* weight = graph_->mutable_weight(w);
-      if (weight->is_fixed) continue;
-      double g = gradient[w] - options.l2 * weight->value;
-      weight->value += lr * g;
+      if (graph_->weight(w).is_fixed) continue;
+      const double value = graph_->weight_value(w);
+      double g = gradient[w] - options.l2 * value;
+      graph_->set_weight_value(w, value + lr * g);
       norm += g * g;
     }
     gradient_norms_.push_back(std::sqrt(norm));

@@ -45,7 +45,7 @@ Result<MapResult> MapInference(const FactorGraph& graph, const MapOptions& optio
     double temperature = options.initial_temperature;
     for (int sweep = 0; sweep < options.sweeps; ++sweep) {
       for (uint32_t v : free_vars) {
-        double delta = graph.PotentialDelta(v, assignment.data());
+        double delta = graph.PotentialDeltaCompiled(v, assignment.data());
         assignment[v] = rng.NextBernoulli(Sigmoid(delta / temperature)) ? 1 : 0;
       }
       temperature *= decay;
@@ -55,7 +55,7 @@ Result<MapResult> MapInference(const FactorGraph& graph, const MapOptions& optio
     while (improved) {
       improved = false;
       for (uint32_t v : free_vars) {
-        double delta = graph.PotentialDelta(v, assignment.data());
+        double delta = graph.PotentialDeltaCompiled(v, assignment.data());
         uint8_t want = delta > 0 ? 1 : 0;
         if (assignment[v] != want) {
           assignment[v] = want;

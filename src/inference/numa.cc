@@ -42,12 +42,14 @@ std::vector<std::vector<uint32_t>> BuildScopes(const FactorGraph& graph) {
 }  // namespace
 
 NumaSampler::NumaSampler(const FactorGraph* graph, const NumaTopology& topology,
-                         int burn_in, int num_samples, uint64_t seed)
+                         int burn_in, int num_samples, uint64_t seed,
+                         bool use_compiled)
     : graph_(graph),
       topology_(topology),
       burn_in_(burn_in),
       num_samples_(num_samples),
-      seed_(seed) {}
+      seed_(seed),
+      use_compiled_(use_compiled) {}
 
 int NumaSampler::OwnerNode(uint32_t var) const {
   const size_t nv = graph_->num_variables();
@@ -63,23 +65,29 @@ Result<NumaRunStats> NumaSampler::RunAware() {
   }
   const int nodes = topology_.num_nodes;
   if (nodes < 1) return Status::InvalidArgument("num_nodes must be >= 1");
+  if (num_samples_ < 1) return Status::InvalidArgument("num_samples must be >= 1");
   const size_t nv = graph_->num_variables();
-  // Split the sample budget across nodes; every node burns in separately.
-  int per_node = num_samples_ / nodes;
-  if (per_node == 0) per_node = 1;
+  // Split the sample budget across nodes, spreading the remainder over
+  // the first num_samples_ % nodes nodes so the requested budget is
+  // honored exactly; every node burns in separately. Nodes left with a
+  // zero share (more nodes than samples) sit the run out.
+  std::vector<int> node_samples(nodes, num_samples_ / nodes);
+  for (int n = 0; n < num_samples_ % nodes; ++n) node_samples[n] += 1;
 
   std::vector<std::vector<double>> node_marginals(nodes);
   std::vector<Status> node_status(nodes, Status::OK());
   std::atomic<uint64_t> steps{0};
   std::vector<std::thread> threads;
   for (int n = 0; n < nodes; ++n) {
+    if (node_samples[n] == 0) continue;
     threads.emplace_back([&, n] {
       // Local replica chain: all state owned by node n; zero remote traffic.
       GibbsOptions opts;
       opts.burn_in = burn_in_;
-      opts.num_samples = per_node;
-      opts.seed = seed_ + 0x51ed270b * (n + 1);
+      opts.num_samples = node_samples[n];
+      opts.seed = seed_ + 0x51ed270bULL * static_cast<uint64_t>(n + 1);
       opts.clamp_evidence = true;
+      opts.use_compiled = use_compiled_;
       GibbsSampler chain(graph_, opts);
       auto result = chain.RunMarginals();
       if (result.ok()) {
@@ -95,10 +103,15 @@ Result<NumaRunStats> NumaSampler::RunAware() {
 
   NumaRunStats stats;
   stats.marginals.assign(nv, 0.0);
+  // Sample-weighted model averaging: a node's estimate counts in
+  // proportion to the samples it actually drew.
   for (int n = 0; n < nodes; ++n) {
-    for (size_t v = 0; v < nv; ++v) stats.marginals[v] += node_marginals[n][v];
+    if (node_samples[n] == 0) continue;
+    for (size_t v = 0; v < nv; ++v) {
+      stats.marginals[v] += node_marginals[n][v] * node_samples[n];
+    }
   }
-  for (double& m : stats.marginals) m /= nodes;
+  for (double& m : stats.marginals) m /= num_samples_;
   stats.steps = steps.load();
   stats.total_accesses = stats.steps;  // local accesses only, one owner touch per step
   stats.remote_accesses = 0;
@@ -111,6 +124,7 @@ Result<NumaRunStats> NumaSampler::RunUnaware() {
   }
   const int nodes = topology_.num_nodes;
   if (nodes < 1) return Status::InvalidArgument("num_nodes must be >= 1");
+  if (num_samples_ < 1) return Status::InvalidArgument("num_samples must be >= 1");
   const size_t nv = graph_->num_variables();
   auto scopes = BuildScopes(*graph_);
 
@@ -148,7 +162,8 @@ Result<NumaRunStats> NumaSampler::RunUnaware() {
               SpinPenalty(topology_.remote_penalty_iters);
             }
           }
-          double delta = graph_->PotentialDelta(v, a);
+          double delta = use_compiled_ ? graph_->PotentialDeltaCompiled(v, a)
+                                       : graph_->PotentialDelta(v, a);
           a[v] = rng.NextBernoulli(Sigmoid(delta)) ? 1 : 0;
         }
         local_steps += parts[n].size();
@@ -208,10 +223,10 @@ Result<NumaLearnStats> NumaLearner::Learn(const LearnOptions& options, bool numa
     // All per-epoch accesses are node-local.
     std::vector<std::vector<double>> replicas(nodes, std::vector<double>(nw));
     for (int n = 0; n < nodes; ++n) {
-      for (uint32_t w = 0; w < nw; ++w) replicas[n][w] = graph_->weight(w).value;
+      for (uint32_t w = 0; w < nw; ++w) replicas[n][w] = graph_->weight_value(w);
     }
     std::vector<double> averaged(nw);
-    for (uint32_t w = 0; w < nw; ++w) averaged[w] = graph_->weight(w).value;
+    for (uint32_t w = 0; w < nw; ++w) averaged[w] = graph_->weight_value(w);
 
     // Chains per node.
     struct NodeChains {
@@ -275,7 +290,7 @@ Result<NumaLearnStats> NumaLearner::Learn(const LearnOptions& options, bool numa
         for (int n = 0; n < nodes; ++n) sum += replicas[n][w];
         averaged[w] = sum / nodes;
         for (int n = 0; n < nodes; ++n) replicas[n][w] = averaged[w];
-        graph_->mutable_weight(w)->value = averaged[w];
+        graph_->set_weight_value(w, averaged[w]);
       }
       stats.remote_accesses += static_cast<uint64_t>(nw) * (nodes - 1);
       lr *= options.decay;
@@ -319,8 +334,7 @@ Result<NumaLearnStats> NumaLearner::Learn(const LearnOptions& options, bool numa
         double local_lr = lr / nodes;  // scale so the combined step matches
         for (uint32_t f = 0; f < nf; ++f) {
           uint32_t w = graph_->factor_weight(f);
-          Weight* weight = graph_->mutable_weight(w);
-          if (weight->is_fixed) continue;
+          if (graph_->weight(w).is_fixed) continue;
           double h_pos = graph_->EvalFactor(f, pos);
           double h_neg = graph_->EvalFactor(f, neg);
           ++acc;
@@ -334,7 +348,8 @@ Result<NumaLearnStats> NumaLearner::Learn(const LearnOptions& options, bool numa
           }
           if (h_pos != h_neg) {
             // Hogwild-style racy update on the shared weight.
-            weight->value += local_lr * (h_pos - h_neg);
+            graph_->set_weight_value(
+                w, graph_->weight_value(w) + local_lr * (h_pos - h_neg));
             if (weight_remote) {
               ++remote;
               SpinPenalty(topology_.remote_penalty_iters);
@@ -348,9 +363,9 @@ Result<NumaLearnStats> NumaLearner::Learn(const LearnOptions& options, bool numa
     for (auto& th : threads) th.join();
     // L2 + decay applied once per epoch on the shared model.
     for (uint32_t w = 0; w < nw; ++w) {
-      Weight* weight = graph_->mutable_weight(w);
-      if (weight->is_fixed) continue;
-      weight->value -= lr * options.l2 * weight->value;
+      if (graph_->weight(w).is_fixed) continue;
+      const double value = graph_->weight_value(w);
+      graph_->set_weight_value(w, value - lr * options.l2 * value);
     }
     lr *= options.decay;
   }

@@ -204,7 +204,7 @@ TEST_F(GrounderTest, SavedWeightsSurviveRebuild) {
   Grounder grounder(&catalog_, &program_, &udfs_);
   ASSERT_TRUE(grounder.Initialize().ok());
   ASSERT_EQ(grounder.graph().num_weights(), 1u);
-  grounder.mutable_graph()->mutable_weight(0)->value = 2.75;
+  grounder.mutable_graph()->set_weight_value(0, 2.75);
   grounder.SaveWeights();
 
   std::map<std::string, DeltaSet> delta;
