@@ -15,4 +15,33 @@ cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null
 cmake --build build-san -j
 ctest --test-dir build-san --output-on-failure
 
+echo "=== fault-injection pass ==="
+# Enable every registered failpoint (names are greppable by contract —
+# one per line in src/util/failpoint.h) at p=1.0 for one hit and run the
+# sanitized pipeline + recovery binaries. Injected faults may fail
+# individual test expectations (that's the point); what must NOT happen
+# is a crash (rc >= 128 means a signal) or a sanitizer report — errors
+# have to propagate as clean Status values.
+failpoints=$(grep -oE '"[a-z_]+\.[a-z_]+"' src/util/failpoint.h | tr -d '"' | sort -u)
+for fp in $failpoints; do
+  for bin in build-san/tests/recovery_test build-san/tests/pipeline_test; do
+    echo "--- $fp via $(basename "$bin")"
+    set +e
+    out=$(DD_FAILPOINTS="$fp=error(p=1,hits=1)" "$bin" 2>&1)
+    rc=$?
+    set -e
+    if [ "$rc" -ge 128 ]; then
+      echo "$out" | tail -40
+      echo "FAIL: $(basename "$bin") died of a signal (rc=$rc) with failpoint $fp"
+      exit 1
+    fi
+    if echo "$out" | grep -qE "AddressSanitizer|runtime error:"; then
+      echo "$out" | grep -E "AddressSanitizer|runtime error:" | head
+      echo "FAIL: sanitizer report with failpoint $fp in $(basename "$bin")"
+      exit 1
+    fi
+  done
+done
+echo "fault-injection pass: no crashes, no sanitizer reports"
+
 echo "ci/check.sh: all green"

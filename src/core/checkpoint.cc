@@ -1,0 +1,60 @@
+#include "core/checkpoint.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "factor/io.h"
+#include "util/crc32c.h"
+
+namespace dd {
+
+Status RunDirectory::Create() const {
+  if (mkdir(path_.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir " + path_ + ": " + std::strerror(errno));
+  }
+  struct stat st;
+  if (stat(path_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IoError("run directory path is not a directory: " + path_);
+  }
+  return Status::OK();
+}
+
+bool RunDirectory::HasManifest() const { return FileExists(ManifestPath()); }
+
+Status RunDirectory::WriteManifest(
+    const std::map<std::string, std::string>& kv) const {
+  GraphSnapshot snap;
+  snap.meta = kv;
+  snap.meta["kind"] = "pipeline-manifest";
+  return WriteGraphSnapshot(snap, ManifestPath());
+}
+
+Result<std::map<std::string, std::string>> RunDirectory::ReadManifest() const {
+  DD_ASSIGN_OR_RETURN(GraphSnapshot snap, ReadGraphSnapshot(ManifestPath()));
+  auto kind = snap.meta.find("kind");
+  if (kind == snap.meta.end() || kind->second != "pipeline-manifest") {
+    return Status::InvalidArgument("not a pipeline manifest: " + ManifestPath());
+  }
+  return snap.meta;
+}
+
+Status RunDirectory::Clear() const {
+  for (const std::string& path :
+       {ManifestPath(), LearnSnapshotPath(), InferenceSnapshotPath()}) {
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IoError("remove " + path + ": " + std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+uint32_t GraphFingerprint(const FactorGraph& graph) {
+  std::string text = SerializeGraph(graph);
+  return Crc32c(text.data(), text.size());
+}
+
+}  // namespace dd

@@ -1,0 +1,56 @@
+#ifndef DEEPDIVE_CORE_CHECKPOINT_H_
+#define DEEPDIVE_CORE_CHECKPOINT_H_
+
+#include <map>
+#include <string>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// A pipeline run directory — the durable home of one KBC run:
+///
+///   <dir>/manifest.snap   META-only snapshot: graph fingerprint, the
+///                         last phase known to have completed, seed
+///   <dir>/learn.snap      learner checkpoint (written by Learner)
+///   <dir>/infer.snap      inference-materialization checkpoint
+///
+/// Every file is written with the crash-consistent snapshot protocol
+/// (temp + fsync + atomic rename), so at any kill point the directory
+/// holds a consistent prefix of the run. RunDirectory itself only
+/// manages the directory and the manifest; the phase engines own their
+/// snapshot formats.
+class RunDirectory {
+ public:
+  explicit RunDirectory(std::string path) : path_(std::move(path)) {}
+
+  /// mkdir if missing (parent must exist). Idempotent.
+  Status Create() const;
+
+  const std::string& path() const { return path_; }
+  std::string ManifestPath() const { return path_ + "/manifest.snap"; }
+  std::string LearnSnapshotPath() const { return path_ + "/learn.snap"; }
+  std::string InferenceSnapshotPath() const { return path_ + "/infer.snap"; }
+
+  bool HasManifest() const;
+  /// Atomic manifest replacement (key=value map, CRC-protected).
+  Status WriteManifest(const std::map<std::string, std::string>& kv) const;
+  Result<std::map<std::string, std::string>> ReadManifest() const;
+
+  /// Delete all snapshots + manifest — the fresh-run reset that keeps a
+  /// stale checkpoint from leaking into an unrelated run.
+  Status Clear() const;
+
+ private:
+  std::string path_;
+};
+
+/// Content fingerprint of a factor graph (CRC32C of its text
+/// serialization). ResumeFrom() compares this against the manifest to
+/// refuse resuming a run directory that belongs to a different graph.
+uint32_t GraphFingerprint(const FactorGraph& graph);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_CORE_CHECKPOINT_H_

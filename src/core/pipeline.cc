@@ -1,8 +1,12 @@
 #include "core/pipeline.h"
 
+#include <cstdlib>
+
 #include "core/diagnostics.h"
 #include "ddlog/parser.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace dd {
@@ -41,18 +45,52 @@ void DeepDivePipeline::QueueDelta(const std::string& relation, Tuple tuple,
   queued_deltas_[relation][std::move(tuple)] += count;
 }
 
+Status DeepDivePipeline::ExtractDocument(const Document& doc,
+                                         TupleEmitter* emitter) {
+  Status injected;
+  DD_FAILPOINT(failpoints::kPipelineExtractor, &injected);
+  DD_RETURN_IF_ERROR(injected);
+  for (const Extractor& extractor : extractors_) {
+    DD_RETURN_IF_ERROR(extractor(doc, emitter));
+  }
+  return Status::OK();
+}
+
 Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) {
+  run_stats_ = RunStats();
+  const size_t batch_size = documents_.size() - next_document_;
   for (; next_document_ < documents_.size(); ++next_document_) {
     const Document& doc = documents_[next_document_];
     TupleEmitter emitter;
-    for (const Extractor& extractor : extractors_) {
-      DD_RETURN_IF_ERROR(extractor(doc, &emitter));
+    Status status = ExtractDocument(doc, &emitter);
+    if (!status.ok()) {
+      // UDFs are the flakiest part of a KBC system: retry the document
+      // once on a fresh emitter, then quarantine it rather than let one
+      // bad document kill hours of work.
+      ++run_stats_.extractor_retries;
+      emitter = TupleEmitter();
+      status = ExtractDocument(doc, &emitter);
     }
+    if (!status.ok()) {
+      ++run_stats_.documents_quarantined;
+      run_stats_.quarantined.push_back({doc.id, status});
+      DD_LOG(Warning) << "quarantined document '" << doc.id
+                      << "': " << status.ToString();
+      continue;
+    }
+    ++run_stats_.documents_processed;
     for (const auto& [relation, tuples] : emitter.emitted()) {
       for (const Tuple& t : tuples) {
         (*deltas)[relation][t] += 1;
       }
     }
+  }
+  if (run_stats_.documents_quarantined > 0 &&
+      static_cast<double>(run_stats_.documents_quarantined) >
+          options_.max_quarantine_fraction * static_cast<double>(batch_size)) {
+    // Systematic extractor failure, not occasional flakiness — surface
+    // the first error with its original code and message.
+    return run_stats_.quarantined.front().error;
   }
   // Fold in raw queued deltas.
   for (auto& [relation, delta] : queued_deltas_) {
@@ -62,6 +100,52 @@ Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) 
   }
   queued_deltas_.clear();
   return Status::OK();
+}
+
+Status DeepDivePipeline::SetRunDirectory(const std::string& dir) {
+  if (has_run_) return Status::Internal("SetRunDirectory() before Run()");
+  run_dir_ = std::make_unique<RunDirectory>(dir);
+  resuming_ = false;
+  return run_dir_->Create();
+}
+
+Status DeepDivePipeline::ResumeFrom(const std::string& dir) {
+  DD_RETURN_IF_ERROR(SetRunDirectory(dir));
+  resuming_ = true;
+  return Status::OK();
+}
+
+Status DeepDivePipeline::PrepareRunDirectory() {
+  if (run_dir_ == nullptr) return Status::OK();
+  const uint32_t crc = GraphFingerprint(grounder_->graph());
+  if (resuming_ && run_dir_->HasManifest()) {
+    DD_ASSIGN_OR_RETURN(auto manifest, run_dir_->ReadManifest());
+    auto it = manifest.find("graph_crc");
+    if (it == manifest.end() ||
+        std::strtoul(it->second.c_str(), nullptr, 10) != crc) {
+      return Status::InvalidArgument(StrFormat(
+          "run directory %s belongs to a different pipeline: manifest graph "
+          "fingerprint %s, grounded graph %u",
+          run_dir_->path().c_str(),
+          it == manifest.end() ? "<missing>" : it->second.c_str(), crc));
+    }
+    return Status::OK();
+  }
+  // Fresh run (or resume of a run killed before its manifest existed):
+  // drop stale snapshots so an unrelated checkpoint cannot leak in.
+  if (!resuming_) DD_RETURN_IF_ERROR(run_dir_->Clear());
+  return run_dir_->WriteManifest(
+      {{"graph_crc", StrFormat("%u", crc)}, {"phase", "grounded"}});
+}
+
+Status DeepDivePipeline::UpdateManifestPhase(const std::string& phase) {
+  if (run_dir_ == nullptr) return Status::OK();
+  std::map<std::string, std::string> manifest;
+  if (run_dir_->HasManifest()) {
+    DD_ASSIGN_OR_RETURN(manifest, run_dir_->ReadManifest());
+  }
+  manifest["phase"] = phase;
+  return run_dir_->WriteManifest(manifest);
 }
 
 MaterializationStrategy DeepDivePipeline::PickStrategy() const {
@@ -122,23 +206,53 @@ Status DeepDivePipeline::Run() {
   }
   timings_.grounding_seconds = watch.Seconds();
 
+  Status injected;
+  DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
+  DD_RETURN_IF_ERROR(injected);
+  DD_RETURN_IF_ERROR(PrepareRunDirectory());
+
   // Phase 3: weight learning (§3 step 3).
   watch.Restart();
   bool learn = !has_run_ || options_.relearn_on_update;
   if (learn) {
+    LearnOptions learn_opts = options_.learn;
+    if (run_dir_ != nullptr) learn_opts.checkpoint_dir = run_dir_->path();
     Learner learner(grounder_->mutable_graph());
-    DD_RETURN_IF_ERROR(learner.Learn(options_.learn));
+    DD_RETURN_IF_ERROR(learner.Learn(learn_opts));
     grounder_->SaveWeights();
   }
   timings_.learning_seconds = watch.Seconds();
+
+  DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
+  DD_RETURN_IF_ERROR(injected);
+  DD_RETURN_IF_ERROR(UpdateManifestPhase("learned"));
 
   // Phase 4: inference (§3 step 3, §4.2).
   watch.Restart();
   DD_RETURN_IF_ERROR(RunInference());
   timings_.inference_seconds = watch.Seconds();
 
+  DD_RETURN_IF_ERROR(UpdateManifestPhase("done"));
+
   has_run_ = true;
   return Status::OK();
+}
+
+std::string DeepDivePipeline::RunSummary() const {
+  std::string out = StrFormat(
+      "phases: extraction %.3fs, grounding %.3fs, learning %.3fs, "
+      "inference %.3fs (total %.3fs)\n",
+      timings_.extraction_seconds, timings_.grounding_seconds,
+      timings_.learning_seconds, timings_.inference_seconds,
+      timings_.total_seconds());
+  out += StrFormat("documents: %zu processed, %zu retried, %zu quarantined\n",
+                   run_stats_.documents_processed, run_stats_.extractor_retries,
+                   run_stats_.documents_quarantined);
+  for (const QuarantinedDocument& q : run_stats_.quarantined) {
+    out += StrFormat("  quarantined '%s': %s\n", q.document_id.c_str(),
+                     q.error.ToString().c_str());
+  }
+  return out;
 }
 
 Status DeepDivePipeline::RunInference() {
@@ -147,6 +261,9 @@ Status DeepDivePipeline::RunInference() {
     chosen_strategy_ = PickStrategy();
     IncrementalOptions opts = options_.inference;
     opts.clamp_evidence = false;  // probabilities for labeled tuples too (Fig. 5)
+    if (run_dir_ != nullptr) {
+      opts.checkpoint_path = run_dir_->InferenceSnapshotPath();
+    }
     inference_ =
         std::make_unique<IncrementalInference>(graph, chosen_strategy_, opts);
     DD_RETURN_IF_ERROR(inference_->Materialize());

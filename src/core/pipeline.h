@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/calibration.h"
+#include "core/checkpoint.h"
 #include "core/udf.h"
 #include "ddlog/ast.h"
 #include "grounding/grounder.h"
@@ -51,6 +52,22 @@ struct PhaseTimings {
   }
 };
 
+/// One document whose extractors failed twice (initial run + one retry)
+/// and was therefore skipped rather than allowed to kill the run.
+struct QuarantinedDocument {
+  std::string document_id;
+  Status error;  ///< the second (post-retry) failure
+};
+
+/// Robustness counters for the last Run() (§3's observation that UDFs
+/// are the least reliable part of a KBC system).
+struct RunStats {
+  size_t documents_processed = 0;   ///< documents whose extractors succeeded
+  size_t documents_quarantined = 0;
+  size_t extractor_retries = 0;     ///< documents that needed a second attempt
+  std::vector<QuarantinedDocument> quarantined;
+};
+
 struct PipelineOptions {
   LearnOptions learn;
   IncrementalOptions inference;
@@ -70,6 +87,12 @@ struct PipelineOptions {
   /// learn). Off by default: incremental updates reuse learned weights.
   bool relearn_on_update = false;
   bool html_documents = false;
+  /// Extractor hardening: a document whose extractors fail is retried
+  /// once and then quarantined (skipped, counted, reported). When more
+  /// than this fraction of a batch ends up quarantined the run itself
+  /// fails with the first quarantine error — a systematically broken
+  /// extractor should not silently produce an empty KB.
+  double max_quarantine_fraction = 0.5;
 };
 
 /// The end-to-end DeepDive system (§3): documents in, probabilistic
@@ -111,10 +134,32 @@ class DeepDivePipeline {
   /// Run() — the path for non-document updates such as a grown KB.
   void QueueDelta(const std::string& relation, Tuple tuple, int64_t count);
 
+  /// Durability: give the pipeline a run directory. Run() then
+  /// checkpoints learning and inference into it (crash-consistent
+  /// snapshots + manifest) and starts from a clean slate, clearing any
+  /// stale snapshots. Call before Run().
+  Status SetRunDirectory(const std::string& dir);
+
+  /// Recovery: like SetRunDirectory, but existing snapshots are kept and
+  /// reused, so a run killed mid-learning/mid-inference continues where
+  /// it stopped — bit-identical to an uninterrupted run. Set up the same
+  /// program/extractors/documents first, then call ResumeFrom() followed
+  /// by Run(). The manifest's graph fingerprint is verified once the
+  /// graph is grounded; a mismatch fails with InvalidArgument.
+  Status ResumeFrom(const std::string& dir);
+
   /// Execute: extraction -> grounding -> learning -> inference ->
   /// thresholding. First call runs everything; later calls run the
   /// incremental path over queued documents/deltas.
   Status Run();
+
+  /// Robustness counters for the last Run().
+  const RunStats& run_stats() const { return run_stats_; }
+
+  /// Human-readable one-screen report of the last Run(): phase timings,
+  /// documents processed/retried/quarantined, and each quarantined
+  /// document's error.
+  std::string RunSummary() const;
 
   /// Marginal probability of every live tuple of a query relation.
   Result<std::vector<std::pair<Tuple, double>>> Marginals(
@@ -155,8 +200,13 @@ class DeepDivePipeline {
 
  private:
   Status RunExtraction(std::map<std::string, DeltaSet>* deltas);
+  Status ExtractDocument(const Document& doc, TupleEmitter* emitter);
   Status RunInference();
   MaterializationStrategy PickStrategy() const;
+  /// Fresh run: reset the run directory; resume: verify the manifest's
+  /// graph fingerprint. Called once the graph is grounded.
+  Status PrepareRunDirectory();
+  Status UpdateManifestPhase(const std::string& phase);
 
   PipelineOptions options_;
   DdlogProgram program_;
@@ -172,6 +222,9 @@ class DeepDivePipeline {
   std::vector<double> marginals_;
   MaterializationStrategy chosen_strategy_ = MaterializationStrategy::kSampling;
   PhaseTimings timings_;
+  RunStats run_stats_;
+  std::unique_ptr<RunDirectory> run_dir_;
+  bool resuming_ = false;
   bool has_run_ = false;
 };
 

@@ -15,8 +15,19 @@ void UdfRegistry::Register(const std::string& name, UdfFn fn) {
 Result<Value> UdfRegistry::Call(const std::string& name,
                                 const std::vector<Value>& args) const {
   auto it = fns_.find(name);
-  if (it == fns_.end()) return Status::NotFound("no such UDF: " + name);
-  return it->second(args);
+  if (it == fns_.end()) {
+    return Status::NotFound(StrFormat("no such UDF: '%s' (called with %zu args)",
+                                      name.c_str(), args.size()));
+  }
+  Result<Value> result = it->second(args);
+  if (!result.ok()) {
+    // Grounding calls UDFs deep inside rule evaluation; without the name
+    // and arity the error is undebuggable from the caller's side.
+    return Status(result.status().code(),
+                  StrFormat("UDF '%s' (%zu args): %s", name.c_str(), args.size(),
+                            result.status().message().c_str()));
+  }
+  return result;
 }
 
 void RegisterBuiltinUdfs(UdfRegistry* registry) {

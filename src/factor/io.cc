@@ -1,9 +1,18 @@
 #include "factor/io.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "util/crc32c.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace dd {
@@ -146,6 +155,480 @@ Result<FactorGraph> DeserializeGraph(const std::string& text) {
   }
   DD_RETURN_IF_ERROR(graph.Finalize());
   return graph;
+}
+
+// ---- Binary snapshot container ----------------------------------------
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'D', 'S', 'N'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr char kEndTag[] = "END.";
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendDouble(std::string* out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Bounds-checked sequential reader over a byte buffer. Every extraction
+/// verifies the remaining byte count and reports Status::Corruption with
+/// the offset on truncation — partial structs are never produced.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+  Status ReadBytes(void* out, size_t n, const char* what) {
+    if (n > remaining()) {
+      return Status::Corruption(
+          StrFormat("truncated %s at offset %zu: need %zu bytes, have %zu", what,
+                    pos_, n, remaining()));
+    }
+    std::memcpy(out, buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadString(std::string* out, size_t n, const char* what) {
+    if (n > remaining()) {
+      return Status::Corruption(
+          StrFormat("truncated %s at offset %zu: need %zu bytes, have %zu", what,
+                    pos_, n, remaining()));
+    }
+    out->assign(buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status ReadU32(uint32_t* out, const char* what) {
+    uint8_t b[4];
+    DD_RETURN_IF_ERROR(ReadBytes(b, 4, what));
+    *out = 0;
+    for (int i = 0; i < 4; ++i) *out |= static_cast<uint32_t>(b[i]) << (8 * i);
+    return Status::OK();
+  }
+
+  Status ReadU64(uint64_t* out, const char* what) {
+    uint8_t b[8];
+    DD_RETURN_IF_ERROR(ReadBytes(b, 8, what));
+    *out = 0;
+    for (int i = 0; i < 8; ++i) *out |= static_cast<uint64_t>(b[i]) << (8 * i);
+    return Status::OK();
+  }
+
+  Status ReadDouble(double* out, const char* what) {
+    uint64_t bits = 0;
+    DD_RETURN_IF_ERROR(ReadU64(&bits, what));
+    *out = std::bit_cast<double>(bits);
+    return Status::OK();
+  }
+
+ private:
+  const std::string& buf_;
+  size_t pos_ = 0;
+};
+
+/// Read a whole file with checked chunked freads (no size assumptions;
+/// ferror is surfaced as IoError, never a short silent read).
+Result<std::string> ReadFileBytes(const std::string& path) {
+  Status injected;
+  DD_FAILPOINT(failpoints::kFactorIoRead, &injected);
+  if (!injected.ok()) return injected;
+
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open '%s' for reading: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  std::string bytes;
+  char chunk[1 << 16];
+  for (;;) {
+    size_t n = std::fread(chunk, 1, sizeof(chunk), f);
+    bytes.append(chunk, n);
+    if (n < sizeof(chunk)) {
+      if (std::ferror(f)) {
+        std::fclose(f);
+        return Status::IoError(StrFormat("read error on '%s' at offset %zu",
+                                         path.c_str(), bytes.size()));
+      }
+      break;  // EOF
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(const std::string& tag, std::string payload) {
+  DD_CHECK(tag.size() == 4);
+  sections_.emplace_back(tag, std::move(payload));
+}
+
+std::string SnapshotWriter::Encode() const {
+  std::string out;
+  out.append(kMagic, 4);
+  AppendU32(&out, kSnapshotVersion);
+  auto append_section = [&out](const std::string& tag, const std::string& payload) {
+    std::string header = tag;
+    AppendU64(&header, payload.size());
+    uint32_t crc = Crc32c(header.data(), header.size());
+    crc = Crc32cExtend(crc, payload.data(), payload.size());
+    out += header;
+    out += payload;
+    AppendU32(&out, crc);
+  };
+  for (const auto& [tag, payload] : sections_) append_section(tag, payload);
+  append_section(kEndTag, "");
+  return out;
+}
+
+namespace {
+
+/// Durable write protocol shared by every snapshot producer: temp file,
+/// full write, fsync, atomic rename. A fired short-write failpoint
+/// shrinks the byte count silently (simulating a crash that persisted a
+/// partial buffer and still got renamed) so reader-side Corruption
+/// detection is exercised end to end.
+Status WriteBytesAtomic(const std::string& bytes, const std::string& path) {
+  size_t to_write = bytes.size();
+  Status injected;
+  DD_FAILPOINT_WRITE(failpoints::kFactorIoWrite, to_write, &injected);
+  if (!injected.ok()) return injected;
+
+  std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("cannot open '%s' for writing: %s",
+                                     tmp.c_str(), std::strerror(errno)));
+  }
+  size_t written = std::fwrite(bytes.data(), 1, to_write, f);
+  if (written != to_write || std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("short write to '%s' (%zu of %zu bytes)",
+                                     tmp.c_str(), written, to_write));
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("close failed on '%s'", tmp.c_str()));
+  }
+
+  DD_FAILPOINT(failpoints::kFactorIoRename, &injected);
+  if (!injected.ok()) {
+    std::remove(tmp.c_str());
+    return injected;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError(StrFormat("rename '%s' -> '%s' failed: %s", tmp.c_str(),
+                                     path.c_str(), std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SnapshotWriter::WriteFile(const std::string& path) const {
+  return WriteBytesAtomic(Encode(), path);
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
+  ByteReader r(bytes);
+  char magic[4];
+  DD_RETURN_IF_ERROR(r.ReadBytes(magic, 4, "snapshot magic"));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("bad magic: not a DDSN snapshot");
+  }
+  uint32_t version = 0;
+  DD_RETURN_IF_ERROR(r.ReadU32(&version, "snapshot version"));
+  if (version != kSnapshotVersion) {
+    return Status::Corruption(StrFormat("unsupported snapshot version %u", version));
+  }
+
+  SnapshotReader reader;
+  for (;;) {
+    size_t section_offset = r.offset();
+    std::string tag;
+    DD_RETURN_IF_ERROR(r.ReadString(&tag, 4, "section tag"));
+    uint64_t len = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&len, "section length"));
+    if (len > r.remaining()) {
+      return Status::Corruption(
+          StrFormat("section '%s' at offset %zu declares %llu payload bytes but "
+                    "only %zu remain",
+                    tag.c_str(), section_offset,
+                    static_cast<unsigned long long>(len), r.remaining()));
+    }
+    std::string payload;
+    DD_RETURN_IF_ERROR(r.ReadString(&payload, static_cast<size_t>(len),
+                                    "section payload"));
+    uint32_t stored_crc = 0;
+    DD_RETURN_IF_ERROR(r.ReadU32(&stored_crc, "section checksum"));
+    std::string header = tag;
+    AppendU64(&header, payload.size());
+    uint32_t computed = Crc32c(header.data(), header.size());
+    computed = Crc32cExtend(computed, payload.data(), payload.size());
+    if (computed != stored_crc) {
+      return Status::Corruption(
+          StrFormat("checksum mismatch in section '%s' at offset %zu "
+                    "(stored %08x, computed %08x)",
+                    tag.c_str(), section_offset, stored_crc, computed));
+    }
+    if (tag == kEndTag) {
+      if (len != 0) {
+        return Status::Corruption("terminator section carries a payload");
+      }
+      if (r.remaining() != 0) {
+        return Status::Corruption(StrFormat(
+            "%zu trailing bytes after terminator at offset %zu", r.remaining(),
+            r.offset()));
+      }
+      break;
+    }
+    if (reader.sections_.count(tag) > 0) {
+      return Status::Corruption(StrFormat("duplicate section '%s' at offset %zu",
+                                          tag.c_str(), section_offset));
+    }
+    reader.sections_.emplace(tag, std::move(payload));
+  }
+  return reader;
+}
+
+Result<SnapshotReader> SnapshotReader::ReadFile(const std::string& path) {
+  DD_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return Parse(std::move(bytes));
+}
+
+Result<std::string> SnapshotReader::Section(const std::string& tag) const {
+  auto it = sections_.find(tag);
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot has no section '" + tag + "'");
+  }
+  return it->second;
+}
+
+// ---- Typed graph snapshot ---------------------------------------------
+
+namespace {
+
+/// Decode-side guard: a section's payload must be consumed exactly.
+Status ExpectConsumed(const ByteReader& r, const char* tag) {
+  if (r.remaining() != 0) {
+    return Status::Corruption(StrFormat("%zu trailing bytes in section '%s'",
+                                        r.remaining(), tag));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot) {
+  SnapshotWriter writer;
+  if (snapshot.has_graph) {
+    writer.AddSection("GRPH", SerializeGraph(snapshot.graph));
+  }
+  if (!snapshot.weights.empty()) {
+    std::string payload;
+    AppendU64(&payload, snapshot.weights.size());
+    for (double w : snapshot.weights) AppendDouble(&payload, w);
+    writer.AddSection("WGHT", std::move(payload));
+  }
+  if (!snapshot.chains.empty()) {
+    std::string payload;
+    AppendU64(&payload, snapshot.chains.size());
+    for (const auto& chain : snapshot.chains) {
+      AppendU64(&payload, chain.size());
+      payload.append(reinterpret_cast<const char*>(chain.data()), chain.size());
+    }
+    writer.AddSection("CHNS", std::move(payload));
+  }
+  if (!snapshot.counts.empty()) {
+    std::string payload;
+    AppendU64(&payload, snapshot.counts.size());
+    for (uint64_t c : snapshot.counts) AppendU64(&payload, c);
+    writer.AddSection("CNTS", std::move(payload));
+  }
+  if (!snapshot.marginals.empty()) {
+    std::string payload;
+    AppendU64(&payload, snapshot.marginals.size());
+    for (double m : snapshot.marginals) AppendDouble(&payload, m);
+    writer.AddSection("MRGN", std::move(payload));
+  }
+  if (!snapshot.rng_states.empty()) {
+    std::string payload;
+    AppendU64(&payload, snapshot.rng_states.size());
+    for (const RngState& st : snapshot.rng_states) {
+      AppendU64(&payload, st.s0);
+      AppendU64(&payload, st.s1);
+    }
+    writer.AddSection("RNGS", std::move(payload));
+  }
+  if (!snapshot.meta.empty()) {
+    std::string payload;
+    for (const auto& [key, value] : snapshot.meta) {
+      payload += key;
+      payload += '=';
+      payload += value;
+      payload += '\n';
+    }
+    writer.AddSection("META", std::move(payload));
+  }
+  return writer.Encode();
+}
+
+Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
+  DD_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::Parse(bytes));
+  GraphSnapshot snap;
+
+  if (reader.Has("GRPH")) {
+    DD_ASSIGN_OR_RETURN(std::string text, reader.Section("GRPH"));
+    Result<FactorGraph> graph = DeserializeGraph(text);
+    if (!graph.ok()) {
+      // The payload passed its CRC, so a parse failure means the bytes
+      // were written wrong, not flipped — still corruption to a caller.
+      return Status::Corruption("GRPH section unparsable: " +
+                                graph.status().ToString());
+    }
+    snap.graph = std::move(*graph);
+    snap.has_graph = true;
+  }
+  if (reader.Has("WGHT")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("WGHT"));
+    ByteReader r(payload);
+    uint64_t count = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&count, "WGHT count"));
+    if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
+      return Status::Corruption(StrFormat(
+          "WGHT declares %llu weights but carries %zu payload bytes",
+          static_cast<unsigned long long>(count), r.remaining()));
+    }
+    snap.weights.resize(static_cast<size_t>(count));
+    for (double& w : snap.weights) DD_RETURN_IF_ERROR(r.ReadDouble(&w, "weight"));
+    DD_RETURN_IF_ERROR(ExpectConsumed(r, "WGHT"));
+  }
+  if (reader.Has("CHNS")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("CHNS"));
+    ByteReader r(payload);
+    uint64_t num_chains = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&num_chains, "CHNS count"));
+    // Each chain needs at least its 8-byte length prefix.
+    if (num_chains > r.remaining() / 8) {
+      return Status::Corruption(StrFormat("CHNS declares %llu chains in a %zu-byte "
+                                          "payload",
+                                          static_cast<unsigned long long>(num_chains),
+                                          payload.size()));
+    }
+    snap.chains.resize(static_cast<size_t>(num_chains));
+    for (auto& chain : snap.chains) {
+      uint64_t len = 0;
+      DD_RETURN_IF_ERROR(r.ReadU64(&len, "chain length"));
+      if (len > r.remaining()) {
+        return Status::Corruption(StrFormat(
+            "chain declares %llu bytes but only %zu remain in CHNS",
+            static_cast<unsigned long long>(len), r.remaining()));
+      }
+      chain.resize(static_cast<size_t>(len));
+      DD_RETURN_IF_ERROR(r.ReadBytes(chain.data(), chain.size(), "chain bytes"));
+      for (uint8_t b : chain) {
+        if (b > 1) return Status::Corruption("chain byte outside {0,1}");
+      }
+    }
+    DD_RETURN_IF_ERROR(ExpectConsumed(r, "CHNS"));
+  }
+  if (reader.Has("CNTS")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("CNTS"));
+    ByteReader r(payload);
+    uint64_t count = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&count, "CNTS count"));
+    if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
+      return Status::Corruption(StrFormat(
+          "CNTS declares %llu tallies but carries %zu payload bytes",
+          static_cast<unsigned long long>(count), r.remaining()));
+    }
+    snap.counts.resize(static_cast<size_t>(count));
+    for (uint64_t& c : snap.counts) DD_RETURN_IF_ERROR(r.ReadU64(&c, "tally"));
+    DD_RETURN_IF_ERROR(ExpectConsumed(r, "CNTS"));
+  }
+  if (reader.Has("MRGN")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("MRGN"));
+    ByteReader r(payload);
+    uint64_t count = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&count, "MRGN count"));
+    if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
+      return Status::Corruption(StrFormat(
+          "MRGN declares %llu marginals but carries %zu payload bytes",
+          static_cast<unsigned long long>(count), r.remaining()));
+    }
+    snap.marginals.resize(static_cast<size_t>(count));
+    for (double& m : snap.marginals) {
+      DD_RETURN_IF_ERROR(r.ReadDouble(&m, "marginal"));
+    }
+    DD_RETURN_IF_ERROR(ExpectConsumed(r, "MRGN"));
+  }
+  if (reader.Has("RNGS")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("RNGS"));
+    ByteReader r(payload);
+    uint64_t count = 0;
+    DD_RETURN_IF_ERROR(r.ReadU64(&count, "RNGS count"));
+    if (r.remaining() % 16 != 0 || count != r.remaining() / 16) {
+      return Status::Corruption(StrFormat(
+          "RNGS declares %llu states but carries %zu payload bytes",
+          static_cast<unsigned long long>(count), r.remaining()));
+    }
+    snap.rng_states.resize(static_cast<size_t>(count));
+    for (RngState& st : snap.rng_states) {
+      DD_RETURN_IF_ERROR(r.ReadU64(&st.s0, "rng s0"));
+      DD_RETURN_IF_ERROR(r.ReadU64(&st.s1, "rng s1"));
+    }
+    DD_RETURN_IF_ERROR(ExpectConsumed(r, "RNGS"));
+  }
+  if (reader.Has("META")) {
+    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("META"));
+    for (const std::string& line : Split(payload, '\n')) {
+      if (line.empty()) continue;
+      size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        return Status::Corruption("META line without '=': " + line);
+      }
+      snap.meta[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+  return snap;
+}
+
+Status WriteGraphSnapshot(const GraphSnapshot& snapshot, const std::string& path) {
+  return WriteBytesAtomic(EncodeGraphSnapshot(snapshot), path);
+}
+
+Result<GraphSnapshot> ReadGraphSnapshot(const std::string& path) {
+  DD_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return DecodeGraphSnapshot(bytes);
+}
+
+std::string FormatExactDouble(double v) { return StrFormat("%a", v); }
+
+Result<double> ParseExactDouble(const std::string& s) {
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::Corruption("not a hex-float value: " + s);
+  }
+  return v;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
 }
 
 }  // namespace dd

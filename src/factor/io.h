@@ -1,10 +1,13 @@
 #ifndef DEEPDIVE_FACTOR_IO_H_
 #define DEEPDIVE_FACTOR_IO_H_
 
+#include <map>
 #include <string>
+#include <vector>
 
 #include "factor/graph.h"
 #include "util/result.h"
+#include "util/rng.h"
 
 namespace dd {
 
@@ -27,6 +30,96 @@ std::string SerializeGraph(const FactorGraph& graph);
 /// ParseError on malformed input (wrong counts, unknown factor function,
 /// out-of-range ids).
 Result<FactorGraph> DeserializeGraph(const std::string& text);
+
+/// ---- Crash-consistent binary snapshots --------------------------------
+///
+/// Container format (all integers little-endian):
+///   magic   "DDSN"             4 bytes
+///   version u32                (currently 1)
+///   repeated sections:
+///     tag          4 ASCII bytes  (e.g. "GRPH")
+///     payload_len  u64
+///     payload      payload_len bytes
+///     crc32c       u32            over tag + payload_len + payload
+///   terminator: a section with tag "END." and payload_len 0
+///
+/// Every read is bounds-checked; truncation, bit flips, and length
+/// overruns are detected (magic/version check, per-section CRC32C that
+/// also covers the tag and length fields, strict terminator + no
+/// trailing bytes) and reported as Status::Corruption with the byte
+/// offset — never undefined behavior. Files are written to a temp path,
+/// fsync'ed, and atomically renamed into place, so a crash mid-write
+/// leaves either the previous snapshot or none, never a torn one.
+
+class SnapshotWriter {
+ public:
+  /// Append a section. `tag` must be exactly 4 ASCII characters and
+  /// unique within the snapshot.
+  void AddSection(const std::string& tag, std::string payload);
+
+  /// Serialize the container to bytes (in-memory path, used by tests).
+  std::string Encode() const;
+
+  /// Encode + write via temp file + fsync + atomic rename.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+class SnapshotReader {
+ public:
+  /// Validate a container and index its sections. Any structural defect
+  /// yields Status::Corruption (with offset), never a crash.
+  static Result<SnapshotReader> Parse(std::string bytes);
+
+  /// Read `path` fully (checked I/O) and Parse.
+  static Result<SnapshotReader> ReadFile(const std::string& path);
+
+  bool Has(const std::string& tag) const { return sections_.count(tag) > 0; }
+  Result<std::string> Section(const std::string& tag) const;
+  const std::map<std::string, std::string>& sections() const { return sections_; }
+
+ private:
+  std::map<std::string, std::string> sections_;
+};
+
+/// ---- Typed snapshot of pipeline/learning/inference state --------------
+///
+/// One container carries any subset of:
+///   GRPH  factor graph (text format above; finalized on load)
+///   WGHT  dense weight vector (overrides the graph's weights)
+///   CHNS  per-chain variable assignments (one byte per variable)
+///   CNTS  per-variable marginal tallies (u64)
+///   MRGN  marginal probabilities (doubles)
+///   RNGS  RNG states (s0, s1 pairs)
+///   META  key=value lines (epoch counters, seeds, learning rate, ...)
+struct GraphSnapshot {
+  bool has_graph = false;
+  FactorGraph graph;
+  std::vector<double> weights;
+  std::vector<std::vector<uint8_t>> chains;
+  std::vector<uint64_t> counts;
+  std::vector<double> marginals;
+  std::vector<RngState> rng_states;
+  std::map<std::string, std::string> meta;
+};
+
+std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot);
+Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes);
+
+/// Atomic (temp + fsync + rename) snapshot write.
+Status WriteGraphSnapshot(const GraphSnapshot& snapshot, const std::string& path);
+/// Load + validate; Corruption on any truncated/bit-flipped file.
+Result<GraphSnapshot> ReadGraphSnapshot(const std::string& path);
+
+/// Exact (bit-preserving) double <-> string for snapshot metadata, via
+/// hex float formatting.
+std::string FormatExactDouble(double v);
+Result<double> ParseExactDouble(const std::string& s);
+
+/// stat()-based existence check (shared by checkpoint/recovery code).
+bool FileExists(const std::string& path);
 
 }  // namespace dd
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "util/string_util.h"
+
 namespace dd {
 
 double Sigmoid(double x) {
@@ -34,6 +36,42 @@ Status GibbsSampler::Init() {
   true_counts_.assign(nv, 0);
   num_accumulated_ = 0;
   num_steps_ = 0;
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status GibbsSampler::RestoreState(const std::vector<uint8_t>& assignment,
+                                  const std::vector<uint64_t>& true_counts,
+                                  uint64_t num_accumulated,
+                                  const RngState& rng_state) {
+  if (!graph_->finalized()) {
+    return Status::InvalidArgument("GibbsSampler requires a finalized graph");
+  }
+  const size_t nv = graph_->num_variables();
+  if (assignment.size() != nv) {
+    return Status::InvalidArgument(
+        StrFormat("checkpointed assignment has %zu variables, graph has %zu",
+                  assignment.size(), nv));
+  }
+  if (!true_counts.empty() && true_counts.size() != nv) {
+    return Status::InvalidArgument(
+        StrFormat("checkpointed tallies have %zu variables, graph has %zu",
+                  true_counts.size(), nv));
+  }
+  assignment_ = assignment;
+  free_vars_.clear();
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (options_.clamp_evidence && graph_->is_evidence(v)) {
+      // Defend against a snapshot taken under different clamp settings.
+      assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
+    } else {
+      free_vars_.push_back(v);
+    }
+  }
+  true_counts_ = true_counts.empty() ? std::vector<uint64_t>(nv, 0) : true_counts;
+  num_accumulated_ = num_accumulated;
+  num_steps_ = 0;
+  rng_.set_state(rng_state);
   initialized_ = true;
   return Status::OK();
 }

@@ -52,6 +52,20 @@ class GibbsSampler {
   const std::vector<uint8_t>& assignment() const { return assignment_; }
   std::vector<uint8_t>* mutable_assignment() { return &assignment_; }
 
+  /// Chain persistence (checkpoint/recovery). The RNG state plus the
+  /// assignment and accumulator state fully determine the chain's
+  /// future, so restoring them resumes the chain bit-identically.
+  RngState rng_state() const { return rng_.state(); }
+  void set_rng_state(const RngState& state) { rng_.set_state(state); }
+  const std::vector<uint64_t>& true_counts() const { return true_counts_; }
+
+  /// Restore a checkpointed chain: replaces Init(). `true_counts` may be
+  /// empty (accumulation not yet started); otherwise it must match the
+  /// variable count, as must `assignment`.
+  Status RestoreState(const std::vector<uint8_t>& assignment,
+                      const std::vector<uint64_t>& true_counts,
+                      uint64_t num_accumulated, const RngState& rng_state);
+
   /// Marginals accumulated so far (error if none).
   Result<std::vector<double>> Marginals() const;
 

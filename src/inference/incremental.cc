@@ -1,10 +1,20 @@
 #include "inference/incremental.h"
 
+#include <cstdlib>
+
+#include "factor/io.h"
 #include "inference/gibbs.h"
 #include "inference/meanfield.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace dd {
+
+namespace {
+constexpr char kSamplingKind[] = "inference-sampling";
+constexpr char kVariationalKind[] = "inference-variational";
+}  // namespace
 
 const char* StrategyName(MaterializationStrategy strategy) {
   switch (strategy) {
@@ -32,6 +42,55 @@ Status IncrementalInference::Materialize() {
   return Status::OK();
 }
 
+Status IncrementalInference::WriteSamplingCheckpoint(const GibbsSampler& sampler,
+                                                     int sweeps_done) const {
+  GraphSnapshot snap;
+  snap.chains = {sampler.assignment()};
+  snap.counts = sampler.true_counts();
+  snap.rng_states = {sampler.rng_state()};
+  snap.meta["kind"] = kSamplingKind;
+  snap.meta["sweeps"] = StrFormat("%d", sweeps_done);
+  snap.meta["num_accumulated"] =
+      StrFormat("%llu", static_cast<unsigned long long>(sampler.num_accumulated()));
+  snap.meta["seed"] =
+      StrFormat("%llu", static_cast<unsigned long long>(options_.seed));
+  return WriteGraphSnapshot(snap, options_.checkpoint_path);
+}
+
+Status IncrementalInference::TryRestoreSampling(GibbsSampler* sampler,
+                                                int* sweeps_done) {
+  *sweeps_done = 0;
+  if (options_.checkpoint_path.empty() || !FileExists(options_.checkpoint_path)) {
+    return Status::OK();
+  }
+  DD_ASSIGN_OR_RETURN(GraphSnapshot snap,
+                      ReadGraphSnapshot(options_.checkpoint_path));
+  auto kind = snap.meta.find("kind");
+  if (kind == snap.meta.end() || kind->second != kSamplingKind) {
+    return Status::InvalidArgument(
+        "checkpoint is not a sampling-materialization snapshot: " +
+        options_.checkpoint_path);
+  }
+  auto seed = snap.meta.find("seed");
+  if (seed == snap.meta.end() ||
+      std::strtoull(seed->second.c_str(), nullptr, 10) != options_.seed) {
+    return Status::InvalidArgument(
+        "sampling checkpoint was written with a different seed");
+  }
+  auto sweeps = snap.meta.find("sweeps");
+  auto accumulated = snap.meta.find("num_accumulated");
+  if (sweeps == snap.meta.end() || accumulated == snap.meta.end() ||
+      snap.chains.size() != 1 || snap.rng_states.size() != 1) {
+    return Status::InvalidArgument("sampling checkpoint missing chain state");
+  }
+  DD_RETURN_IF_ERROR(sampler->RestoreState(
+      snap.chains[0], snap.counts,
+      std::strtoull(accumulated->second.c_str(), nullptr, 10),
+      snap.rng_states[0]));
+  *sweeps_done = std::atoi(sweeps->second.c_str());
+  return Status::OK();
+}
+
 Status IncrementalInference::MaterializeSampling() {
   GibbsOptions opts;
   opts.burn_in = options_.full_burn_in;
@@ -39,13 +98,52 @@ Status IncrementalInference::MaterializeSampling() {
   opts.seed = options_.seed;
   opts.clamp_evidence = options_.clamp_evidence;
   GibbsSampler sampler(graph_, opts);
-  DD_ASSIGN_OR_RETURN(marginals_, sampler.RunMarginals());
+  DD_RETURN_IF_ERROR(sampler.Init());
+
+  // Same sweep schedule as GibbsSampler::RunMarginals, but driven here
+  // so the loop can checkpoint and resume mid-stream.
+  const int total_sweeps = options_.full_burn_in + options_.num_samples;
+  int done = 0;
+  DD_RETURN_IF_ERROR(TryRestoreSampling(&sampler, &done));
+  const bool durable = !options_.checkpoint_path.empty();
+  for (; done < total_sweeps; ++done) {
+    Status injected;
+    DD_FAILPOINT(failpoints::kInferenceSweep, &injected);
+    if (!injected.ok()) return injected;
+
+    sampler.Sweep();
+    if (done >= options_.full_burn_in) sampler.Accumulate();
+    if (durable && options_.checkpoint_interval > 0 &&
+        (done + 1) % options_.checkpoint_interval == 0 &&
+        done + 1 < total_sweeps) {
+      DD_RETURN_IF_ERROR(WriteSamplingCheckpoint(sampler, done + 1));
+    }
+  }
+  DD_ASSIGN_OR_RETURN(marginals_, sampler.Marginals());
   chain_state_ = sampler.assignment();
   last_work_units_ = sampler.num_steps();
+  if (durable) DD_RETURN_IF_ERROR(WriteSamplingCheckpoint(sampler, total_sweeps));
   return Status::OK();
 }
 
 Status IncrementalInference::MaterializeVariational() {
+  // The variational materialization is deterministic and cheap relative
+  // to sampling, so durability only persists (and reuses) the final
+  // marginals rather than checkpointing mid-relaxation.
+  if (!options_.checkpoint_path.empty() && FileExists(options_.checkpoint_path)) {
+    DD_ASSIGN_OR_RETURN(GraphSnapshot snap,
+                        ReadGraphSnapshot(options_.checkpoint_path));
+    auto kind = snap.meta.find("kind");
+    if (kind != snap.meta.end() && kind->second == kVariationalKind &&
+        snap.marginals.size() == graph_->num_variables()) {
+      marginals_ = std::move(snap.marginals);
+      last_work_units_ = 0;
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "checkpoint is not a variational-materialization snapshot: " +
+        options_.checkpoint_path);
+  }
   MeanFieldOptions opts;
   opts.max_iterations = options_.mf_max_iterations;
   opts.tolerance = options_.mf_tolerance;
@@ -54,6 +152,12 @@ Status IncrementalInference::MaterializeVariational() {
   MeanFieldEngine engine(graph_, opts);
   DD_ASSIGN_OR_RETURN(marginals_, engine.Run());
   last_work_units_ = engine.updates_performed();
+  if (!options_.checkpoint_path.empty()) {
+    GraphSnapshot snap;
+    snap.marginals = marginals_;
+    snap.meta["kind"] = kVariationalKind;
+    DD_RETURN_IF_ERROR(WriteGraphSnapshot(snap, options_.checkpoint_path));
+  }
   return Status::OK();
 }
 

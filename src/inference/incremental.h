@@ -2,6 +2,7 @@
 #define DEEPDIVE_INFERENCE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "factor/graph.h"
@@ -31,6 +32,13 @@ struct IncrementalOptions {
   /// the mode DeepDive uses after training so that labeled candidates
   /// also receive calibrated probabilities (Fig. 5's train histogram).
   bool clamp_evidence = true;
+  /// Durability: when non-empty, Materialize() writes its state
+  /// (sampling: chain, tallies, RNG, sweep counter; variational: final
+  /// marginals) to this file every `checkpoint_interval` sweeps plus at
+  /// completion, and resumes from an existing checkpoint — a run killed
+  /// mid-sampling continues to bit-identical marginals.
+  std::string checkpoint_path;
+  int checkpoint_interval = 100;
 };
 
 /// Incremental maintenance of inference results. Materialize() runs full
@@ -67,6 +75,11 @@ class IncrementalInference {
  private:
   Status MaterializeSampling();
   Status MaterializeVariational();
+  /// Attempt to restore from options_.checkpoint_path; outputs the number
+  /// of sweeps already performed (0 when starting fresh).
+  Status TryRestoreSampling(class GibbsSampler* sampler, int* sweeps_done);
+  Status WriteSamplingCheckpoint(const class GibbsSampler& sampler,
+                                 int sweeps_done) const;
 
   const FactorGraph* graph_;
   MaterializationStrategy strategy_;

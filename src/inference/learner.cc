@@ -1,14 +1,91 @@
 #include "inference/learner.h"
 
 #include <cmath>
+#include <cstdlib>
 
+#include "factor/io.h"
 #include "inference/gibbs.h"
+#include "util/failpoint.h"
+#include "util/string_util.h"
 
 namespace dd {
+
+namespace {
+
+constexpr char kLearnSnapshotName[] = "learn.snap";
+constexpr char kSnapshotKind[] = "learner";
+
+std::string CheckpointPath(const LearnOptions& options) {
+  return options.checkpoint_dir + "/" + kLearnSnapshotName;
+}
+
+Status WriteLearnerCheckpoint(const LearnOptions& options, const FactorGraph& graph,
+                              const GibbsSampler& positive,
+                              const GibbsSampler& negative, int next_epoch,
+                              double lr) {
+  GraphSnapshot snap;
+  snap.weights.resize(graph.num_weights());
+  for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+    snap.weights[w] = graph.weight_value(w);
+  }
+  snap.chains = {positive.assignment(), negative.assignment()};
+  snap.rng_states = {positive.rng_state(), negative.rng_state()};
+  snap.meta["kind"] = kSnapshotKind;
+  snap.meta["epoch"] = StrFormat("%d", next_epoch);
+  snap.meta["lr"] = FormatExactDouble(lr);
+  snap.meta["seed"] = StrFormat("%llu", static_cast<unsigned long long>(options.seed));
+  return WriteGraphSnapshot(snap, CheckpointPath(options));
+}
+
+/// Restore a checkpoint into the graph/samplers. Outputs the epoch to
+/// continue from and the learning rate at that point.
+Status RestoreLearnerCheckpoint(const LearnOptions& options, FactorGraph* graph,
+                                GibbsSampler* positive, GibbsSampler* negative,
+                                int* start_epoch, double* lr) {
+  DD_ASSIGN_OR_RETURN(GraphSnapshot snap,
+                      ReadGraphSnapshot(CheckpointPath(options)));
+  auto kind = snap.meta.find("kind");
+  if (kind == snap.meta.end() || kind->second != kSnapshotKind) {
+    return Status::InvalidArgument("snapshot is not a learner checkpoint");
+  }
+  auto seed = snap.meta.find("seed");
+  if (seed == snap.meta.end() ||
+      std::strtoull(seed->second.c_str(), nullptr, 10) != options.seed) {
+    return Status::InvalidArgument(
+        "learner checkpoint was written with a different seed");
+  }
+  if (snap.weights.size() != graph->num_weights()) {
+    return Status::InvalidArgument(
+        StrFormat("learner checkpoint has %zu weights, graph has %zu",
+                  snap.weights.size(), graph->num_weights()));
+  }
+  if (snap.chains.size() != 2 || snap.rng_states.size() != 2) {
+    return Status::InvalidArgument(
+        "learner checkpoint must carry exactly two chains and RNG states");
+  }
+  auto epoch = snap.meta.find("epoch");
+  auto lr_meta = snap.meta.find("lr");
+  if (epoch == snap.meta.end() || lr_meta == snap.meta.end()) {
+    return Status::InvalidArgument("learner checkpoint missing epoch/lr metadata");
+  }
+  for (uint32_t w = 0; w < graph->num_weights(); ++w) {
+    graph->set_weight_value(w, snap.weights[w]);
+  }
+  DD_RETURN_IF_ERROR(
+      positive->RestoreState(snap.chains[0], {}, 0, snap.rng_states[0]));
+  DD_RETURN_IF_ERROR(
+      negative->RestoreState(snap.chains[1], {}, 0, snap.rng_states[1]));
+  *start_epoch = std::atoi(epoch->second.c_str());
+  DD_ASSIGN_OR_RETURN(*lr, ParseExactDouble(lr_meta->second));
+  return Status::OK();
+}
+
+}  // namespace
 
 Status Learner::Learn(const LearnOptions& options) {
   DD_RETURN_IF_ERROR(graph_->Finalize());
   gradient_norms_.clear();
+  resumed_from_epoch_ = 0;
 
   GibbsOptions pos_opts;
   pos_opts.seed = options.seed;
@@ -22,12 +99,24 @@ Status Learner::Learn(const LearnOptions& options) {
   GibbsSampler negative(graph_, neg_opts);
   DD_RETURN_IF_ERROR(negative.Init());
 
+  const bool durable = !options.checkpoint_dir.empty();
+  int start_epoch = 0;
+  double lr = options.learning_rate;
+  if (durable && FileExists(CheckpointPath(options))) {
+    DD_RETURN_IF_ERROR(RestoreLearnerCheckpoint(options, graph_, &positive,
+                                                &negative, &start_epoch, &lr));
+    resumed_from_epoch_ = start_epoch;
+  }
+
   const size_t nw = graph_->num_weights();
   const size_t nf = graph_->num_factors();
   std::vector<double> gradient(nw);
-  double lr = options.learning_rate;
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    Status injected;
+    DD_FAILPOINT(failpoints::kLearnerEpoch, &injected);
+    if (!injected.ok()) return injected;
+
     for (int s = 0; s < options.sweeps_per_epoch; ++s) {
       positive.Sweep();
       negative.Sweep();
@@ -47,11 +136,30 @@ Status Learner::Learn(const LearnOptions& options) {
       if (graph_->weight(w).is_fixed) continue;
       const double value = graph_->weight_value(w);
       double g = gradient[w] - options.l2 * value;
-      graph_->set_weight_value(w, value + lr * g);
+      double updated = value + lr * g;
+      if (!std::isfinite(g) || !std::isfinite(updated)) {
+        return Status::InvalidArgument(StrFormat(
+            "learning diverged at epoch %d: weight %u ('%s') became non-finite "
+            "(value=%g, gradient=%g, lr=%g) — reduce learning_rate or increase l2",
+            epoch, w, graph_->weight(w).description.c_str(), updated, g, lr));
+      }
+      graph_->set_weight_value(w, updated);
       norm += g * g;
     }
     gradient_norms_.push_back(std::sqrt(norm));
     lr *= options.decay;
+
+    if (durable && options.checkpoint_interval > 0 &&
+        (epoch + 1) % options.checkpoint_interval == 0 &&
+        epoch + 1 < options.epochs) {
+      DD_RETURN_IF_ERROR(
+          WriteLearnerCheckpoint(options, *graph_, positive, negative, epoch + 1,
+                                 lr));
+    }
+  }
+  if (durable) {
+    DD_RETURN_IF_ERROR(WriteLearnerCheckpoint(options, *graph_, positive,
+                                              negative, options.epochs, lr));
   }
   return Status::OK();
 }

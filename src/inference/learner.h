@@ -2,6 +2,7 @@
 #define DEEPDIVE_INFERENCE_LEARNER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "factor/graph.h"
@@ -16,6 +17,13 @@ struct LearnOptions {
   double l2 = 0.01;           ///< L2 regularization strength
   int sweeps_per_epoch = 1;   ///< Gibbs sweeps of each chain per epoch
   uint64_t seed = 1234;
+  /// Durability: when non-empty, Learn() writes `learn.snap` into this
+  /// directory every `checkpoint_interval` epochs (weights, both chain
+  /// states, RNG states, epoch counter, learning rate) plus once at the
+  /// end, and automatically resumes from an existing checkpoint — the
+  /// resumed run is bit-identical to an uninterrupted one.
+  std::string checkpoint_dir;
+  int checkpoint_interval = 10;
 };
 
 /// Contrastive-divergence-style weight learning, as in the DimmWitted
@@ -31,14 +39,23 @@ class Learner {
   explicit Learner(FactorGraph* graph) : graph_(graph) {}
 
   /// Run SGD; on success the graph's weights hold the learned values.
+  /// Detects divergence (non-finite gradient or weight) and reports it
+  /// as InvalidArgument naming the offending weight instead of letting
+  /// the sampler run on garbage.
   Status Learn(const LearnOptions& options);
 
-  /// Gradient norm history (one entry per epoch) for diagnostics.
+  /// Gradient norm history for diagnostics — one entry per epoch this
+  /// Learn() call executed (a resumed run only records the epochs it
+  /// actually ran).
   const std::vector<double>& gradient_norms() const { return gradient_norms_; }
+
+  /// First epoch the last Learn() actually executed (> 0 after a resume).
+  int resumed_from_epoch() const { return resumed_from_epoch_; }
 
  private:
   FactorGraph* graph_;
   std::vector<double> gradient_norms_;
+  int resumed_from_epoch_ = 0;
 };
 
 }  // namespace dd

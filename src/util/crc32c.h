@@ -1,0 +1,21 @@
+#ifndef DEEPDIVE_UTIL_CRC32C_H_
+#define DEEPDIVE_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dd {
+
+/// CRC-32C (Castagnoli polynomial, the RocksDB/LevelDB/iSCSI checksum).
+/// Software table implementation — fast enough for snapshot I/O, no
+/// hardware dependency. `Crc32cExtend` continues a running checksum so
+/// multi-part payloads can be checksummed without concatenation.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_CRC32C_H_

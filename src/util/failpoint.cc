@@ -1,0 +1,251 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::atomic<bool> Failpoints::armed_{false};
+
+namespace {
+
+// Pull the env configuration in at program start so any binary honors
+// $DD_FAILPOINTS without code changes. This TU is linked in whenever a
+// DD_FAILPOINT site exists, which is exactly when the contract matters.
+const bool g_env_configured = [] {
+  Failpoints::Instance().ConfigureFromEnv();
+  return true;
+}();
+
+Status ParseAction(const std::string& name, FailpointConfig* config) {
+  if (name == "error") {
+    config->action = FailpointAction::kError;
+    config->code = StatusCode::kInternal;
+  } else if (name == "corruption") {
+    config->action = FailpointAction::kError;
+    config->code = StatusCode::kCorruption;
+  } else if (name == "ioerror") {
+    config->action = FailpointAction::kError;
+    config->code = StatusCode::kIoError;
+  } else if (name == "short_write") {
+    config->action = FailpointAction::kShortWrite;
+  } else if (name == "crash") {
+    config->action = FailpointAction::kCrash;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " + name);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Instance() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+Failpoints::Failpoints() = default;
+
+void Failpoints::Enable(const std::string& name, FailpointConfig config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& site = sites_[name];
+  site.config = config;
+  site.enabled = true;
+  site.hits_seen = 0;
+  site.fired = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Failpoints::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it != sites_.end()) it->second.enabled = false;
+  RecomputeArmed();
+}
+
+void Failpoints::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  rng_.Seed(0x600dfeedULL);
+  crash_hook_ = nullptr;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void Failpoints::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.Seed(seed);
+}
+
+Status Failpoints::Configure(const std::string& spec) {
+  for (const std::string& raw_entry : Split(spec, ';')) {
+    std::string entry(Trim(raw_entry));
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint spec entry needs name=action: " +
+                                     entry);
+    }
+    std::string name(Trim(entry.substr(0, eq)));
+    std::string rhs(Trim(entry.substr(eq + 1)));
+
+    std::string action = rhs;
+    std::string params;
+    size_t paren = rhs.find('(');
+    if (paren != std::string::npos) {
+      if (rhs.back() != ')') {
+        return Status::InvalidArgument("unbalanced '(' in failpoint spec: " + rhs);
+      }
+      action = rhs.substr(0, paren);
+      params = rhs.substr(paren + 1, rhs.size() - paren - 2);
+    }
+
+    FailpointConfig config;
+    DD_RETURN_IF_ERROR(ParseAction(action, &config));
+    for (const std::string& raw_param : Split(params, ',')) {
+      std::string param(Trim(raw_param));
+      if (param.empty()) continue;
+      size_t peq = param.find('=');
+      if (peq == std::string::npos) {
+        return Status::InvalidArgument("failpoint parameter needs key=value: " +
+                                       param);
+      }
+      std::string key(Trim(param.substr(0, peq)));
+      std::string value(Trim(param.substr(peq + 1)));
+      char* end = nullptr;
+      double num = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("bad failpoint parameter value: " + param);
+      }
+      if (key == "p") {
+        config.probability = num;
+      } else if (key == "hits") {
+        config.max_hits = static_cast<int>(num);
+      } else if (key == "skip") {
+        config.skip = static_cast<int>(num);
+      } else if (key == "keep") {
+        config.keep_fraction = num;
+      } else {
+        return Status::InvalidArgument("unknown failpoint parameter: " + key);
+      }
+    }
+    Enable(name, config);
+  }
+  return Status::OK();
+}
+
+void Failpoints::ConfigureFromEnv() {
+  const char* seed = std::getenv("DD_FAILPOINT_SEED");
+  if (seed != nullptr) Seed(std::strtoull(seed, nullptr, 10));
+  const char* spec = std::getenv("DD_FAILPOINTS");
+  if (spec != nullptr && spec[0] != '\0') {
+    Status st = Configure(spec);
+    if (!st.ok()) {
+      std::fprintf(stderr, "[failpoint] bad $DD_FAILPOINTS: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+void Failpoints::SetCrashHook(std::function<void(const std::string&)> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_hook_ = std::move(hook);
+}
+
+bool Failpoints::RegisterSite(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  known_sites_[name] = true;
+  return true;
+}
+
+std::vector<std::string> Failpoints::registered_sites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, seen] : known_sites_) {
+    (void)seen;
+    out.push_back(name);
+  }
+  return out;
+}
+
+uint64_t Failpoints::fired_count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  return it == sites_.end() ? 0 : it->second.fired;
+}
+
+bool Failpoints::ShouldFire(const char* name, FailpointConfig* config) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(name);
+  if (it == sites_.end() || !it->second.enabled) return false;
+  Site& site = it->second;
+  ++site.hits_seen;
+  if (site.hits_seen <= site.config.skip) return false;
+  if (site.config.max_hits >= 0 &&
+      site.fired >= static_cast<uint64_t>(site.config.max_hits)) {
+    return false;
+  }
+  if (site.config.probability < 1.0 &&
+      !rng_.NextBernoulli(site.config.probability)) {
+    return false;
+  }
+  ++site.fired;
+  *config = site.config;
+  return true;
+}
+
+void Failpoints::DoCrash(const std::string& name) {
+  std::function<void(const std::string&)> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = crash_hook_;
+  }
+  if (hook) {
+    hook(name);
+    return;  // a test hook that returns leaves the site unharmed
+  }
+  std::fprintf(stderr, "[failpoint] crash injected at '%s'\n", name.c_str());
+  std::fflush(stderr);
+  std::_Exit(kFailpointCrashExitCode);
+}
+
+void Failpoints::Eval(const char* name, Status* status) {
+  (void)EvalWrite(name, 0, status);
+}
+
+size_t Failpoints::EvalWrite(const char* name, size_t n, Status* status) {
+  FailpointConfig config;
+  if (!ShouldFire(name, &config)) return n;
+  switch (config.action) {
+    case FailpointAction::kError:
+      *status = Status(config.code,
+                       StrFormat("failpoint '%s' injected error", name));
+      return n;
+    case FailpointAction::kShortWrite: {
+      double keep = config.keep_fraction;
+      if (keep < 0.0) keep = 0.0;
+      if (keep > 1.0) keep = 1.0;
+      return static_cast<size_t>(static_cast<double>(n) * keep);
+    }
+    case FailpointAction::kCrash:
+      DoCrash(name);
+      return n;
+  }
+  return n;
+}
+
+void Failpoints::RecomputeArmed() {
+  // Caller holds mu_.
+  bool any = false;
+  for (const auto& [name, site] : sites_) {
+    (void)name;
+    if (site.enabled) {
+      any = true;
+      break;
+    }
+  }
+  armed_.store(any, std::memory_order_relaxed);
+}
+
+}  // namespace dd

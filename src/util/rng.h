@@ -6,6 +6,14 @@
 
 namespace dd {
 
+/// Serializable snapshot of an Rng's internal state. Restoring it makes
+/// the generator continue the exact same stream — the basis of
+/// bit-identical resume after a crash (see factor/io.h snapshots).
+struct RngState {
+  uint64_t s0 = 0;
+  uint64_t s1 = 0;
+};
+
 /// Deterministic, fast xorshift128+ generator. Every stochastic component
 /// in the library takes an explicit Rng (or seed) so runs are reproducible —
 /// a requirement for the "debuggable decisions" design criterion (§2.5).
@@ -42,6 +50,13 @@ class Rng {
 
   /// Bernoulli draw with success probability p.
   bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  RngState state() const { return {s0_, s1_}; }
+  void set_state(const RngState& st) {
+    s0_ = st.s0;
+    s1_ = st.s1;
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is absorbing
+  }
 
   /// Standard normal via Box-Muller.
   double NextGaussian() {

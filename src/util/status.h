@@ -19,6 +19,8 @@ enum class StatusCode {
   kTypeError,
   kInternal,
   kUnimplemented,
+  kCorruption,   ///< on-disk data failed validation (truncation, bad CRC)
+  kIoError,      ///< the OS refused an I/O operation (open/write/fsync/rename)
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -54,6 +56,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -76,6 +84,8 @@ class Status {
       case StatusCode::kTypeError: return "TypeError";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kCorruption: return "Corruption";
+      case StatusCode::kIoError: return "IoError";
     }
     return "Unknown";
   }

@@ -1,0 +1,167 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace dd {
+namespace {
+
+// Every test leaves the process-wide registry clean.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Instance().Reset(); }
+};
+
+TEST_F(FailpointTest, DisabledSiteDoesNothing) {
+  EXPECT_FALSE(Failpoints::armed());
+  Status status;
+  DD_FAILPOINT("test.disabled", &status);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(Failpoints::Instance().fired_count("test.disabled"), 0u);
+}
+
+TEST_F(FailpointTest, SitesSelfRegister) {
+  Status status;
+  DD_FAILPOINT("test.registered", &status);
+  auto sites = Failpoints::Instance().registered_sites();
+  EXPECT_NE(std::find(sites.begin(), sites.end(), "test.registered"),
+            sites.end());
+}
+
+TEST_F(FailpointTest, EnabledSiteInjectsConfiguredCode) {
+  FailpointConfig config;
+  config.code = StatusCode::kCorruption;
+  Failpoints::Instance().Enable("test.error", config);
+  EXPECT_TRUE(Failpoints::armed());
+
+  Status status;
+  DD_FAILPOINT("test.error", &status);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_NE(status.message().find("test.error"), std::string::npos);
+  EXPECT_EQ(Failpoints::Instance().fired_count("test.error"), 1u);
+}
+
+TEST_F(FailpointTest, SkipAndMaxHits) {
+  FailpointConfig config;
+  config.skip = 2;
+  config.max_hits = 1;
+  Failpoints::Instance().Enable("test.window", config);
+
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    Status status;
+    DD_FAILPOINT("test.window", &status);
+    if (!status.ok()) ++fired;
+  }
+  // Hits 1-2 skipped, hit 3 fires, then max_hits stops everything.
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(Failpoints::Instance().fired_count("test.window"), 1u);
+}
+
+TEST_F(FailpointTest, ProbabilityStreamIsDeterministic) {
+  auto run = [] {
+    FailpointConfig config;
+    config.probability = 0.5;
+    Failpoints::Instance().Enable("test.prob", config);
+    Failpoints::Instance().Seed(123);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      Status status;
+      DD_FAILPOINT("test.prob", &status);
+      pattern.push_back(!status.ok());
+    }
+    Failpoints::Instance().Reset();
+    return pattern;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // Sanity: p=0.5 over 64 draws fires some but not all of the time.
+  int fired = 0;
+  for (bool b : first) fired += b ? 1 : 0;
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 64);
+}
+
+TEST_F(FailpointTest, ShortWriteShrinksByteCount) {
+  FailpointConfig config;
+  config.action = FailpointAction::kShortWrite;
+  config.keep_fraction = 0.25;
+  Failpoints::Instance().Enable("test.write", config);
+
+  size_t n = 1000;
+  Status status;
+  DD_FAILPOINT_WRITE("test.write", n, &status);
+  EXPECT_TRUE(status.ok());  // short writes do not inject a Status
+  EXPECT_EQ(n, 250u);
+}
+
+TEST_F(FailpointTest, CrashHookIsTestVisible) {
+  FailpointConfig config;
+  config.action = FailpointAction::kCrash;
+  Failpoints::Instance().Enable("test.crash", config);
+  std::string crashed_at;
+  Failpoints::Instance().SetCrashHook(
+      [&](const std::string& name) { crashed_at = name; });
+
+  Status status;
+  DD_FAILPOINT("test.crash", &status);
+  EXPECT_TRUE(status.ok());  // the returning hook leaves the site unharmed
+  EXPECT_EQ(crashed_at, "test.crash");
+}
+
+TEST_F(FailpointTest, DisableRearmsCorrectly) {
+  Failpoints::Instance().Enable("test.a", FailpointConfig());
+  Failpoints::Instance().Enable("test.b", FailpointConfig());
+  Failpoints::Instance().Disable("test.a");
+  EXPECT_TRUE(Failpoints::armed());
+  Failpoints::Instance().Disable("test.b");
+  EXPECT_FALSE(Failpoints::armed());
+
+  Status status;
+  DD_FAILPOINT("test.a", &status);
+  EXPECT_TRUE(status.ok());
+}
+
+TEST_F(FailpointTest, ConfigureParsesSpecs) {
+  ASSERT_TRUE(Failpoints::Instance()
+                  .Configure("test.one=error;test.two=short_write(keep=0.1);"
+                             "test.three=ioerror(p=1.0,hits=2,skip=1)")
+                  .ok());
+  Status status;
+  DD_FAILPOINT("test.one", &status);
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+
+  status = Status::OK();
+  DD_FAILPOINT("test.three", &status);  // skipped (skip=1)
+  EXPECT_TRUE(status.ok());
+  DD_FAILPOINT("test.three", &status);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedSpecs) {
+  auto& fp = Failpoints::Instance();
+  EXPECT_EQ(fp.Configure("justaname").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("=error").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("a.b=explode").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("a.b=error(p=high)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("a.b=error(p)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("a.b=error(bogus=1)").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(fp.Configure("a.b=error(p=0.5").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(FailpointTest, CorruptionActionAlias) {
+  ASSERT_TRUE(Failpoints::Instance().Configure("test.corrupt=corruption").ok());
+  Status status;
+  DD_FAILPOINT("test.corrupt", &status);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dd
