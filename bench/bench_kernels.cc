@@ -11,6 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "inference/gibbs.h"
@@ -153,9 +154,19 @@ BENCHMARK(BM_SigmoidSample);
 /// to BENCH_kernels.json. Both paths visit every variable in the same
 /// order against the same frozen assignment, so the comparison isolates
 /// the delta kernel itself.
+/// Env override with a default, for CI smoke sizing (DD_BENCH_VARS,
+/// DD_BENCH_SWEEPS). Keeping the defaults means the committed baseline
+/// numbers stay comparable run to run.
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
 void RunHeadToHead() {
   SyntheticGraphOptions options;
-  options.num_variables = 100000;
+  options.num_variables = EnvInt("DD_BENCH_VARS", 100000);
   options.factors_per_variable = 3.0;
   options.seed = 7;
   FactorGraph graph = MakeRandomGraph(options);
@@ -165,7 +176,7 @@ void RunHeadToHead() {
   Rng rng(11);
   for (auto& a : assignment) a = rng.NextBernoulli(0.5);
 
-  const int sweeps = 20;
+  const int sweeps = EnvInt("DD_BENCH_SWEEPS", 20);
   volatile double sink = 0.0;
   bool agree = true;
 

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the compiled-kernel benchmark.
+
+Usage: bench_gate.py <baseline.json> <fresh.json>
+
+Compares the freshly measured ``compiled_ns_per_delta`` from
+``bench_kernels`` against the committed baseline (BENCH_kernels.json at
+the repo root) and fails when the fresh number regresses more than the
+tolerance. Also insists the interpreted and compiled kernels still agree
+bit-for-bit (``deltas_agree``) — a fast wrong kernel must not pass.
+
+Environment:
+  DD_BENCH_GATE_SKIP=1        skip the gate entirely (exit 0); for noisy
+                              or shared runners where timing is garbage.
+  DD_BENCH_GATE_TOLERANCE     allowed fractional regression, default 0.15.
+"""
+
+import json
+import os
+import sys
+
+
+def fail(msg: str) -> "int":
+    print(f"bench-gate: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main(argv) -> int:
+    if os.environ.get("DD_BENCH_GATE_SKIP") == "1":
+        print("bench-gate: skipped (DD_BENCH_GATE_SKIP=1)")
+        return 0
+    if len(argv) != 3:
+        return fail(f"usage: {argv[0]} <baseline.json> <fresh.json>")
+
+    try:
+        tolerance = float(os.environ.get("DD_BENCH_GATE_TOLERANCE", "0.15"))
+    except ValueError:
+        return fail("DD_BENCH_GATE_TOLERANCE is not a number")
+    if tolerance < 0:
+        return fail("DD_BENCH_GATE_TOLERANCE must be >= 0")
+
+    try:
+        with open(argv[1]) as f:
+            baseline = json.load(f)
+        with open(argv[2]) as f:
+            fresh = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot read benchmark JSON: {e}")
+
+    for doc, label in ((baseline, "baseline"), (fresh, "fresh")):
+        if "compiled_ns_per_delta" not in doc:
+            return fail(f"{label} JSON has no compiled_ns_per_delta")
+
+    if fresh.get("deltas_agree") is not True:
+        return fail("fresh run: interpreted and compiled kernels disagree")
+
+    base_ns = float(baseline["compiled_ns_per_delta"])
+    fresh_ns = float(fresh["compiled_ns_per_delta"])
+    if base_ns <= 0:
+        return fail(f"baseline compiled_ns_per_delta is non-positive: {base_ns}")
+
+    limit_ns = base_ns * (1.0 + tolerance)
+    ratio = fresh_ns / base_ns
+    verdict = "OK" if fresh_ns <= limit_ns else "REGRESSION"
+    print(
+        f"bench-gate: compiled kernel {fresh_ns:.2f} ns/delta vs baseline "
+        f"{base_ns:.2f} ns/delta ({ratio:.2f}x, limit {limit_ns:.2f} at "
+        f"+{tolerance * 100:.0f}%) -> {verdict}"
+    )
+    if fresh_ns > limit_ns:
+        return fail(
+            f"compiled kernel regressed {ratio:.2f}x over baseline "
+            f"(override with DD_BENCH_GATE_SKIP=1 or refresh BENCH_kernels.json "
+            f"if the change is intentional)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

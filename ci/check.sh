@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: plain build + tests, then the same suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer (catches the OOB/UB class
-# of bugs the compiled kernel streams could introduce).
+# Tier-1 gate: plain build + tests, a perf-regression gate over the
+# compiled kernel, then the same suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (catches the OOB/UB class of bugs the
+# compiled kernel streams could introduce).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,19 +11,44 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 ctest --test-dir build --output-on-failure
 
+echo "=== bench gate (compiled kernel ns/delta ratchet) ==="
+# Smoke-sized head-to-head: full 100k-variable graph (cache behavior must
+# match the committed baseline) but few sweeps, google-benchmarks skipped.
+# The fresh JSON lands in build/ and is compared against the committed
+# baseline; >15% regression fails. DD_BENCH_GATE_SKIP=1 overrides.
+if [ "${DD_BENCH_GATE_SKIP:-0}" = "1" ]; then
+  echo "bench gate skipped (DD_BENCH_GATE_SKIP=1)"
+else
+  (cd build && DD_BENCH_SWEEPS="${DD_BENCH_SWEEPS:-4}" \
+      ./bench/bench_kernels --benchmark_filter='^$')
+  python3 ci/bench_gate.py BENCH_kernels.json build/BENCH_kernels.json
+fi
+
 echo "=== sanitized build + ctest (address;undefined) ==="
 cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null
 cmake --build build-san -j
 ctest --test-dir build-san --output-on-failure
 
 echo "=== fault-injection pass ==="
-# Enable every registered failpoint (names are greppable by contract —
-# one per line in src/util/failpoint.h) at p=1.0 for one hit and run the
-# sanitized pipeline + recovery binaries. Injected faults may fail
-# individual test expectations (that's the point); what must NOT happen
-# is a crash (rc >= 128 means a signal) or a sanitizer report — errors
-# have to propagate as clean Status values.
-failpoints=$(grep -oE '"[a-z_]+\.[a-z_]+"' src/util/failpoint.h | tr -d '"' | sort -u)
+# Enable every registered failpoint at p=1.0 for one hit and run the
+# sanitized pipeline + recovery binaries. Sites live in two places: the
+# named constants in src/util/failpoint.h, and literal names registered
+# directly at DD_FAILPOINT(...) call sites in .cc files — grep both.
+# Injected faults may fail individual test expectations (that's the
+# point); what must NOT happen is a crash (rc >= 128 means a signal) or
+# a sanitizer report — errors have to propagate as clean Status values.
+failpoints=$(
+  {
+    grep -oE '"[a-z_]+\.[a-z_]+"' src/util/failpoint.h
+    grep -rhoE 'DD_FAILPOINT(_WRITE)?\("[a-z_]+\.[a-z_]+"' src --include='*.cc' |
+      grep -oE '"[a-z_]+\.[a-z_]+"'
+  } | tr -d '"' | sort -u
+)
+if [ -z "$failpoints" ]; then
+  echo "FAIL: failpoint discovery grep found no sites"
+  exit 1
+fi
+echo "discovered failpoint sites:" $failpoints
 for fp in $failpoints; do
   for bin in build-san/tests/recovery_test build-san/tests/pipeline_test; do
     echo "--- $fp via $(basename "$bin")"

@@ -9,10 +9,12 @@
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/features.h"
 #include "core/pipeline.h"
 #include "nlp/ner.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -183,5 +185,21 @@ int main() {
   std::printf("\nOutput database (threshold %.2f):\n", 0.7);
   auto extractions = pipeline.Extractions("MarriedMention");
   std::printf("  %zu married-mention tuples extracted\n", extractions->size());
+
+  // Per-run observability report: the Fig. 2 phase breakdown plus every
+  // counter/gauge/histogram the run touched, as machine-readable JSON
+  // ($DD_METRICS_JSON overrides the path) and a one-screen table.
+  const char* metrics_path_env = std::getenv("DD_METRICS_JSON");
+  const std::string metrics_path =
+      metrics_path_env != nullptr && metrics_path_env[0] != '\0'
+          ? metrics_path_env
+          : "quickstart_metrics.json";
+  status = dd::RunMetrics::WriteJsonFile(metrics_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "metrics report error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\nwrote %s\n", dd::RunMetrics::ToTable().c_str(),
+              metrics_path.c_str());
   return 0;
 }

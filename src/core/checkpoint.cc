@@ -9,6 +9,7 @@
 
 #include "factor/io.h"
 #include "util/crc32c.h"
+#include "util/failpoint.h"
 
 namespace dd {
 
@@ -27,6 +28,9 @@ bool RunDirectory::HasManifest() const { return FileExists(ManifestPath()); }
 
 Status RunDirectory::WriteManifest(
     const std::map<std::string, std::string>& kv) const {
+  Status injected;
+  DD_FAILPOINT("checkpoint.manifest", &injected);
+  if (!injected.ok()) return injected;
   GraphSnapshot snap;
   snap.meta = kv;
   snap.meta["kind"] = "pipeline-manifest";

@@ -6,8 +6,10 @@
 #include "ddlog/parser.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -68,11 +70,13 @@ Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) 
       // once on a fresh emitter, then quarantine it rather than let one
       // bad document kill hours of work.
       ++run_stats_.extractor_retries;
+      DD_COUNTER_ADD("dd.pipeline.extractor_retries", 1);
       emitter = TupleEmitter();
       status = ExtractDocument(doc, &emitter);
     }
     if (!status.ok()) {
       ++run_stats_.documents_quarantined;
+      DD_COUNTER_ADD("dd.pipeline.documents_quarantined", 1);
       run_stats_.quarantined.push_back({doc.id, status});
       DD_LOG(Warning) << "quarantined document '" << doc.id
                       << "': " << status.ToString();
@@ -168,41 +172,58 @@ MaterializationStrategy DeepDivePipeline::PickStrategy() const {
 
 Status DeepDivePipeline::Run() {
   if (!program_loaded_) return Status::Internal("LoadProgram() before Run()");
+  // Root span: children named below are exactly the Fig. 2 phases and
+  // surface as "phases" in RunMetrics::ToJson().
+  DD_TRACE_SPAN_VAR(run_span, "pipeline");
 
   // Phase 1: candidate generation + feature extraction UDFs (§3 step 1).
   Stopwatch watch;
   std::map<std::string, DeltaSet> deltas;
-  DD_RETURN_IF_ERROR(RunExtraction(&deltas));
+  {
+    DD_TRACE_SPAN_VAR(span, "extraction");
+    DD_RETURN_IF_ERROR(RunExtraction(&deltas));
+    span.Attr("documents_processed",
+              static_cast<double>(run_stats_.documents_processed));
+    span.Attr("documents_quarantined",
+              static_cast<double>(run_stats_.documents_quarantined));
+    DD_COUNTER_ADD("dd.pipeline.documents_processed",
+                   run_stats_.documents_processed);
+  }
   timings_.extraction_seconds = watch.Seconds();
 
   // Phase 2: grounding — candidate mappings, supervision rules, and
   // factor generation, incrementally after the first run (§3 steps 1-2,
   // §4.1).
   watch.Restart();
-  if (!has_run_) {
-    // Bulk-load the first batch directly into the base tables.
-    for (const auto& [relation, delta] : deltas) {
-      const RelationDecl* decl = program_.FindDecl(relation);
-      if (decl == nullptr) {
-        return Status::NotFound("extractor emitted into undeclared relation: " +
-                                relation);
+  {
+    DD_TRACE_SPAN_VAR(span, "grounding");
+    if (!has_run_) {
+      // Bulk-load the first batch directly into the base tables.
+      for (const auto& [relation, delta] : deltas) {
+        const RelationDecl* decl = program_.FindDecl(relation);
+        if (decl == nullptr) {
+          return Status::NotFound("extractor emitted into undeclared relation: " +
+                                  relation);
+        }
+        DD_ASSIGN_OR_RETURN(Table * table,
+                            catalog_.GetOrCreateTable(relation, decl->schema));
+        for (const auto& [tuple, count] : delta) {
+          if (count <= 0) continue;  // deletions meaningless on first load
+          DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+        }
       }
-      DD_ASSIGN_OR_RETURN(Table * table,
-                          catalog_.GetOrCreateTable(relation, decl->schema));
-      for (const auto& [tuple, count] : delta) {
-        if (count <= 0) continue;  // deletions meaningless on first load
-        DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+      GroundingOptions grounding_options;
+      grounding_options.holdout_fraction = options_.holdout_fraction;
+      grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
+                                             grounding_options);
+      DD_RETURN_IF_ERROR(grounder_->Initialize());
+    } else {
+      if (!deltas.empty()) {
+        DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
       }
     }
-    GroundingOptions grounding_options;
-    grounding_options.holdout_fraction = options_.holdout_fraction;
-    grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
-                                           grounding_options);
-    DD_RETURN_IF_ERROR(grounder_->Initialize());
-  } else {
-    if (!deltas.empty()) {
-      DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
-    }
+    span.Attr("variables", static_cast<double>(grounder_->stats().num_variables));
+    span.Attr("factors", static_cast<double>(grounder_->stats().num_factors));
   }
   timings_.grounding_seconds = watch.Seconds();
 
@@ -213,13 +234,17 @@ Status DeepDivePipeline::Run() {
 
   // Phase 3: weight learning (§3 step 3).
   watch.Restart();
-  bool learn = !has_run_ || options_.relearn_on_update;
-  if (learn) {
-    LearnOptions learn_opts = options_.learn;
-    if (run_dir_ != nullptr) learn_opts.checkpoint_dir = run_dir_->path();
-    Learner learner(grounder_->mutable_graph());
-    DD_RETURN_IF_ERROR(learner.Learn(learn_opts));
-    grounder_->SaveWeights();
+  {
+    DD_TRACE_SPAN_VAR(span, "learning");
+    bool learn = !has_run_ || options_.relearn_on_update;
+    if (learn) {
+      LearnOptions learn_opts = options_.learn;
+      if (run_dir_ != nullptr) learn_opts.checkpoint_dir = run_dir_->path();
+      Learner learner(grounder_->mutable_graph());
+      DD_RETURN_IF_ERROR(learner.Learn(learn_opts));
+      grounder_->SaveWeights();
+    }
+    span.Attr("learned", learn ? 1 : 0);
   }
   timings_.learning_seconds = watch.Seconds();
 
@@ -229,22 +254,43 @@ Status DeepDivePipeline::Run() {
 
   // Phase 4: inference (§3 step 3, §4.2).
   watch.Restart();
-  DD_RETURN_IF_ERROR(RunInference());
+  {
+    DD_TRACE_SPAN_VAR(span, "inference");
+    DD_RETURN_IF_ERROR(RunInference());
+    span.Attr("marginals", static_cast<double>(marginals_.size()));
+  }
   timings_.inference_seconds = watch.Seconds();
 
   DD_RETURN_IF_ERROR(UpdateManifestPhase("done"));
-
   has_run_ = true;
+
+  // Phase 5: calibration (Fig. 2's last phase / Fig. 5's input) — bucket
+  // the fresh marginals of every query relation against its held-out and
+  // clamped labels. Cheap (one pass over the variables per relation) but
+  // measured, because the developer loop reads these plots every cycle.
+  watch.Restart();
+  {
+    DD_TRACE_SPAN_VAR(span, "calibration");
+    run_calibration_.clear();
+    for (const RelationDecl& decl : program_.declarations) {
+      if (!decl.is_query) continue;
+      DD_ASSIGN_OR_RETURN(CalibrationPair pair, Calibration(decl.name));
+      run_calibration_.emplace(decl.name, std::move(pair));
+    }
+    span.Attr("relations", static_cast<double>(run_calibration_.size()));
+  }
+  timings_.calibration_seconds = watch.Seconds();
+
   return Status::OK();
 }
 
 std::string DeepDivePipeline::RunSummary() const {
   std::string out = StrFormat(
       "phases: extraction %.3fs, grounding %.3fs, learning %.3fs, "
-      "inference %.3fs (total %.3fs)\n",
+      "inference %.3fs, calibration %.3fs (total %.3fs)\n",
       timings_.extraction_seconds, timings_.grounding_seconds,
       timings_.learning_seconds, timings_.inference_seconds,
-      timings_.total_seconds());
+      timings_.calibration_seconds, timings_.total_seconds());
   out += StrFormat("documents: %zu processed, %zu retried, %zu quarantined\n",
                    run_stats_.documents_processed, run_stats_.extractor_retries,
                    run_stats_.documents_quarantined);

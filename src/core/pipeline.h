@@ -45,10 +45,11 @@ struct PhaseTimings {
   double grounding_seconds = 0;   ///< datalog evaluation + factor-graph build
   double learning_seconds = 0;
   double inference_seconds = 0;
+  double calibration_seconds = 0;  ///< Fig. 5 probability bucketing per query relation
 
   double total_seconds() const {
     return extraction_seconds + grounding_seconds + learning_seconds +
-           inference_seconds;
+           inference_seconds + calibration_seconds;
   }
 };
 
@@ -186,6 +187,12 @@ class DeepDivePipeline {
   };
   Result<CalibrationPair> Calibration(const std::string& relation) const;
 
+  /// Calibration pairs computed by Run()'s calibration phase, one per
+  /// query relation (the per-run Fig. 5 inputs).
+  const std::map<std::string, CalibrationPair>& run_calibration() const {
+    return run_calibration_;
+  }
+
   /// §8 failure-mode scan: features nearly identical to a supervision
   /// rule (training places all weight on them and generalization dies).
   /// Returns the human-readable warning report ("" when clean).
@@ -223,6 +230,7 @@ class DeepDivePipeline {
   MaterializationStrategy chosen_strategy_ = MaterializationStrategy::kSampling;
   PhaseTimings timings_;
   RunStats run_stats_;
+  std::map<std::string, CalibrationPair> run_calibration_;
   std::unique_ptr<RunDirectory> run_dir_;
   bool resuming_ = false;
   bool has_run_ = false;

@@ -8,7 +8,9 @@
 #include "query/datalog.h"
 #include "util/hash.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 #include "util/string_util.h"
 
 namespace dd {
@@ -167,18 +169,21 @@ Status Grounder::Initialize() {
   }
 
   Stopwatch eval_watch;
-  incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
-  Status st = incremental_->Initialize();
-  if (st.ok()) {
-    use_incremental_ = true;
-  } else if (st.code() == StatusCode::kUnimplemented) {
-    // Recursive program: full semi-naive evaluation, no DRed.
-    use_incremental_ = false;
-    incremental_.reset();
-    DatalogEngine engine(catalog_);
-    DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
-  } else {
-    return st;
+  {
+    DD_TRACE_SPAN("grounding.eval");
+    incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
+    Status st = incremental_->Initialize();
+    if (st.ok()) {
+      use_incremental_ = true;
+    } else if (st.code() == StatusCode::kUnimplemented) {
+      // Recursive program: full semi-naive evaluation, no DRed.
+      use_incremental_ = false;
+      incremental_.reset();
+      DatalogEngine engine(catalog_);
+      DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
+    } else {
+      return st;
+    }
   }
   double eval_seconds = eval_watch.Seconds();
   initialized_ = true;
@@ -197,7 +202,11 @@ Status Grounder::ApplyDeltas(const std::map<std::string, DeltaSet>& base_deltas)
         "program is recursive; incremental grounding unavailable — use Reground()");
   }
   Stopwatch eval_watch;
-  DD_ASSIGN_OR_RETURN(auto all_deltas, incremental_->ApplyDeltas(base_deltas));
+  std::map<std::string, DeltaSet> all_deltas;
+  {
+    DD_TRACE_SPAN("grounding.eval");
+    DD_ASSIGN_OR_RETURN(all_deltas, incremental_->ApplyDeltas(base_deltas));
+  }
   double eval_seconds = eval_watch.Seconds();
   DD_RETURN_IF_ERROR(BuildGraph());
   stats_.eval_seconds = eval_seconds;
@@ -213,12 +222,15 @@ Status Grounder::Reground() {
     table->Clear();
   }
   Stopwatch eval_watch;
-  if (use_incremental_) {
-    incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
-    DD_RETURN_IF_ERROR(incremental_->Initialize());
-  } else {
-    DatalogEngine engine(catalog_);
-    DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
+  {
+    DD_TRACE_SPAN("grounding.eval");
+    if (use_incremental_) {
+      incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
+      DD_RETURN_IF_ERROR(incremental_->Initialize());
+    } else {
+      DatalogEngine engine(catalog_);
+      DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
+    }
   }
   double eval_seconds = eval_watch.Seconds();
   DD_RETURN_IF_ERROR(BuildGraph());
@@ -230,6 +242,7 @@ Status Grounder::Reground() {
 
 Status Grounder::BuildGraph() {
   Stopwatch build_watch;
+  DD_TRACE_SPAN_VAR(build_span, "grounding.build");
   stats_ = GroundingStats();
 
   // 1. Extend the variable registry with new live query tuples; mark
@@ -442,6 +455,16 @@ Status Grounder::BuildGraph() {
   stats_.num_factors = graph_.num_factors();
   stats_.num_weights = graph_.num_weights();
   stats_.build_seconds = build_watch.Seconds();
+  // Per-pass grounding throughput: tuples (live query variables) and
+  // factors this (re-)grounding produced.
+  size_t tuples_grounded = 0;
+  for (const VarInfo& info : var_info_) {
+    if (info.live) ++tuples_grounded;
+  }
+  DD_COUNTER_ADD("dd.grounding.tuples_grounded", tuples_grounded);
+  DD_COUNTER_ADD("dd.grounding.factors_emitted", graph_.num_factors());
+  build_span.Attr("tuples_grounded", static_cast<double>(tuples_grounded));
+  build_span.Attr("factors_emitted", static_cast<double>(graph_.num_factors()));
   return Status::OK();
 }
 

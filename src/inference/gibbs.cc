@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -102,11 +105,30 @@ void GibbsSampler::Accumulate() {
 
 Result<std::vector<double>> GibbsSampler::RunMarginals() {
   if (!initialized_) DD_RETURN_IF_ERROR(Init());
+  DD_TRACE_SPAN_VAR(span, "gibbs.run_marginals");
+  Stopwatch watch;
+  const uint64_t steps_before = num_steps_;
   for (int i = 0; i < options_.burn_in; ++i) Sweep();
   for (int i = 0; i < options_.num_samples; ++i) {
     Sweep();
     Accumulate();
   }
+  // Throughput accounting happens once per run, not per step — the sweep
+  // loop itself stays untouched (see BENCH_kernels.json's ns/delta).
+  const uint64_t steps = num_steps_ - steps_before;
+  const uint64_t sweeps =
+      static_cast<uint64_t>(options_.burn_in) + options_.num_samples;
+  DD_COUNTER_ADD("dd.sampler.sweeps", sweeps);
+  DD_COUNTER_ADD("dd.sampler.deltas", steps);
+  const double seconds = watch.Seconds();
+  if (seconds > 0) {
+    DD_GAUGE_SET("dd.sampler.deltas_per_sec",
+                 static_cast<double>(steps) / seconds);
+    DD_GAUGE_SET("dd.sampler.sweeps_per_sec",
+                 static_cast<double>(sweeps) / seconds);
+  }
+  span.Attr("sweeps", static_cast<double>(sweeps));
+  span.Attr("deltas", static_cast<double>(steps));
   return Marginals();
 }
 

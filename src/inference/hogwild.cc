@@ -8,7 +8,10 @@
 #include <thread>
 
 #include "inference/gibbs.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -52,6 +55,8 @@ Result<std::vector<double>> HogwildSampler::RunMarginals() {
   if (options_.num_samples < 1) {
     return Status::InvalidArgument("num_samples must be >= 1");
   }
+  DD_TRACE_SPAN_VAR(run_span, "hogwild.run_marginals");
+  Stopwatch run_watch;
   Rng init_rng(options_.seed);
   std::vector<uint8_t> assignment;
   auto parts = PartitionAndInit(*graph_, options_, &assignment, &init_rng);
@@ -93,6 +98,15 @@ Result<std::vector<double>> HogwildSampler::RunMarginals() {
   }
   for (auto& th : threads) th.join();
   num_steps_ = steps.load();
+  DD_COUNTER_ADD("dd.sampler.sweeps", static_cast<uint64_t>(total_sweeps));
+  DD_COUNTER_ADD("dd.sampler.deltas", num_steps_);
+  const double seconds = run_watch.Seconds();
+  if (seconds > 0) {
+    DD_GAUGE_SET("dd.sampler.deltas_per_sec",
+                 static_cast<double>(num_steps_) / seconds);
+  }
+  run_span.Attr("threads", static_cast<double>(parts.size()));
+  run_span.Attr("deltas", static_cast<double>(num_steps_));
 
   std::vector<double> marginals(nv, 0.0);
   for (size_t t = 0; t < parts.size(); ++t) {
@@ -123,6 +137,8 @@ Result<std::vector<double>> LockingSampler::RunMarginals() {
   if (options_.num_samples < 1) {
     return Status::InvalidArgument("num_samples must be >= 1");
   }
+  DD_TRACE_SPAN_VAR(run_span, "locking.run_marginals");
+  Stopwatch run_watch;
   Rng init_rng(options_.seed);
   const size_t nv = graph_->num_variables();
   std::vector<uint8_t> assignment(nv);
@@ -203,6 +219,15 @@ Result<std::vector<double>> LockingSampler::RunMarginals() {
   }
   for (auto& th : threads) th.join();
   num_steps_ = steps.load();
+  DD_COUNTER_ADD("dd.sampler.sweeps", static_cast<uint64_t>(total_sweeps));
+  DD_COUNTER_ADD("dd.sampler.deltas", num_steps_);
+  const double seconds = run_watch.Seconds();
+  if (seconds > 0) {
+    DD_GAUGE_SET("dd.sampler.deltas_per_sec",
+                 static_cast<double>(num_steps_) / seconds);
+  }
+  run_span.Attr("threads", static_cast<double>(num_threads));
+  run_span.Attr("deltas", static_cast<double>(num_steps_));
 
   std::vector<double> marginals(nv, 0.0);
   for (uint32_t v : free_vars) {

@@ -1,13 +1,16 @@
 #include "inference/incremental.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "factor/io.h"
 #include "inference/gibbs.h"
 #include "inference/meanfield.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -92,6 +95,7 @@ Status IncrementalInference::TryRestoreSampling(GibbsSampler* sampler,
 }
 
 Status IncrementalInference::MaterializeSampling() {
+  DD_TRACE_SPAN_VAR(span, "inference.materialize");
   GibbsOptions opts;
   opts.burn_in = options_.full_burn_in;
   opts.num_samples = options_.num_samples;
@@ -106,6 +110,7 @@ Status IncrementalInference::MaterializeSampling() {
   int done = 0;
   DD_RETURN_IF_ERROR(TryRestoreSampling(&sampler, &done));
   const bool durable = !options_.checkpoint_path.empty();
+  const int resumed_at = done;
   for (; done < total_sweeps; ++done) {
     Status injected;
     DD_FAILPOINT(failpoints::kInferenceSweep, &injected);
@@ -123,6 +128,11 @@ Status IncrementalInference::MaterializeSampling() {
   chain_state_ = sampler.assignment();
   last_work_units_ = sampler.num_steps();
   if (durable) DD_RETURN_IF_ERROR(WriteSamplingCheckpoint(sampler, total_sweeps));
+  DD_COUNTER_ADD("dd.inference.sweeps",
+                 static_cast<uint64_t>(total_sweeps - resumed_at));
+  DD_COUNTER_ADD("dd.inference.work_units", last_work_units_);
+  span.Attr("sweeps", static_cast<double>(total_sweeps - resumed_at));
+  span.Attr("resumed_at", static_cast<double>(resumed_at));
   return Status::OK();
 }
 
@@ -174,6 +184,8 @@ Result<std::vector<double>> IncrementalInference::Update(
         "new graph must preserve existing variable ids (got fewer variables)");
   }
   const size_t nv = new_graph->num_variables();
+  DD_TRACE_SPAN_VAR(span, "inference.update");
+  span.Attr("changed_vars", static_cast<double>(changed_vars.size()));
 
   if (strategy_ == MaterializationStrategy::kSampling) {
     // Warm start: reuse the stored chain state for surviving variables,
@@ -189,16 +201,23 @@ Result<std::vector<double>> IncrementalInference::Update(
     DD_RETURN_IF_ERROR(sampler.Init());
     Rng rng(options_.seed + 2);
     std::vector<uint8_t>* state = sampler.mutable_assignment();
+    uint64_t reused = 0, recomputed = 0;
     for (uint32_t v = 0; v < nv; ++v) {
       if (options_.clamp_evidence && new_graph->is_evidence(v)) {
         continue;  // already clamped by Init
       }
       if (v < chain_state_.size()) {
         (*state)[v] = chain_state_[v];
+        ++reused;
       } else {
         (*state)[v] = rng.NextBernoulli(0.5) ? 1 : 0;
+        ++recomputed;
       }
     }
+    DD_COUNTER_ADD("dd.inference.vars_reused", reused);
+    DD_COUNTER_ADD("dd.inference.vars_recomputed", recomputed);
+    span.Attr("vars_reused", static_cast<double>(reused));
+    span.Attr("vars_recomputed", static_cast<double>(recomputed));
     for (int i = 0; i < options_.update_burn_in; ++i) sampler.Sweep();
     for (int i = 0; i < options_.num_samples; ++i) {
       sampler.Sweep();
@@ -207,6 +226,7 @@ Result<std::vector<double>> IncrementalInference::Update(
     DD_ASSIGN_OR_RETURN(marginals_, sampler.Marginals());
     chain_state_ = sampler.assignment();
     last_work_units_ = sampler.num_steps();
+    DD_COUNTER_ADD("dd.inference.work_units", last_work_units_);
     graph_ = new_graph;
     return marginals_;
   }
@@ -215,6 +235,13 @@ Result<std::vector<double>> IncrementalInference::Update(
   // relax the changed region (MeanFieldEngine cascades as needed).
   std::vector<double> mu(nv, 0.5);
   for (uint32_t v = 0; v < nv && v < marginals_.size(); ++v) mu[v] = marginals_[v];
+  {
+    const uint64_t reused = std::min<uint64_t>(nv, marginals_.size());
+    DD_COUNTER_ADD("dd.inference.vars_reused", reused);
+    DD_COUNTER_ADD("dd.inference.vars_recomputed", nv - reused);
+    span.Attr("vars_reused", static_cast<double>(reused));
+    span.Attr("vars_recomputed", static_cast<double>(nv - reused));
+  }
   if (options_.clamp_evidence) {
     for (uint32_t v = 0; v < nv; ++v) {
       if (new_graph->is_evidence(v)) mu[v] = new_graph->evidence_value(v) ? 1.0 : 0.0;
@@ -228,6 +255,7 @@ Result<std::vector<double>> IncrementalInference::Update(
   MeanFieldEngine engine(new_graph, opts);
   DD_ASSIGN_OR_RETURN(marginals_, engine.RunFrom(std::move(mu), changed_vars));
   last_work_units_ = engine.updates_performed();
+  DD_COUNTER_ADD("dd.inference.work_units", last_work_units_);
   graph_ = new_graph;
   return marginals_;
 }

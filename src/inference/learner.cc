@@ -6,7 +6,10 @@
 #include "factor/io.h"
 #include "inference/gibbs.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/timer.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -84,6 +87,7 @@ Status RestoreLearnerCheckpoint(const LearnOptions& options, FactorGraph* graph,
 
 Status Learner::Learn(const LearnOptions& options) {
   DD_RETURN_IF_ERROR(graph_->Finalize());
+  DD_TRACE_SPAN_VAR(learn_span, "learner.learn");
   gradient_norms_.clear();
   resumed_from_epoch_ = 0;
 
@@ -113,6 +117,7 @@ Status Learner::Learn(const LearnOptions& options) {
   std::vector<double> gradient(nw);
 
   for (int epoch = start_epoch; epoch < options.epochs; ++epoch) {
+    Stopwatch epoch_watch;
     Status injected;
     DD_FAILPOINT(failpoints::kLearnerEpoch, &injected);
     if (!injected.ok()) return injected;
@@ -147,6 +152,9 @@ Status Learner::Learn(const LearnOptions& options) {
       norm += g * g;
     }
     gradient_norms_.push_back(std::sqrt(norm));
+    DD_COUNTER_ADD("dd.learner.epochs", 1);
+    DD_HISTOGRAM_OBSERVE("dd.learner.epoch_seconds", epoch_watch.Seconds());
+    DD_HISTOGRAM_OBSERVE("dd.learner.gradient_norm", gradient_norms_.back());
     lr *= options.decay;
 
     if (durable && options.checkpoint_interval > 0 &&
@@ -161,6 +169,9 @@ Status Learner::Learn(const LearnOptions& options) {
     DD_RETURN_IF_ERROR(WriteLearnerCheckpoint(options, *graph_, positive,
                                               negative, options.epochs, lr));
   }
+  learn_span.Attr("epochs_run",
+                  static_cast<double>(options.epochs - start_epoch));
+  learn_span.Attr("resumed_from", static_cast<double>(resumed_from_epoch_));
   return Status::OK();
 }
 

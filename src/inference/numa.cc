@@ -6,7 +6,9 @@
 #include <thread>
 
 #include "inference/gibbs.h"
+#include "util/metrics.h"
 #include "util/rng.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -66,6 +68,7 @@ Result<NumaRunStats> NumaSampler::RunAware() {
   const int nodes = topology_.num_nodes;
   if (nodes < 1) return Status::InvalidArgument("num_nodes must be >= 1");
   if (num_samples_ < 1) return Status::InvalidArgument("num_samples must be >= 1");
+  DD_TRACE_SPAN_VAR(run_span, "numa.run_aware");
   const size_t nv = graph_->num_variables();
   // Split the sample budget across nodes, spreading the remainder over
   // the first num_samples_ % nodes nodes so the requested budget is
@@ -115,6 +118,9 @@ Result<NumaRunStats> NumaSampler::RunAware() {
   stats.steps = steps.load();
   stats.total_accesses = stats.steps;  // local accesses only, one owner touch per step
   stats.remote_accesses = 0;
+  DD_COUNTER_ADD("dd.numa.total_accesses", stats.total_accesses);
+  run_span.Attr("nodes", static_cast<double>(nodes));
+  run_span.Attr("steps", static_cast<double>(stats.steps));
   return stats;
 }
 
@@ -125,6 +131,7 @@ Result<NumaRunStats> NumaSampler::RunUnaware() {
   const int nodes = topology_.num_nodes;
   if (nodes < 1) return Status::InvalidArgument("num_nodes must be >= 1");
   if (num_samples_ < 1) return Status::InvalidArgument("num_samples must be >= 1");
+  DD_TRACE_SPAN_VAR(run_span, "numa.run_unaware");
   const size_t nv = graph_->num_variables();
   auto scopes = BuildScopes(*graph_);
 
@@ -194,6 +201,10 @@ Result<NumaRunStats> NumaSampler::RunUnaware() {
   stats.steps = steps.load();
   stats.total_accesses = total_acc.load();
   stats.remote_accesses = remote_acc.load();
+  DD_COUNTER_ADD("dd.numa.total_accesses", stats.total_accesses);
+  DD_COUNTER_ADD("dd.numa.remote_accesses", stats.remote_accesses);
+  run_span.Attr("nodes", static_cast<double>(nodes));
+  run_span.Attr("remote_accesses", static_cast<double>(stats.remote_accesses));
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace dd {
@@ -191,6 +192,7 @@ bool Failpoints::ShouldFire(const char* name, FailpointConfig* config) {
     return false;
   }
   ++site.fired;
+  DD_COUNTER_ADD("dd.failpoint.fired", 1);
   *config = site.config;
   return true;
 }

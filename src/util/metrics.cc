@@ -1,0 +1,220 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dd {
+
+namespace {
+
+/// CAS-accumulate a double into an atomic word holding its bit pattern.
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(expected) + delta;
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(updated),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMinDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) > v) {
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicMaxDouble(std::atomic<uint64_t>* bits, double v) {
+  uint64_t expected = bits->load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(expected) < v) {
+    if (bits->compare_exchange_weak(expected, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(bounds.empty() ? DefaultBounds() : std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]),
+      min_bits_(std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity())),
+      max_bits_(
+          std::bit_cast<uint64_t>(-std::numeric_limits<double>::infinity())) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double edge = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(edge);
+    edge *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::DefaultBounds() {
+  return ExponentialBounds(1e-6, 2.0, 45);
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), v);
+  // <= edge lands in the edge's bucket: upper_bound gives the first edge
+  // strictly greater, so step back over an exact match.
+  size_t bucket = static_cast<size_t>(it - bounds_.begin());
+  if (bucket > 0 && bounds_[bucket - 1] == v) --bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+  AtomicMinDouble(&min_bits_, v);
+  AtomicMaxDouble(&max_bits_, v);
+}
+
+uint64_t Histogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Quantile(double q) const {
+  const std::vector<uint64_t> counts = BucketCounts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  const double max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts[b]);
+    if (next >= target) {
+      const double lower = b == 0 ? min : bounds_[b - 1];
+      const double upper = b == bounds_.size() ? max : bounds_[b];
+      const double fraction =
+          (target - cumulative) / static_cast<double>(counts[b]);
+      const double value = lower + (upper - lower) * fraction;
+      return std::clamp(value, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  stats.count = TotalCount();
+  if (stats.count == 0) return stats;
+  stats.sum = Sum();
+  stats.min = std::bit_cast<double>(min_bits_.load(std::memory_order_relaxed));
+  stats.max = std::bit_cast<double>(max_bits_.load(std::memory_order_relaxed));
+  stats.p50 = Quantile(0.50);
+  stats.p95 = Quantile(0.95);
+  stats.p99 = Quantile(0.99);
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(std::bit_cast<uint64_t>(0.0), std::memory_order_relaxed);
+  min_bits_.store(
+      std::bit_cast<uint64_t>(std::numeric_limits<double>::infinity()),
+      std::memory_order_relaxed);
+  max_bits_.store(
+      std::bit_cast<uint64_t>(-std::numeric_limits<double>::infinity()),
+      std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::ShardFor(
+    const std::string& name) const {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+void MetricsRegistry::ResetValues() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, counter] : shard.counters) counter->Reset();
+    for (auto& [name, gauge] : shard.gauges) gauge->Reset();
+    for (auto& [name, histogram] : shard.histograms) histogram->Reset();
+  }
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  Snapshot snapshot;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      snapshot.counters[name] = counter->Value();
+    }
+    for (const auto& [name, gauge] : shard.gauges) {
+      snapshot.gauges[name] = gauge->Value();
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      snapshot.histograms[name] = histogram->Stats();
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace dd

@@ -1,0 +1,250 @@
+#ifndef DEEPDIVE_UTIL_METRICS_H_
+#define DEEPDIVE_UTIL_METRICS_H_
+
+// Process-wide metrics registry: counters, gauges, and fixed-bucket
+// histograms, the raw material of the Fig. 2 phase breakdown and the
+// CI perf ratchet (ci/bench_gate.py).
+//
+// Concurrency model (two layers of sharding):
+//  * metric *lookup/creation* takes a name-sharded registry mutex, paid
+//    once per call site (the DD_* macros cache the returned pointer in a
+//    function-local static);
+//  * metric *updates* are relaxed atomics; counters additionally stripe
+//    across cache-line-padded shards indexed per thread, so concurrent
+//    increments never bounce one cache line.
+//
+// Cost when off:
+//  * runtime-disabled (MetricsRegistry::SetEnabled(false)): every update
+//    is one relaxed atomic load and a predicted-not-taken branch;
+//  * compile-time disabled (-DDD_METRICS_OFF, CMake option
+//    DD_METRICS_OFF): MetricsEnabled() is a constant false and the
+//    whole update inlines away to nothing.
+// bench/bench_metrics.cc measures both paths into BENCH_metrics.json.
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dd {
+
+namespace metrics_internal {
+
+inline std::atomic<bool> g_enabled{true};
+inline std::atomic<uint32_t> g_thread_slots{0};
+
+/// Stable small integer per thread, assigned round-robin on first use.
+inline uint32_t ThreadSlot() {
+  thread_local const uint32_t slot =
+      g_thread_slots.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace metrics_internal
+
+/// Hot-path switch. With DD_METRICS_OFF defined this is a compile-time
+/// constant and every instrumentation site folds to nothing.
+inline bool MetricsEnabled() {
+#ifdef DD_METRICS_OFF
+  return false;
+#else
+  return metrics_internal::g_enabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/// Monotonic event count. Add() is wait-free: one relaxed fetch_add on a
+/// per-thread-striped, cache-line-padded shard.
+class Counter {
+ public:
+  static constexpr size_t kShards = 16;
+
+  void Add(uint64_t n = 1) {
+    if (!MetricsEnabled()) return;
+    shards_[metrics_internal::ThreadSlot() % kShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+/// Last-writer-wins instantaneous value (e.g. deltas/sec of the most
+/// recent sampling epoch). Stored as IEEE-754 bits in one atomic word.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!MetricsEnabled()) return;
+    bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+  void Reset() { bits_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of 0.0
+};
+
+/// Point-in-time summary of a Histogram (what serializes to JSON).
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+/// Fixed-bucket histogram for latency/size distributions. Bucket `i`
+/// counts observations <= bounds[i] (last bucket is the +inf overflow).
+/// Observe() is a binary search plus relaxed atomic increments; quantiles
+/// are linearly interpolated inside the selected bucket, clamped to the
+/// observed [min, max].
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper edges; empty selects
+  /// DefaultBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// `count` edges: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  /// 1us .. ~9 hours in 2x steps — a fit for seconds-valued latencies and
+  /// generic magnitudes alike.
+  static std::vector<double> DefaultBounds();
+
+  void Observe(double v);
+
+  uint64_t TotalCount() const;
+  double Sum() const;
+  /// q in [0, 1]; 0 with no observations.
+  double Quantile(double q) const;
+  HistogramStats Stats() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<uint64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double bits, CAS-accumulated
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+/// Name -> metric map, sharded by name hash. Metrics are created on
+/// first request and live for the process lifetime, so pointers handed
+/// out are permanently valid (the DD_* macros rely on this to cache).
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  /// Runtime switch for the whole layer (also gates trace spans).
+  static void SetEnabled(bool enabled) {
+    metrics_internal::g_enabled.store(enabled, std::memory_order_relaxed);
+  }
+  static bool enabled() { return MetricsEnabled(); }
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is consulted only on first creation.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  /// Zero every value, keep every registration (cached pointers stay
+  /// valid). Test teardown.
+  void ResetValues();
+
+  struct Snapshot {
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramStats> histograms;
+  };
+  Snapshot Collect() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  Shard& ShardFor(const std::string& name);
+  const Shard& ShardFor(const std::string& name) const;
+
+  std::array<Shard, kShards> shards_;
+};
+
+// Instrumentation macros. `name` must be a stable string literal: the
+// registry pointer is resolved once and cached in a function-local
+// static. Under DD_METRICS_OFF the update body is dead code and the
+// whole site compiles away.
+#define DD_METRIC_COUNTER(name)                                     \
+  ([]() -> ::dd::Counter* {                                         \
+    static ::dd::Counter* _dd_metric =                              \
+        ::dd::MetricsRegistry::Instance().GetCounter(name);         \
+    return _dd_metric;                                              \
+  }())
+#define DD_METRIC_GAUGE(name)                                       \
+  ([]() -> ::dd::Gauge* {                                           \
+    static ::dd::Gauge* _dd_metric =                                \
+        ::dd::MetricsRegistry::Instance().GetGauge(name);           \
+    return _dd_metric;                                              \
+  }())
+#define DD_METRIC_HISTOGRAM(name)                                   \
+  ([]() -> ::dd::Histogram* {                                       \
+    static ::dd::Histogram* _dd_metric =                            \
+        ::dd::MetricsRegistry::Instance().GetHistogram(name);       \
+    return _dd_metric;                                              \
+  }())
+
+#ifndef DD_METRICS_OFF
+#define DD_COUNTER_ADD(name, n) DD_METRIC_COUNTER(name)->Add(n)
+#define DD_GAUGE_SET(name, v) DD_METRIC_GAUGE(name)->Set(v)
+#define DD_HISTOGRAM_OBSERVE(name, v) DD_METRIC_HISTOGRAM(name)->Observe(v)
+#else
+#define DD_COUNTER_ADD(name, n) \
+  do {                          \
+  } while (0)
+#define DD_GAUGE_SET(name, v) \
+  do {                        \
+  } while (0)
+#define DD_HISTOGRAM_OBSERVE(name, v) \
+  do {                                \
+  } while (0)
+#endif
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_METRICS_H_

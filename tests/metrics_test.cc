@@ -1,0 +1,229 @@
+// Observability layer tests: exactness of sharded counters under
+// contention, histogram quantiles on known distributions, span
+// nesting/reentrancy, the JSON report, and the runtime/compile-time
+// enable switch (the disabled path must record nothing).
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace dd {
+namespace {
+
+/// Pull the first number following `"key":` out of a JSON document —
+/// enough of a parser to round-trip the flat numeric leaves ToJson emits.
+double JsonNumberAt(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "key not in JSON: " << key;
+  if (pos == std::string::npos) return -1;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::SetEnabled(true);
+    RunMetrics::Reset();
+  }
+  void TearDown() override {
+    MetricsRegistry::SetEnabled(true);
+    RunMetrics::Reset();
+  }
+};
+
+#ifndef DD_METRICS_OFF
+
+TEST_F(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  Counter* counter = MetricsRegistry::Instance().GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add(1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, CounterAddAndResetValues) {
+  DD_COUNTER_ADD("test.counter_add", 3);
+  DD_COUNTER_ADD("test.counter_add", 4);
+  Counter* counter = MetricsRegistry::Instance().GetCounter("test.counter_add");
+  EXPECT_EQ(counter->Value(), 7u);
+  MetricsRegistry::Instance().ResetValues();
+  EXPECT_EQ(counter->Value(), 0u);
+  // Cached pointers stay valid across ResetValues.
+  DD_COUNTER_ADD("test.counter_add", 2);
+  EXPECT_EQ(counter->Value(), 2u);
+}
+
+TEST_F(MetricsTest, GaugeLastWriterWins) {
+  DD_GAUGE_SET("test.gauge", 1.5);
+  DD_GAUGE_SET("test.gauge", -2.25);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::Instance().GetGauge("test.gauge")->Value(),
+                   -2.25);
+}
+
+TEST_F(MetricsTest, HistogramQuantilesOnKnownDistribution) {
+  // Uniform 1..100 against decade buckets: every quantile interpolates to
+  // exactly its rank.
+  std::vector<double> bounds;
+  for (int b = 10; b <= 100; b += 10) bounds.push_back(b);
+  Histogram* h =
+      MetricsRegistry::Instance().GetHistogram("test.hist_uniform", bounds);
+  for (int v = 1; v <= 100; ++v) h->Observe(v);
+
+  const HistogramStats stats = h->Stats();
+  EXPECT_EQ(stats.count, 100u);
+  EXPECT_DOUBLE_EQ(stats.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_NEAR(stats.p50, 50.0, 1e-9);
+  EXPECT_NEAR(stats.p95, 95.0, 1e-9);
+  EXPECT_NEAR(stats.p99, 99.0, 1e-9);
+}
+
+TEST_F(MetricsTest, HistogramSingleValueAndOverflow) {
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.hist_single", std::vector<double>{1.0, 2.0});
+  h->Observe(1.5);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 1.5);  // clamped to observed [min, max]
+  h->Observe(1000.0);  // overflow bucket
+  const HistogramStats stats = h->Stats();
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.max, 1000.0);
+  EXPECT_LE(stats.p99, 1000.0);
+}
+
+TEST_F(MetricsTest, SpansNestIntoPaths) {
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+  {
+    DD_TRACE_SPAN_VAR(outer, "outer");
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+    {
+      DD_TRACE_SPAN("inner");
+      EXPECT_EQ(TraceSpan::CurrentPath(), "outer/inner");
+    }
+    EXPECT_EQ(TraceSpan::CurrentPath(), "outer");
+    outer.Attr("answer", 42.0);
+  }
+  EXPECT_EQ(TraceSpan::CurrentPath(), "");
+
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 2u);  // completion order: inner first
+  EXPECT_EQ(records[0].path, "outer/inner");
+  EXPECT_EQ(records[0].depth, 1);
+  EXPECT_EQ(records[1].path, "outer");
+  EXPECT_EQ(records[1].depth, 0);
+  ASSERT_EQ(records[1].attrs.size(), 1u);
+  EXPECT_EQ(records[1].attrs[0].first, "answer");
+  EXPECT_DOUBLE_EQ(records[1].attrs[0].second, 42.0);
+}
+
+void Recurse(int depth) {
+  DD_TRACE_SPAN("recurse");
+  if (depth > 1) Recurse(depth - 1);
+}
+
+TEST_F(MetricsTest, SpanReentrancyExtendsPath) {
+  Recurse(3);
+  const auto records = Tracer::Instance().Records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].path, "recurse/recurse/recurse");
+  EXPECT_EQ(records[0].depth, 2);
+  EXPECT_EQ(records[2].path, "recurse");
+  EXPECT_EQ(records[2].depth, 0);
+}
+
+TEST_F(MetricsTest, JsonRoundTripsValues) {
+  DD_COUNTER_ADD("test.json_counter", 41);
+  DD_COUNTER_ADD("test.json_counter", 1);
+  DD_GAUGE_SET("test.json_gauge", 2.5);
+  Histogram* h = MetricsRegistry::Instance().GetHistogram(
+      "test.json_hist", std::vector<double>{10.0, 20.0});
+  h->Observe(5.0);
+  h->Observe(15.0);
+  {
+    DD_TRACE_SPAN_VAR(pipeline, "pipeline");
+    { DD_TRACE_SPAN("extraction"); }
+    { DD_TRACE_SPAN("grounding"); }
+  }
+
+  const std::string json = RunMetrics::ToJson();
+  EXPECT_NE(json.find("\"schema\": \"dd-metrics-v1\""), std::string::npos);
+  EXPECT_DOUBLE_EQ(JsonNumberAt(json, "test.json_counter"), 42.0);
+  EXPECT_DOUBLE_EQ(JsonNumberAt(json, "test.json_gauge"), 2.5);
+  // Fig. 2 phases: depth-1 spans under the pipeline root.
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"extraction\""), std::string::npos);
+  EXPECT_NE(json.find("\"grounding\""), std::string::npos);
+  // Histogram stats block round-trips count and sum.
+  const size_t hist_pos = json.find("\"test.json_hist\"");
+  ASSERT_NE(hist_pos, std::string::npos);
+  EXPECT_DOUBLE_EQ(JsonNumberAt(json.substr(hist_pos), "count"), 2.0);
+  EXPECT_DOUBLE_EQ(JsonNumberAt(json.substr(hist_pos), "sum"), 20.0);
+
+  const std::string table = RunMetrics::ToTable();
+  EXPECT_NE(table.find("test.json_counter"), std::string::npos);
+  EXPECT_NE(table.find("pipeline/extraction"), std::string::npos);
+}
+
+#endif  // DD_METRICS_OFF
+
+/// Enabled/disabled sweep. With the layer compiled out (DD_METRICS_OFF)
+/// nothing records in either case; otherwise recording follows the
+/// runtime switch. Either way the disabled path must record NOTHING.
+class MetricsSwitchTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(MetricsSwitchTest, RecordsOnlyWhenEnabled) {
+  const bool runtime_enabled = GetParam();
+#ifdef DD_METRICS_OFF
+  const bool recording = false;
+#else
+  const bool recording = runtime_enabled;
+#endif
+  MetricsRegistry::SetEnabled(true);
+  RunMetrics::Reset();
+  MetricsRegistry::SetEnabled(runtime_enabled);
+
+  DD_COUNTER_ADD("switch.counter", 7);
+  DD_GAUGE_SET("switch.gauge", 3.5);
+  DD_HISTOGRAM_OBSERVE("switch.hist", 1.0);
+  { DD_TRACE_SPAN("switch.span"); }
+
+  MetricsRegistry::SetEnabled(true);
+  const auto snapshot = MetricsRegistry::Instance().Collect();
+  const auto find_counter = snapshot.counters.find("switch.counter");
+  const uint64_t counter_value =
+      find_counter == snapshot.counters.end() ? 0 : find_counter->second;
+  const auto find_gauge = snapshot.gauges.find("switch.gauge");
+  const double gauge_value =
+      find_gauge == snapshot.gauges.end() ? 0 : find_gauge->second;
+  const auto find_hist = snapshot.histograms.find("switch.hist");
+  const uint64_t hist_count =
+      find_hist == snapshot.histograms.end() ? 0 : find_hist->second.count;
+
+  EXPECT_EQ(counter_value, recording ? 7u : 0u);
+  EXPECT_DOUBLE_EQ(gauge_value, recording ? 3.5 : 0.0);
+  EXPECT_EQ(hist_count, recording ? 1u : 0u);
+  EXPECT_EQ(Tracer::Instance().Records().size(), recording ? 1u : 0u);
+
+  RunMetrics::Reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(EnabledDisabled, MetricsSwitchTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Enabled" : "Disabled";
+                         });
+
+}  // namespace
+}  // namespace dd
