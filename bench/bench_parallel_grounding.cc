@@ -1,0 +1,225 @@
+// EXP-PAR — morsel-parallel grounding scaling. The same workload is
+// grounded end to end (datalog evaluation + evidence scan + factor
+// assembly) at 1/2/4/8 worker threads; every parallel run's factor
+// graph must be CRC-identical to the serial oracle's, and the wall-clock
+// ratio is the speedup the deterministic merge buys. Two workloads: the
+// randomized synthetic program family (the differential harness's
+// generator, scaled up) and the paper's spouse application grounded from
+// extractor output.
+//
+// Writes BENCH_grounding.json (ratcheted by ci/bench_gate.py). Speedup
+// is only meaningful when the machine actually has the cores; the JSON
+// records hardware_concurrency so the gate can tell a regression from a
+// small machine.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/udf.h"
+#include "ddlog/parser.h"
+#include "factor/io.h"
+#include "grounding/grounder.h"
+#include "storage/catalog.h"
+#include "testdata/spouse_app.h"
+#include "testdata/synthetic_programs.h"
+#include "util/crc32c.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct RunResult {
+  double seconds = 0;
+  uint32_t crc = 0;
+  size_t num_variables = 0;
+  size_t num_factors = 0;
+  bool ok = false;
+};
+
+uint32_t GraphCrc(const dd::Grounder& grounder) {
+  std::string text = dd::SerializeGraph(grounder.graph());
+  return dd::Crc32c(text.data(), text.size());
+}
+
+RunResult GroundSynthetic(const dd::SyntheticProgramOptions& sopt, size_t threads) {
+  RunResult r;
+  auto workload = dd::MakeSyntheticWorkload(sopt);
+  if (!workload.ok()) return r;
+  dd::Catalog catalog;
+  if (!dd::PopulateCatalog(*workload, &catalog).ok()) return r;
+  dd::UdfRegistry udfs;
+  dd::RegisterBuiltinUdfs(&udfs);
+  dd::GroundingOptions gopt;
+  gopt.num_threads = threads;
+  dd::Grounder grounder(&catalog, &workload->program, &udfs, gopt);
+  dd::Stopwatch watch;
+  if (!grounder.Initialize().ok()) return r;
+  r.seconds = watch.Seconds();
+  r.crc = GraphCrc(grounder);
+  r.num_variables = grounder.stats().num_variables;
+  r.num_factors = grounder.stats().num_factors;
+  r.ok = true;
+  return r;
+}
+
+// Extractor output for the first `num_docs` documents, as insert-ready
+// per-relation tuple lists (kept in emission order for determinism).
+std::map<std::string, dd::DeltaSet> ExtractSpouseBase(
+    const dd::SpouseCorpus& corpus, size_t num_docs, const dd::Extractor& extractor) {
+  std::map<std::string, dd::DeltaSet> base;
+  for (size_t d = 0; d < num_docs && d < corpus.documents.size(); ++d) {
+    dd::Document doc =
+        dd::AnnotateDocument(corpus.documents[d].first, corpus.documents[d].second);
+    dd::TupleEmitter emitter;
+    if (!extractor(doc, &emitter).ok()) continue;
+    for (const auto& [relation, tuples] : emitter.emitted()) {
+      for (const dd::Tuple& t : tuples) base[relation][t] += 1;
+    }
+  }
+  for (const auto& [a, b] : corpus.kb_married) {
+    base["KbMarried"][dd::Tuple({dd::Value::String(a), dd::Value::String(b)})] = 1;
+  }
+  for (const auto& [a, b] : corpus.kb_siblings) {
+    base["KbSiblings"][dd::Tuple({dd::Value::String(a), dd::Value::String(b)})] = 1;
+  }
+  return base;
+}
+
+RunResult GroundSpouse(const dd::DdlogProgram& program,
+                       const std::map<std::string, dd::DeltaSet>& base,
+                       size_t threads) {
+  RunResult r;
+  dd::Catalog catalog;
+  for (const auto& [relation, delta] : base) {
+    const dd::RelationDecl* decl = program.FindDecl(relation);
+    if (decl == nullptr) continue;
+    auto table = catalog.GetOrCreateTable(relation, decl->schema);
+    if (!table.ok()) return r;
+    for (const auto& [tuple, count] : delta) {
+      if (count > 0) (void)(*table)->Insert(tuple);
+    }
+  }
+  dd::UdfRegistry udfs;
+  dd::GroundingOptions gopt;
+  gopt.num_threads = threads;
+  dd::Grounder grounder(&catalog, &program, &udfs, gopt);
+  dd::Stopwatch watch;
+  if (!grounder.Initialize().ok()) return r;
+  r.seconds = watch.Seconds();
+  r.crc = GraphCrc(grounder);
+  r.num_variables = grounder.stats().num_variables;
+  r.num_factors = grounder.stats().num_factors;
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const size_t hw = dd::HardwareThreads();
+  const int repeats = EnvInt("DD_BENCH_REPEATS", 3);
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+
+  std::printf("=== EXP-PAR: morsel-parallel grounding scaling ===\n");
+  std::printf("hardware_concurrency: %zu  repeats (best-of): %d\n\n", hw, repeats);
+
+  // --- Synthetic workload (Fig. 2-scale candidate/feature join).
+  dd::SyntheticProgramOptions sopt;
+  sopt.seed = 7;
+  sopt.num_sentences = static_cast<size_t>(EnvInt("DD_BENCH_GROUND_SENTENCES", 1500));
+  sopt.num_entities = 60;
+  sopt.vocab_size = 200;
+  sopt.tokens_per_sentence = 8;
+  sopt.max_pairs_per_sentence = 3;
+
+  // --- Spouse workload (the paper's running example, §3/§5).
+  dd::SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = static_cast<size_t>(EnvInt("DD_BENCH_GROUND_DOCS", 300));
+  corpus_options.seed = 51;
+  dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+  dd::SpouseAppOptions app;
+  dd::Extractor extractor = dd::MakeSpouseExtractor(app);
+  auto parsed = dd::ParseDdlog(dd::SpouseDdlog(app));
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto spouse_base =
+      ExtractSpouseBase(corpus, corpus_options.num_documents, extractor);
+
+  std::map<size_t, RunResult> synthetic, spouse;
+  bool identical = true;
+  std::printf("%-10s %-16s %-16s %-10s %s\n", "threads", "synthetic(s)",
+              "spouse(s)", "speedup", "crc-match");
+  for (size_t t : thread_counts) {
+    RunResult best_syn, best_sp;
+    for (int rep = 0; rep < repeats; ++rep) {
+      RunResult syn = GroundSynthetic(sopt, t);
+      RunResult sp = GroundSpouse(*parsed, spouse_base, t);
+      if (!syn.ok || !sp.ok) {
+        std::fprintf(stderr, "grounding failed at %zu threads\n", t);
+        return 1;
+      }
+      if (rep == 0 || syn.seconds < best_syn.seconds) best_syn = syn;
+      if (rep == 0 || sp.seconds < best_sp.seconds) best_sp = sp;
+    }
+    synthetic[t] = best_syn;
+    spouse[t] = best_sp;
+    bool match = best_syn.crc == synthetic[1].crc && best_sp.crc == spouse[1].crc;
+    identical = identical && match;
+    std::printf("%-10zu %-16.4f %-16.4f %6.2fx    %s\n", t, best_syn.seconds,
+                best_sp.seconds, synthetic[1].seconds / best_syn.seconds,
+                match ? "yes" : "NO");
+  }
+
+  auto speedup = [&](size_t t) { return synthetic[1].seconds / synthetic[t].seconds; };
+
+  FILE* out = std::fopen("BENCH_grounding.json", "w");
+  if (out) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"experiment\": \"EXP-PAR morsel-parallel grounding\",\n"
+        "  \"hardware_concurrency\": %zu,\n"
+        "  \"repeats\": %d,\n"
+        "  \"synthetic\": {\n"
+        "    \"num_variables\": %zu,\n"
+        "    \"num_factors\": %zu,\n"
+        "    \"seconds\": {\"t1\": %.4f, \"t2\": %.4f, \"t4\": %.4f, \"t8\": %.4f}\n"
+        "  },\n"
+        "  \"spouse\": {\n"
+        "    \"num_variables\": %zu,\n"
+        "    \"num_factors\": %zu,\n"
+        "    \"seconds\": {\"t1\": %.4f, \"t2\": %.4f, \"t4\": %.4f, \"t8\": %.4f}\n"
+        "  },\n"
+        "  \"speedup_2t\": %.3f,\n"
+        "  \"speedup_4t\": %.3f,\n"
+        "  \"speedup_8t\": %.3f,\n"
+        "  \"graphs_identical\": %s\n"
+        "}\n",
+        hw, repeats, synthetic[1].num_variables, synthetic[1].num_factors,
+        synthetic[1].seconds, synthetic[2].seconds, synthetic[4].seconds,
+        synthetic[8].seconds, spouse[1].num_variables, spouse[1].num_factors,
+        spouse[1].seconds, spouse[2].seconds, spouse[4].seconds, spouse[8].seconds,
+        speedup(2), speedup(4), speedup(8), identical ? "true" : "false");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_grounding.json\n");
+  }
+  if (hw < 2) {
+    std::printf("note: this machine has %zu core(s); parallel speedups above are\n"
+                "oversubscribed and reflect scheduling overhead, not scaling.\n",
+                hw);
+  }
+  return identical ? 0 : 2;
+}

@@ -1,13 +1,24 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over the compiled-kernel benchmark.
+"""Perf-regression gate over the benchmark JSONs.
 
 Usage: bench_gate.py <baseline.json> <fresh.json>
 
-Compares the freshly measured ``compiled_ns_per_delta`` from
-``bench_kernels`` against the committed baseline (BENCH_kernels.json at
-the repo root) and fails when the fresh number regresses more than the
-tolerance. Also insists the interpreted and compiled kernels still agree
-bit-for-bit (``deltas_agree``) — a fast wrong kernel must not pass.
+Two modes, auto-detected from the JSON shape:
+
+* Kernel mode (``compiled_ns_per_delta`` present, from ``bench_kernels``):
+  the fresh ns/delta must not regress more than the tolerance over the
+  committed BENCH_kernels.json, and the interpreted and compiled kernels
+  must still agree bit-for-bit (``deltas_agree``) — a fast wrong kernel
+  must not pass.
+
+* Grounding mode (``speedup_Nt`` keys present, from
+  ``bench_parallel_grounding``): the parallel grounder must still produce
+  CRC-identical graphs (``graphs_identical``), and the serial-vs-parallel
+  speedup at the largest thread count the fresh machine can actually
+  exercise (``hardware_concurrency`` >= N) must not drop more than the
+  tolerance below the baseline. On single-core runners the speedup ratchet
+  is skipped (oversubscribed timing measures scheduling, not scaling) but
+  graph identity is still enforced.
 
 Environment:
   DD_BENCH_GATE_SKIP=1        skip the gate entirely (exit 0); for noisy
@@ -23,6 +34,54 @@ import sys
 def fail(msg: str) -> "int":
     print(f"bench-gate: FAIL: {msg}", file=sys.stderr)
     return 1
+
+
+def gate_grounding(baseline, fresh, tolerance) -> int:
+    if fresh.get("graphs_identical") is not True:
+        return fail("fresh run: parallel grounding produced a different graph "
+                    "than the serial oracle (graphs_identical != true)")
+
+    hw = int(fresh.get("hardware_concurrency", 1))
+    if hw < 2:
+        print(f"bench-gate: grounding graphs identical; speedup ratchet "
+              f"skipped (fresh machine has {hw} core(s) — parallel timing "
+              f"would measure oversubscription, not scaling)")
+        return 0
+
+    # Largest thread count both JSONs measured that the fresh machine can
+    # genuinely run in parallel.
+    gate_t = None
+    for t in (8, 4, 2):
+        key = f"speedup_{t}t"
+        if key in baseline and key in fresh and t <= hw:
+            gate_t = t
+            break
+    if gate_t is None:
+        print("bench-gate: no common feasible speedup_Nt key; ratchet skipped")
+        return 0
+
+    key = f"speedup_{gate_t}t"
+    base_speedup = float(baseline[key])
+    fresh_speedup = float(fresh[key])
+    base_hw = int(baseline.get("hardware_concurrency", 1))
+    note = ""
+    if base_hw < gate_t:
+        note = (f" (baseline measured on {base_hw} core(s): oversubscribed, "
+                f"bar is soft until refreshed on a multicore machine)")
+    limit = base_speedup * (1.0 - tolerance)
+    verdict = "OK" if fresh_speedup >= limit else "REGRESSION"
+    print(
+        f"bench-gate: grounding speedup at {gate_t} threads "
+        f"{fresh_speedup:.2f}x vs baseline {base_speedup:.2f}x "
+        f"(limit {limit:.2f}x at -{tolerance * 100:.0f}%){note} -> {verdict}"
+    )
+    if fresh_speedup < limit:
+        return fail(
+            f"parallel grounding speedup regressed: {fresh_speedup:.2f}x < "
+            f"{limit:.2f}x (override with DD_BENCH_GATE_SKIP=1 or refresh "
+            f"BENCH_grounding.json if the change is intentional)"
+        )
+    return 0
 
 
 def main(argv) -> int:
@@ -46,6 +105,13 @@ def main(argv) -> int:
             fresh = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         return fail(f"cannot read benchmark JSON: {e}")
+
+    baseline_grounding = "graphs_identical" in baseline
+    fresh_grounding = "graphs_identical" in fresh
+    if baseline_grounding != fresh_grounding:
+        return fail("baseline and fresh JSONs are from different benchmarks")
+    if baseline_grounding:
+        return gate_grounding(baseline, fresh, tolerance)
 
     for doc, label in ((baseline, "baseline"), (fresh, "fresh")):
         if "compiled_ns_per_delta" not in doc:

@@ -129,6 +129,13 @@ class FactorGraph {
   /// Size of the compiled stream in 32-bit words (diagnostics/tests).
   size_t kernel_stream_words() const { return kernel_stream_.size(); }
 
+  /// Raw compiled kernel state (valid after Finalize). Exposed so
+  /// differential tests can assert the streams are bit-identical across
+  /// grounding configurations (e.g. serial vs morsel-parallel).
+  const std::vector<uint32_t>& kernel_stream() const { return kernel_stream_; }
+  const std::vector<uint32_t>& kernel_offsets() const { return kernel_offsets_; }
+  const std::vector<double>& var_bias() const { return var_bias_; }
+
  private:
   // Classify factor f's contribution to v's delta and append the
   // compiled op to *out. Returns false when the contribution is provably

@@ -9,6 +9,8 @@
 #include "util/hash.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 #include "util/string_util.h"
@@ -44,7 +46,20 @@ std::string PseudoRelationName(size_t rule_index) {
 
 Grounder::Grounder(Catalog* catalog, const DdlogProgram* program,
                    const UdfRegistry* udfs, const GroundingOptions& options)
-    : catalog_(catalog), program_(program), udfs_(udfs), options_(options) {}
+    : catalog_(catalog), program_(program), udfs_(udfs), options_(options) {
+  num_threads_ = options_.num_threads == 0 ? HardwareThreads() : options_.num_threads;
+}
+
+Grounder::~Grounder() = default;
+
+EvalParallelism Grounder::Parallelism() {
+  // The pool is created on first demand so serial grounders (and the
+  // num_threads=1 differential-testing oracle) never spawn workers.
+  if (num_threads_ > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+  }
+  return EvalParallelism{pool_.get(), options_.morsel_size};
+}
 
 Status Grounder::RewriteRules() {
   rewritten_rules_.clear();
@@ -171,7 +186,8 @@ Status Grounder::Initialize() {
   Stopwatch eval_watch;
   {
     DD_TRACE_SPAN("grounding.eval");
-    incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
+    incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_,
+                                                       Parallelism());
     Status st = incremental_->Initialize();
     if (st.ok()) {
       use_incremental_ = true;
@@ -179,7 +195,7 @@ Status Grounder::Initialize() {
       // Recursive program: full semi-naive evaluation, no DRed.
       use_incremental_ = false;
       incremental_.reset();
-      DatalogEngine engine(catalog_);
+      DatalogEngine engine(catalog_, Parallelism());
       DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
     } else {
       return st;
@@ -225,10 +241,11 @@ Status Grounder::Reground() {
   {
     DD_TRACE_SPAN("grounding.eval");
     if (use_incremental_) {
-      incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_);
+      incremental_ = std::make_unique<IncrementalEngine>(catalog_, rewritten_rules_,
+                                                         Parallelism());
       DD_RETURN_IF_ERROR(incremental_->Initialize());
     } else {
-      DatalogEngine engine(catalog_);
+      DatalogEngine engine(catalog_, Parallelism());
       DD_RETURN_IF_ERROR(engine.Evaluate(rewritten_rules_));
     }
   }
@@ -272,42 +289,12 @@ Status Grounder::BuildGraph() {
   // 2. Evidence from _Ev tables: per variable, true/false label sets.
   std::vector<int8_t> evidence(var_info_.size(), -1);  // -1 none, 0/1 label
   std::vector<uint8_t> conflict(var_info_.size(), 0);
-  for (const RelationDecl& decl : program_->declarations) {
-    if (!decl.is_query) continue;
-    std::string ev_name = decl.name + "_Ev";
-    if (!catalog_->HasTable(ev_name)) continue;
-    DD_ASSIGN_OR_RETURN(const Table* ev_table, catalog_->GetTable(ev_name));
-    DD_ASSIGN_OR_RETURN(const Table* q_table, catalog_->GetTable(decl.name));
-    const size_t n = decl.schema.num_columns();
-    const size_t cap = ev_table->capacity();
-    for (size_t row = 0; row < cap; ++row) {
-      if (!ev_table->is_live(static_cast<int64_t>(row))) continue;
-      const Tuple& ev = ev_table->row(static_cast<int64_t>(row));
-      if (ev.size() != n + 1 || ev.at(n).type() != ValueType::kBool) continue;
-      Tuple target;
-      for (size_t i = 0; i < n; ++i) target.Append(ev.at(i));
-      int64_t q_row = q_table->Find(target);
-      if (q_row < 0) {
-        ++stats_.num_orphan_evidence;
-        continue;
-      }
-      auto it = var_registry_.find(std::make_pair(decl.name, q_row));
-      if (it == var_registry_.end()) continue;
-      uint32_t var = it->second;
-      int8_t label = ev.at(n).AsBool() ? 1 : 0;
-      if (evidence[var] >= 0 && evidence[var] != label) {
-        conflict[var] = 1;
-      } else {
-        evidence[var] = label;
-      }
-    }
-  }
+  DD_RETURN_IF_ERROR(ApplyEvidence(&evidence, &conflict));
 
   // 3. Assemble the graph.
   graph_ = FactorGraph();
   weight_keys_.clear();
   holdout_.clear();
-  std::map<std::string, uint32_t> weight_ids;
 
   auto held_out = [&](size_t v) {
     if (options_.holdout_fraction <= 0.0) return false;
@@ -345,106 +332,8 @@ Status Grounder::BuildGraph() {
     }
   }
 
-  auto weight_id_for = [&](const std::string& key, double init,
-                           bool fixed) -> uint32_t {
-    auto it = weight_ids.find(key);
-    if (it != weight_ids.end()) return it->second;
-    double value = init;
-    if (!fixed) {
-      auto saved = saved_weights_.find(key);
-      if (saved != saved_weights_.end()) value = saved->second;
-    }
-    uint32_t id = graph_.AddWeight(value, fixed, key);
-    weight_ids.emplace(key, id);
-    weight_keys_.push_back(key);
-    return id;
-  };
-
   // 4. Factors from the pseudo-relation tables.
-  for (const FactorRuleMeta& meta : factor_rule_meta_) {
-    const DdlogRule& rule = program_->rules[meta.rule_index];
-    DD_ASSIGN_OR_RETURN(const Table* pseudo, catalog_->GetTable(meta.pseudo_relation));
-    DD_ASSIGN_OR_RETURN(const Table* head_table,
-                        catalog_->GetTable(meta.head_relation));
-    const Table* implied_table = nullptr;
-    if (meta.is_correlation) {
-      DD_ASSIGN_OR_RETURN(implied_table, catalog_->GetTable(meta.implied_relation));
-    }
-    const size_t cap = pseudo->capacity();
-    for (size_t row = 0; row < cap; ++row) {
-      if (!pseudo->is_live(static_cast<int64_t>(row))) continue;
-      const Tuple& grounding = pseudo->row(static_cast<int64_t>(row));
-
-      // Resolve the head variable.
-      Tuple head_tuple;
-      for (size_t i = 0; i < meta.head_arity; ++i) head_tuple.Append(grounding.at(i));
-      int64_t head_row = head_table->Find(head_tuple);
-      if (head_row < 0) continue;  // candidate vanished: factor is moot
-      uint32_t head_var =
-          var_registry_.at(std::make_pair(meta.head_relation, head_row));
-
-      uint32_t implied_var = 0;
-      if (meta.is_correlation) {
-        Tuple implied_tuple;
-        for (size_t i = 0; i < meta.implied_arity; ++i) {
-          implied_tuple.Append(grounding.at(meta.head_arity + i));
-        }
-        int64_t implied_row = implied_table->Find(implied_tuple);
-        if (implied_row < 0) continue;
-        implied_var =
-            var_registry_.at(std::make_pair(meta.implied_relation, implied_row));
-      }
-
-      // Weight tying key.
-      std::string key;
-      double init = 0.0;
-      bool fixed = false;
-      if (!rule.weight.has_value()) {
-        key = StrFormat("rule%zu", meta.rule_index);
-      } else {
-        switch (rule.weight->kind) {
-          case WeightSpec::Kind::kFixed:
-            key = StrFormat("rule%zu:fixed", meta.rule_index);
-            init = rule.weight->fixed_value;
-            fixed = true;
-            break;
-          case WeightSpec::Kind::kLearnable:
-            key = StrFormat("rule%zu", meta.rule_index);
-            break;
-          case WeightSpec::Kind::kUdf: {
-            std::vector<Value> args;
-            for (size_t a = 0; a < meta.num_weight_args; ++a) {
-              args.push_back(grounding.at(meta.weight_args_begin + a));
-            }
-            DD_ASSIGN_OR_RETURN(Value feature,
-                                udfs_->Call(rule.weight->udf_name, args));
-            key = StrFormat("rule%zu:%s=%s", meta.rule_index,
-                            rule.weight->udf_name.c_str(),
-                            feature.ToString().c_str());
-            break;
-          }
-          case WeightSpec::Kind::kVariables: {
-            key = StrFormat("rule%zu:", meta.rule_index);
-            for (size_t a = 0; a < meta.num_weight_args; ++a) {
-              if (a > 0) key += '|';
-              key += grounding.at(meta.weight_args_begin + a).ToString();
-            }
-            break;
-          }
-        }
-      }
-      uint32_t weight = weight_id_for(key, init, fixed);
-
-      if (meta.is_correlation) {
-        DD_RETURN_IF_ERROR(graph_.AddFactor(
-            FactorFunc::kImply, weight,
-            {{head_var, true}, {implied_var, true}}));
-      } else {
-        DD_RETURN_IF_ERROR(
-            graph_.AddFactor(FactorFunc::kIsTrue, weight, {{head_var, true}}));
-      }
-    }
-  }
+  DD_RETURN_IF_ERROR(BuildFactors());
 
   DD_RETURN_IF_ERROR(graph_.Finalize());
   weight_observations_.assign(graph_.num_weights(), 0);
@@ -465,6 +354,211 @@ Status Grounder::BuildGraph() {
   DD_COUNTER_ADD("dd.grounding.factors_emitted", graph_.num_factors());
   build_span.Attr("tuples_grounded", static_cast<double>(tuples_grounded));
   build_span.Attr("factors_emitted", static_cast<double>(graph_.num_factors()));
+  build_span.Attr("num_threads", static_cast<double>(num_threads_));
+  return Status::OK();
+}
+
+Status Grounder::ApplyEvidence(std::vector<int8_t>* evidence,
+                               std::vector<uint8_t>* conflict) {
+  const EvalParallelism par = Parallelism();
+  for (const RelationDecl& decl : program_->declarations) {
+    if (!decl.is_query) continue;
+    std::string ev_name = decl.name + "_Ev";
+    if (!catalog_->HasTable(ev_name)) continue;
+    DD_ASSIGN_OR_RETURN(const Table* ev_table, catalog_->GetTable(ev_name));
+    DD_ASSIGN_OR_RETURN(const Table* q_table, catalog_->GetTable(decl.name));
+    const size_t n = decl.schema.num_columns();
+    const size_t cap = ev_table->capacity();
+
+    // Each morsel records its (var, label) hits in row order plus an
+    // orphan count. The first-label-wins / conflict logic is order-
+    // sensitive, so it runs only in the ordered merge below — which
+    // replays the exact serial row order, making the result identical to
+    // the single-threaded scan at any thread count.
+    struct EvMorsel {
+      std::vector<std::pair<uint32_t, int8_t>> hits;
+      size_t orphans = 0;
+    };
+    std::vector<EvMorsel> morsels(NumMorsels(cap, par.morsel_size));
+    DD_RETURN_IF_ERROR(ParallelMorsels(
+        par.pool, cap, par.morsel_size,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          Stopwatch watch;
+          EvMorsel& out = morsels[m];
+          for (size_t row = begin; row < end; ++row) {
+            if (!ev_table->is_live(static_cast<int64_t>(row))) continue;
+            const Tuple& ev = ev_table->row(static_cast<int64_t>(row));
+            if (ev.size() != n + 1 || ev.at(n).type() != ValueType::kBool) continue;
+            Tuple target;
+            for (size_t i = 0; i < n; ++i) target.Append(ev.at(i));
+            int64_t q_row = q_table->Find(target);
+            if (q_row < 0) {
+              ++out.orphans;
+              continue;
+            }
+            auto it = var_registry_.find(std::make_pair(decl.name, q_row));
+            if (it == var_registry_.end()) continue;
+            out.hits.emplace_back(it->second,
+                                  static_cast<int8_t>(ev.at(n).AsBool() ? 1 : 0));
+          }
+          DD_HISTOGRAM_OBSERVE("dd.grounding.morsel_seconds", watch.Seconds());
+          return Status::OK();
+        }));
+    for (const EvMorsel& m : morsels) {
+      stats_.num_orphan_evidence += m.orphans;
+      for (const auto& [var, label] : m.hits) {
+        if ((*evidence)[var] >= 0 && (*evidence)[var] != label) {
+          (*conflict)[var] = 1;
+        } else {
+          (*evidence)[var] = label;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Grounder::BuildFactors() {
+  const EvalParallelism par = Parallelism();
+  std::map<std::string, uint32_t> weight_ids;
+  auto weight_id_for = [&](const std::string& key, double init,
+                           bool fixed) -> uint32_t {
+    auto it = weight_ids.find(key);
+    if (it != weight_ids.end()) return it->second;
+    double value = init;
+    if (!fixed) {
+      auto saved = saved_weights_.find(key);
+      if (saved != saved_weights_.end()) value = saved->second;
+    }
+    uint32_t id = graph_.AddWeight(value, fixed, key);
+    weight_ids.emplace(key, id);
+    weight_keys_.push_back(key);
+    return id;
+  };
+
+  for (const FactorRuleMeta& meta : factor_rule_meta_) {
+    const DdlogRule& rule = program_->rules[meta.rule_index];
+    DD_ASSIGN_OR_RETURN(const Table* pseudo, catalog_->GetTable(meta.pseudo_relation));
+    DD_ASSIGN_OR_RETURN(const Table* head_table,
+                        catalog_->GetTable(meta.head_relation));
+    const Table* implied_table = nullptr;
+    if (meta.is_correlation) {
+      DD_ASSIGN_OR_RETURN(implied_table, catalog_->GetTable(meta.implied_relation));
+    }
+    const size_t cap = pseudo->capacity();
+
+    // Workers resolve variables and compute weight tying keys (including
+    // UDF calls — the expensive part) into per-morsel draft buffers; the
+    // ordered merge then assigns weight ids and emits factors in the
+    // exact serial row order, so weight ids, factor ids, and the CSR the
+    // graph compiles from are byte-identical at any thread count.
+    struct FactorDraft {
+      uint32_t head_var = 0;
+      uint32_t implied_var = 0;
+      std::string key;
+      double init = 0.0;
+      bool fixed = false;
+    };
+    std::vector<std::vector<FactorDraft>> drafts(NumMorsels(cap, par.morsel_size));
+    DD_RETURN_IF_ERROR(ParallelMorsels(
+        par.pool, cap, par.morsel_size,
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          Stopwatch watch;
+          std::vector<FactorDraft>& out = drafts[m];
+          for (size_t row = begin; row < end; ++row) {
+            if (!pseudo->is_live(static_cast<int64_t>(row))) continue;
+            const Tuple& grounding = pseudo->row(static_cast<int64_t>(row));
+
+            // Resolve the head variable. Lookups use find() rather than
+            // at(): a miss is an internal invariant violation, and worker
+            // code must report it as a Status, never throw.
+            Tuple head_tuple;
+            for (size_t i = 0; i < meta.head_arity; ++i) {
+              head_tuple.Append(grounding.at(i));
+            }
+            int64_t head_row = head_table->Find(head_tuple);
+            if (head_row < 0) continue;  // candidate vanished: factor is moot
+            auto head_it =
+                var_registry_.find(std::make_pair(meta.head_relation, head_row));
+            if (head_it == var_registry_.end()) {
+              return Status::Internal("factor head missing from variable registry: " +
+                                      meta.head_relation);
+            }
+            FactorDraft draft;
+            draft.head_var = head_it->second;
+
+            if (meta.is_correlation) {
+              Tuple implied_tuple;
+              for (size_t i = 0; i < meta.implied_arity; ++i) {
+                implied_tuple.Append(grounding.at(meta.head_arity + i));
+              }
+              int64_t implied_row = implied_table->Find(implied_tuple);
+              if (implied_row < 0) continue;
+              auto imp_it = var_registry_.find(
+                  std::make_pair(meta.implied_relation, implied_row));
+              if (imp_it == var_registry_.end()) {
+                return Status::Internal(
+                    "implied head missing from variable registry: " +
+                    meta.implied_relation);
+              }
+              draft.implied_var = imp_it->second;
+            }
+
+            // Weight tying key.
+            if (!rule.weight.has_value()) {
+              draft.key = StrFormat("rule%zu", meta.rule_index);
+            } else {
+              switch (rule.weight->kind) {
+                case WeightSpec::Kind::kFixed:
+                  draft.key = StrFormat("rule%zu:fixed", meta.rule_index);
+                  draft.init = rule.weight->fixed_value;
+                  draft.fixed = true;
+                  break;
+                case WeightSpec::Kind::kLearnable:
+                  draft.key = StrFormat("rule%zu", meta.rule_index);
+                  break;
+                case WeightSpec::Kind::kUdf: {
+                  std::vector<Value> args;
+                  for (size_t a = 0; a < meta.num_weight_args; ++a) {
+                    args.push_back(grounding.at(meta.weight_args_begin + a));
+                  }
+                  DD_ASSIGN_OR_RETURN(Value feature,
+                                      udfs_->Call(rule.weight->udf_name, args));
+                  draft.key = StrFormat("rule%zu:%s=%s", meta.rule_index,
+                                        rule.weight->udf_name.c_str(),
+                                        feature.ToString().c_str());
+                  break;
+                }
+                case WeightSpec::Kind::kVariables: {
+                  draft.key = StrFormat("rule%zu:", meta.rule_index);
+                  for (size_t a = 0; a < meta.num_weight_args; ++a) {
+                    if (a > 0) draft.key += '|';
+                    draft.key += grounding.at(meta.weight_args_begin + a).ToString();
+                  }
+                  break;
+                }
+              }
+            }
+            out.push_back(std::move(draft));
+          }
+          DD_HISTOGRAM_OBSERVE("dd.grounding.morsel_seconds", watch.Seconds());
+          return Status::OK();
+        }));
+
+    for (const auto& morsel : drafts) {
+      for (const FactorDraft& draft : morsel) {
+        uint32_t weight = weight_id_for(draft.key, draft.init, draft.fixed);
+        if (meta.is_correlation) {
+          DD_RETURN_IF_ERROR(graph_.AddFactor(
+              FactorFunc::kImply, weight,
+              {{draft.head_var, true}, {draft.implied_var, true}}));
+        } else {
+          DD_RETURN_IF_ERROR(graph_.AddFactor(FactorFunc::kIsTrue, weight,
+                                              {{draft.head_var, true}}));
+        }
+      }
+    }
+  }
   return Status::OK();
 }
 

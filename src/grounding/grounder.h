@@ -34,9 +34,24 @@ struct GroundingOptions {
   /// tuple, so it is stable across incremental rebuilds.
   double holdout_fraction = 0.0;
   uint64_t holdout_seed = 0x5eedULL;
+  /// Worker threads for the grounding pipeline: datalog evaluation,
+  /// DRed delta joins, the evidence scan, and factor assembly all fan
+  /// out fixed-size morsels onto one shared dd::ThreadPool. 0 = hardware
+  /// concurrency; 1 = the legacy single-threaded path, kept reachable as
+  /// the oracle for differential testing. The produced FactorGraph —
+  /// ids, weights, CSR layout, compiled kernel streams — is byte-
+  /// identical at every setting (see DESIGN.md §10 for the merge rule).
+  size_t num_threads = 0;
+  /// Rows per morsel for parallel scans. Scans smaller than one morsel
+  /// never fan out, so the default self-regulates small workloads; tests
+  /// shrink it to exercise multi-morsel merging on tiny corpora.
+  size_t morsel_size = 1024;
 };
 
-/// Summary statistics of a (re-)grounding pass.
+/// Summary statistics of a (re-)grounding pass. All fields are exact at
+/// any thread count: counts touched by parallel scans are accumulated
+/// per morsel and merged on the coordinating thread (never mutated from
+/// workers), so the struct itself stays plain ints with no atomics.
 struct GroundingStats {
   size_t num_variables = 0;
   size_t num_factors = 0;
@@ -77,6 +92,7 @@ class Grounder {
   /// All pointers must outlive the Grounder.
   Grounder(Catalog* catalog, const DdlogProgram* program, const UdfRegistry* udfs,
            const GroundingOptions& options = GroundingOptions());
+  ~Grounder();
 
   /// Analyze the program, create derived tables, run initial evaluation,
   /// and build the first factor graph.
@@ -129,7 +145,12 @@ class Grounder {
   Status RewriteRules();
   Status CreateDerivedTables();
   Status BuildGraph();
+  Status ApplyEvidence(std::vector<int8_t>* evidence, std::vector<uint8_t>* conflict);
+  Status BuildFactors();
   Status CollectChangedVars(const std::map<std::string, DeltaSet>& deltas);
+  /// How rule evaluation and graph assembly fan out (pool is null when
+  /// num_threads resolves to 1 — the serial oracle path).
+  EvalParallelism Parallelism();
 
   struct FactorRuleMeta {
     size_t rule_index = 0;            ///< index into program_->rules
@@ -148,6 +169,8 @@ class Grounder {
   const DdlogProgram* program_;
   const UdfRegistry* udfs_;
   GroundingOptions options_;
+  size_t num_threads_ = 1;           ///< options_.num_threads, 0 resolved
+  std::unique_ptr<ThreadPool> pool_; ///< null when num_threads_ == 1
 
   std::vector<ConjunctiveRule> rewritten_rules_;
   std::vector<FactorRuleMeta> factor_rule_meta_;

@@ -116,22 +116,40 @@ Status DatalogEngine::EvaluateStratum(const std::vector<ConjunctiveRule>& rules,
                                       const std::set<std::string>& stratum_relations) {
   RuleEvaluator evaluator(catalog_);
 
+  // Morsel-parallel scans are only used for non-recursive strata: there
+  // a rule's body never reads its own stratum's head tables, so the
+  // tables a parallel scan probes are frozen for the whole fan-out and
+  // deferring the head inserts to the ordered merge cannot change what
+  // any probe observes. In a recursive stratum, serial evaluation
+  // interleaves inserts with probes, so it stays on the serial path
+  // (which is also the fixpoint-iteration-friendly one).
+  bool recursive = stratum_relations.size() > 1;
+  for (size_t rid : rule_ids) {
+    for (const Atom& atom : rules[rid].body) {
+      if (stratum_relations.count(atom.relation) > 0) recursive = true;
+    }
+  }
+  const EvalParallelism par = recursive ? EvalParallelism() : par_;
+
   // Pass 1: evaluate every rule once over current state.
   std::map<std::string, std::vector<Tuple>> delta;
   for (size_t rid : rule_ids) {
     const ConjunctiveRule& rule = rules[rid];
     DD_ASSIGN_OR_RETURN(Table* head_table, catalog_->GetTable(rule.head.relation));
-    DD_RETURN_IF_ERROR(evaluator.Evaluate(rule, [&](const Tuple& t) {
-      Status st = head_table->CheckTuple(t);
-      if (!st.ok()) {
-        DD_LOG(Error) << "dropping ill-typed derived tuple " << t.ToString() << ": "
-                      << st.ToString();
-        return;
-      }
-      auto [id, inserted] = head_table->InsertUnchecked(t);
-      (void)id;
-      if (inserted) delta[rule.head.relation].push_back(t);
-    }));
+    DD_RETURN_IF_ERROR(evaluator.Evaluate(
+        rule,
+        [&](const Tuple& t) {
+          Status st = head_table->CheckTuple(t);
+          if (!st.ok()) {
+            DD_LOG(Error) << "dropping ill-typed derived tuple " << t.ToString()
+                          << ": " << st.ToString();
+            return;
+          }
+          auto [id, inserted] = head_table->InsertUnchecked(t);
+          (void)id;
+          if (inserted) delta[rule.head.relation].push_back(t);
+        },
+        par));
   }
 
   // Semi-naive iteration: a rule only needs re-evaluation if its body

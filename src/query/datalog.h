@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "query/evaluator.h"
 #include "query/rule.h"
 #include "storage/catalog.h"
 #include "util/result.h"
@@ -35,7 +36,11 @@ Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules);
 /// derive.
 class DatalogEngine {
  public:
-  explicit DatalogEngine(Catalog* catalog) : catalog_(catalog) {}
+  /// `par` controls morsel-parallel rule scans; results (and derived-
+  /// table row order) are identical to serial at any thread count.
+  explicit DatalogEngine(Catalog* catalog,
+                         const EvalParallelism& par = EvalParallelism())
+      : catalog_(catalog), par_(par) {}
 
   /// Evaluate all rules to fixpoint. Derived relations accumulate into
   /// their tables (existing rows are kept; evaluation is monotone).
@@ -47,6 +52,7 @@ class DatalogEngine {
                          const std::set<std::string>& stratum_relations);
 
   Catalog* catalog_;
+  EvalParallelism par_;
 };
 
 }  // namespace dd

@@ -6,6 +6,7 @@
 #include "query/datalog.h"
 #include "query/evaluator.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace dd {
 
@@ -39,8 +40,8 @@ Status IncrementalEngine::Initialize() {
     }
     CountMap& counts = counts_[rel];
     for (size_t rid : rules_of_[rel]) {
-      DD_RETURN_IF_ERROR(
-          evaluator.Evaluate(rules_[rid], [&](const Tuple& t) { counts[t] += 1; }));
+      DD_RETURN_IF_ERROR(evaluator.Evaluate(
+          rules_[rid], [&](const Tuple& t) { counts[t] += 1; }, par_));
     }
     for (const auto& [tuple, count] : counts) {
       if (count > 0) {
@@ -132,6 +133,35 @@ Status IncrementalEngine::DeltaJoin(const ConjunctiveRule& rule, size_t delta_po
   CompiledConjunction cc;
   DD_RETURN_IF_ERROR(cc.Build(std::move(inputs), &rule.conditions, index_cache));
   const int sign = delta_atom->negated ? -1 : 1;
+
+  if (par_.pool != nullptr) {
+    // Index building (including JoinIndexCache population) happens here,
+    // on the coordinating thread; workers afterwards only probe.
+    cc.PrepareIndexes();
+    const size_t n = cc.TopLevelSize();
+    const size_t num_morsels = NumMorsels(n, par_.morsel_size);
+    if (num_morsels > 1) {
+      std::vector<std::vector<std::pair<Tuple, int64_t>>> buffers(num_morsels);
+      DD_RETURN_IF_ERROR(ParallelMorsels(
+          par_.pool, n, par_.morsel_size,
+          [&](size_t m, size_t begin, size_t end) {
+            auto& buf = buffers[m];
+            cc.RunMorsel(begin, end, [&](const std::vector<Value>& slots,
+                                         int64_t mult) {
+              buf.emplace_back(RuleEvaluator::ProjectHead(rule.head, cc, slots),
+                               mult);
+            });
+            return Status::OK();
+          }));
+      // Ordered merge: accumulating in morsel order reproduces the exact
+      // CountMap the serial scan builds (same insertion sequence).
+      for (const auto& buffer : buffers) {
+        for (const auto& [head, mult] : buffer) (*out)[head] += sign * mult;
+      }
+      return Status::OK();
+    }
+  }
+
   cc.Run([&](const std::vector<Value>& slots, int64_t mult) {
     Tuple head = RuleEvaluator::ProjectHead(rule.head, cc, slots);
     (*out)[head] += sign * mult;

@@ -29,8 +29,13 @@ class IncrementalEngine {
  public:
   /// The engine takes ownership of the rule list; `catalog` must outlive
   /// the engine. Derived tables must already exist (empty) in the catalog.
-  IncrementalEngine(Catalog* catalog, std::vector<ConjunctiveRule> rules)
-      : catalog_(catalog), rules_(std::move(rules)) {}
+  /// `par` controls morsel-parallel join scans (both the initial full
+  /// evaluation and every delta join); derivation counts, table contents,
+  /// and — crucially for grounding — derived-table row order are
+  /// identical to serial evaluation at any thread count.
+  IncrementalEngine(Catalog* catalog, std::vector<ConjunctiveRule> rules,
+                    const EvalParallelism& par = EvalParallelism())
+      : catalog_(catalog), rules_(std::move(rules)), par_(par) {}
 
   /// Full evaluation: populate derived tables and derivation counts.
   Status Initialize();
@@ -63,6 +68,7 @@ class IncrementalEngine {
 
   Catalog* catalog_;
   std::vector<ConjunctiveRule> rules_;
+  EvalParallelism par_;
   std::vector<std::string> topo_order_;
   std::set<std::string> derived_;
   std::map<std::string, std::vector<size_t>> rules_of_;  // head relation -> rule ids

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "util/logging.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace dd {
 
@@ -176,6 +178,52 @@ void CompiledConjunction::Run(const BindingEmit& emit) const {
   Recurse(0, slots, 1, emit);
 }
 
+void CompiledConjunction::PrepareIndexes() const {
+  for (size_t depth = 0; depth < atoms_.size(); ++depth) {
+    if (!atoms_[depth].all_bound) GetIndex(depth);
+  }
+}
+
+const std::vector<std::pair<const Tuple*, int64_t>>*
+CompiledConjunction::TopLevelRows() const {
+  if (atoms_.empty() || atoms_[0].all_bound) return nullptr;
+  const AtomPlan& plan = atoms_[0];
+  const Index& index = GetIndex(0);
+  // At depth 0 nothing is bound yet, so bound_positions are all constant
+  // terms; the key is the same for the whole enumeration.
+  Tuple key;
+  for (int pos : plan.bound_positions) {
+    key.Append(plan.terms[static_cast<size_t>(pos)].constant);
+  }
+  const auto& index_map = index.shared != nullptr ? index.shared->map : index.map;
+  auto it = index_map.find(key);
+  if (it == index_map.end()) return nullptr;
+  return &it->second;
+}
+
+size_t CompiledConjunction::TopLevelSize() const {
+  if (atoms_.empty() || atoms_[0].all_bound) return 1;
+  const auto* rows = TopLevelRows();
+  return rows == nullptr ? 0 : rows->size();
+}
+
+void CompiledConjunction::RunMorsel(size_t begin, size_t end,
+                                    const BindingEmit& emit) const {
+  if (begin >= end) return;
+  std::vector<Value> slots(slot_names_.size());
+  if (atoms_.empty() || atoms_[0].all_bound) {
+    // Single indivisible unit: run fully for the morsel covering unit 0.
+    if (begin == 0) Recurse(0, slots, 1, emit);
+    return;
+  }
+  const auto* rows = TopLevelRows();
+  if (rows == nullptr) return;
+  if (end > rows->size()) end = rows->size();
+  for (size_t i = begin; i < end; ++i) {
+    TryRow(0, *(*rows)[i].first, (*rows)[i].second, slots, 1, emit);
+  }
+}
+
 void CompiledConjunction::Recurse(size_t depth, std::vector<Value>& slots, int64_t mult,
                                   const BindingEmit& emit) const {
   if (depth == atoms_.size()) {
@@ -184,14 +232,13 @@ void CompiledConjunction::Recurse(size_t depth, std::vector<Value>& slots, int64
   }
   const AtomPlan& plan = atoms_[depth];
 
-  auto conditions_hold = [&]() {
-    for (int cid : plan.conditions_ready) {
-      if (!CheckCondition(conditions_[cid], slots)) return false;
-    }
-    return true;
-  };
-
   if (plan.all_bound) {
+    auto conditions_hold = [&]() {
+      for (int cid : plan.conditions_ready) {
+        if (!CheckCondition(conditions_[cid], slots)) return false;
+      }
+      return true;
+    };
     // Membership (or absence, for negated atoms) probe.
     Tuple probe;
     for (const TermPlan& tp : plan.terms) {
@@ -222,27 +269,35 @@ void CompiledConjunction::Recurse(size_t depth, std::vector<Value>& slots, int64
   if (it == index_map.end()) return;
 
   for (const auto& [row, count] : it->second) {
-    // Unify: bind first occurrences, check repeated occurrences.
-    bool ok = true;
-    for (size_t pos = 0; pos < plan.terms.size() && ok; ++pos) {
-      const TermPlan& tp = plan.terms[pos];
-      if (tp.first_occurrence) {
-        slots[tp.slot] = row->at(pos);
-      } else if (!tp.is_constant) {
-        // Bound earlier within this atom or before it; the index key already
-        // guarantees equality for positions in bound_positions, but repeated
-        // first occurrences within this atom need an explicit check.
-        if (!(slots[tp.slot] == row->at(pos))) ok = false;
-      }
-    }
-    if (!ok) continue;
-    if (!conditions_hold()) continue;
-    Recurse(depth + 1, slots, mult * count, emit);
+    TryRow(depth, *row, count, slots, mult, emit);
   }
 }
 
+void CompiledConjunction::TryRow(size_t depth, const Tuple& row, int64_t count,
+                                 std::vector<Value>& slots, int64_t mult,
+                                 const BindingEmit& emit) const {
+  const AtomPlan& plan = atoms_[depth];
+  // Unify: bind first occurrences, check repeated occurrences.
+  for (size_t pos = 0; pos < plan.terms.size(); ++pos) {
+    const TermPlan& tp = plan.terms[pos];
+    if (tp.first_occurrence) {
+      slots[tp.slot] = row.at(pos);
+    } else if (!tp.is_constant) {
+      // Bound earlier within this atom or before it; the index key already
+      // guarantees equality for positions in bound_positions, but repeated
+      // first occurrences within this atom need an explicit check.
+      if (!(slots[tp.slot] == row.at(pos))) return;
+    }
+  }
+  for (int cid : plan.conditions_ready) {
+    if (!CheckCondition(conditions_[cid], slots)) return;
+  }
+  Recurse(depth + 1, slots, mult * count, emit);
+}
+
 Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
-                               const std::function<void(const Tuple&)>& emit) const {
+                               const std::function<void(const Tuple&)>& emit,
+                               const EvalParallelism& par) const {
   DD_RETURN_IF_ERROR(rule.Validate());
 
   // Order atoms positive-first so negated atoms are fully bound.
@@ -271,6 +326,32 @@ Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
       return Status::InvalidArgument("head variable not bound: " + t.var);
     }
   }
+
+  if (par.pool != nullptr) {
+    cc.PrepareIndexes();
+    const size_t n = cc.TopLevelSize();
+    if (NumMorsels(n, par.morsel_size) > 1) {
+      // Workers project head tuples into per-morsel buffers; the merge
+      // emits them in morsel order, reproducing the serial sequence.
+      std::vector<std::vector<Tuple>> buffers(NumMorsels(n, par.morsel_size));
+      DD_RETURN_IF_ERROR(ParallelMorsels(
+          par.pool, n, par.morsel_size,
+          [&](size_t m, size_t begin, size_t end) {
+            std::vector<Tuple>& out = buffers[m];
+            cc.RunMorsel(begin, end, [&](const std::vector<Value>& slots,
+                                         int64_t mult) {
+              (void)mult;  // set semantics over tables: always 1
+              out.push_back(ProjectHead(rule.head, cc, slots));
+            });
+            return Status::OK();
+          }));
+      for (const std::vector<Tuple>& buffer : buffers) {
+        for (const Tuple& t : buffer) emit(t);
+      }
+      return Status::OK();
+    }
+  }
+
   cc.Run([&](const std::vector<Value>& slots, int64_t mult) {
     (void)mult;  // set semantics over tables: always 1
     emit(ProjectHead(rule.head, cc, slots));

@@ -59,6 +59,16 @@ class JoinIndexCache {
 /// variables are enumerated (via an index on their bound positions);
 /// fully-bound positive atoms become membership probes; negated atoms
 /// must be fully bound at their position and become absence probes.
+///
+/// Morsel-parallel evaluation (DESIGN.md §10): the outermost loop — the
+/// enumeration of the first atom's matching rows — can be split into
+/// contiguous slices and run concurrently. Call PrepareIndexes() once
+/// (builds every join index on the calling thread), then RunMorsel()
+/// from any number of threads; after preparation the conjunction is
+/// strictly read-only. RunMorsel(b, e) emits exactly the bindings Run()
+/// would emit while enumerating top-level rows [b, e), in the same
+/// order, so concatenating morsel outputs in morsel order reproduces the
+/// serial emission sequence bit-for-bit.
 class CompiledConjunction {
  public:
   /// Compile; fails if a negated atom would be reached with unbound
@@ -76,6 +86,21 @@ class CompiledConjunction {
   /// Enumerate all satisfying bindings. Indexes are built on first use
   /// and reused across the enumeration.
   void Run(const BindingEmit& emit) const;
+
+  /// Build every join index now (on the calling thread). Required before
+  /// concurrent RunMorsel calls: afterwards evaluation only reads.
+  void PrepareIndexes() const;
+
+  /// Number of top-level enumeration units: the match-list size of the
+  /// first atom's index (1 when the first atom is a probe, or the body
+  /// is empty — a single indivisible unit). Builds the first index if
+  /// needed; call from one thread before fanning out.
+  size_t TopLevelSize() const;
+
+  /// Enumerate bindings whose top-level unit lies in [begin, end).
+  /// Thread-safe after PrepareIndexes(); each caller passes its own
+  /// emit closure (typically appending to a per-morsel buffer).
+  void RunMorsel(size_t begin, size_t end, const BindingEmit& emit) const;
 
  private:
   struct TermPlan {
@@ -110,8 +135,15 @@ class CompiledConjunction {
 
   void Recurse(size_t depth, std::vector<Value>& slots, int64_t mult,
                const BindingEmit& emit) const;
+  /// Unify one enumerated row at `depth`, check its ready conditions,
+  /// and recurse. Shared by Run (all rows) and RunMorsel (a slice).
+  void TryRow(size_t depth, const Tuple& row, int64_t count,
+              std::vector<Value>& slots, int64_t mult, const BindingEmit& emit) const;
   bool CheckCondition(const ConditionPlan& c, const std::vector<Value>& slots) const;
   const Index& GetIndex(size_t depth) const;
+  /// Match list of the first atom's index (key built from constants
+  /// only), or nullptr when the first atom is a probe / body is empty.
+  const std::vector<std::pair<const Tuple*, int64_t>>* TopLevelRows() const;
 
   std::vector<AtomPlan> atoms_;
   std::vector<ConditionPlan> conditions_;
@@ -119,6 +151,18 @@ class CompiledConjunction {
   std::vector<std::string> slot_names_;
   std::unordered_map<std::string, int> slot_of_;
   mutable std::vector<Index> indexes_;
+};
+
+class ThreadPool;
+
+/// How a query-side scan may fan out. A null pool means strictly serial
+/// evaluation (the differential-testing oracle); with a pool, scans are
+/// split into `morsel_size`-row morsels and the per-morsel results are
+/// merged in morsel order, which makes the parallel result — including
+/// emission order — identical to serial at any thread count.
+struct EvalParallelism {
+  ThreadPool* pool = nullptr;
+  size_t morsel_size = 1024;
 };
 
 /// Convenience: evaluate a validated rule against the current catalog
@@ -129,9 +173,12 @@ class RuleEvaluator {
   explicit RuleEvaluator(const Catalog* catalog) : catalog_(catalog) {}
 
   /// Evaluate rule body over catalog tables; call emit(head_tuple) once
-  /// per derivation.
+  /// per derivation. With non-serial `par`, the join runs morsel-
+  /// parallel but emit is still called on this thread, in the exact
+  /// order the serial evaluation would produce.
   Status Evaluate(const ConjunctiveRule& rule,
-                  const std::function<void(const Tuple&)>& emit) const;
+                  const std::function<void(const Tuple&)>& emit,
+                  const EvalParallelism& par = EvalParallelism()) const;
 
   /// Project a head tuple out of a slot assignment.
   static Tuple ProjectHead(const Atom& head, const CompiledConjunction& cc,

@@ -18,6 +18,14 @@ namespace dd {
 /// O(1) membership tests and deduplicating inserts. Deletion uses
 /// tombstones so row ids stay stable for the lifetime of the table
 /// (grounding assigns factor-graph variable ids from row ids).
+///
+/// Concurrency contract: the table is not internally synchronized, but
+/// every const method (Find/Contains/row/is_live/capacity/Scan/...) is a
+/// pure read with no lazy caching, so any number of threads may call
+/// them concurrently as long as no thread mutates the table. The morsel-
+/// parallel grounding scans rely on exactly this "frozen during fan-out"
+/// discipline: all inserts/erases are buffered per-morsel and applied by
+/// the coordinating thread after workers have joined (DESIGN.md §10).
 class Table {
  public:
   Table(std::string name, Schema schema)

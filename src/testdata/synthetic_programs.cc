@@ -1,0 +1,158 @@
+#include "testdata/synthetic_programs.h"
+
+#include <set>
+#include <utility>
+
+#include "ddlog/parser.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+Result<SyntheticWorkload> MakeSyntheticWorkload(const SyntheticProgramOptions& options) {
+  SyntheticWorkload w;
+  Rng rng(options.seed);
+
+  // ---- Program: a fixed schema plus a per-seed menu of feature rules,
+  // covering every weight kind the grounder handles.
+  const bool use_lower = rng.NextBernoulli(0.5);
+  const bool use_condition = rng.NextBernoulli(0.5);
+  const bool use_prior = rng.NextBernoulli(0.5);
+  const bool use_negation = rng.NextBernoulli(0.5);
+  const bool use_varlist = rng.NextBernoulli(0.5);
+  const bool use_correlation = rng.NextBernoulli(0.5);
+
+  std::string p;
+  p += "Token(s: int, t: text).\n";
+  p += "Pair(s: int, a: int, b: int).\n";
+  p += "Link(a: int, b: int).\n";
+  p += "Q?(a: int, b: int).\n";
+  p += "Q_Ev(a: int, b: int, label: bool).\n";
+  if (use_correlation) p += "R?(a: int).\n";
+  p += "Q(a, b) :- Pair(s, a, b).\n";
+  p += "Q(a, b) :- Pair(s, a, b), Token(s, t) weight = identity(t).\n";
+  if (use_lower) {
+    p += "Q(a, b) :- Pair(s, a, b), Token(s, t) weight = lower(t).\n";
+  }
+  if (use_condition) {
+    p += "Q(a, b) :- Pair(s, a, b), Token(s, t), a < b weight = concat(t, a).\n";
+  }
+  if (use_prior) {
+    p += "Q(a, b) :- Pair(s, a, b) weight = ?.\n";
+  }
+  if (use_negation) {
+    p += "Q(a, b) :- Pair(s, a, b), !Link(a, b) weight = 0.25.\n";
+  }
+  if (use_varlist) {
+    p += "Q(a, b) :- Pair(s, a, b), Token(s, t) weight = t.\n";
+  }
+  if (use_correlation) {
+    p += "R(a) :- Link(a, b).\n";
+    p += "Q(a, b) => R(a) :- Pair(s, a, b), Link(a, b) weight = 0.9.\n";
+  }
+  w.ddlog = p;
+  DD_ASSIGN_OR_RETURN(w.program, ParseDdlog(p));
+
+  // ---- Corpus. Mixed-case vocabulary so lower() is not the identity.
+  std::vector<std::string> vocab;
+  for (size_t i = 0; i < options.vocab_size; ++i) {
+    vocab.push_back(StrFormat(i % 2 == 0 ? "w%zu" : "W%zu", i));
+  }
+  auto emit_sentence = [&](int64_t s, std::vector<Tuple>* tokens,
+                           std::vector<Tuple>* pairs) {
+    for (size_t k = 0; k < options.tokens_per_sentence; ++k) {
+      tokens->push_back(Tuple(
+          {Value::Int(s), Value::String(vocab[rng.NextBounded(vocab.size())])}));
+    }
+    const size_t num_pairs = rng.NextBounded(options.max_pairs_per_sentence + 1);
+    for (size_t k = 0; k < num_pairs; ++k) {
+      int64_t a = static_cast<int64_t>(rng.NextBounded(options.num_entities));
+      int64_t b = static_cast<int64_t>(rng.NextBounded(options.num_entities));
+      pairs->push_back(Tuple({Value::Int(s), Value::Int(a), Value::Int(b)}));
+    }
+  };
+  for (size_t s = 0; s < options.num_sentences; ++s) {
+    emit_sentence(static_cast<int64_t>(s), &w.tokens, &w.pairs);
+  }
+  for (size_t a = 0; a < options.num_entities; ++a) {
+    for (size_t b = 0; b < options.num_entities; ++b) {
+      if (rng.NextBernoulli(0.25)) {
+        w.links.push_back(Tuple({Value::Int(static_cast<int64_t>(a)),
+                                 Value::Int(static_cast<int64_t>(b))}));
+      }
+    }
+  }
+
+  // ---- Distant labels over distinct candidates in first-seen order,
+  // with deliberate conflicts and orphans to exercise those paths.
+  std::set<std::pair<int64_t, int64_t>> seen;
+  std::vector<std::pair<int64_t, int64_t>> candidates;
+  for (const Tuple& pr : w.pairs) {
+    auto key = std::make_pair(pr.at(1).AsInt(), pr.at(2).AsInt());
+    if (seen.insert(key).second) candidates.push_back(key);
+  }
+  for (const auto& [a, b] : candidates) {
+    if (!rng.NextBernoulli(options.label_fraction)) continue;
+    bool label = rng.NextBernoulli(0.6);
+    w.labels.push_back(Tuple({Value::Int(a), Value::Int(b), Value::Bool(label)}));
+    if (rng.NextBernoulli(options.conflict_fraction)) {
+      w.labels.push_back(Tuple({Value::Int(a), Value::Int(b), Value::Bool(!label)}));
+    }
+  }
+  for (size_t i = 0; i < options.num_orphan_labels; ++i) {
+    int64_t ghost = static_cast<int64_t>(options.num_entities + 1000 + i);
+    w.labels.push_back(
+        Tuple({Value::Int(ghost), Value::Int(ghost), Value::Bool(true)}));
+  }
+
+  // ---- Delta batch: fresh sentences plus deletions of existing pairs.
+  DeltaSet delta_tokens, delta_pairs, delta_labels;
+  std::vector<Tuple> new_tokens, new_pairs;
+  for (size_t s = 0; s < options.delta_sentences; ++s) {
+    emit_sentence(static_cast<int64_t>(options.num_sentences + s), &new_tokens,
+                  &new_pairs);
+  }
+  for (const Tuple& t : new_tokens) delta_tokens[t] = 1;
+  for (const Tuple& pr : new_pairs) {
+    delta_pairs[pr] = 1;
+    if (rng.NextBernoulli(options.label_fraction)) {
+      delta_labels[Tuple({pr.at(1), pr.at(2),
+                          Value::Bool(rng.NextBernoulli(0.5))})] = 1;
+    }
+  }
+  for (const Tuple& pr : w.pairs) {
+    if (rng.NextBernoulli(options.delta_delete_fraction)) delta_pairs[pr] = -1;
+  }
+  if (!delta_tokens.empty()) w.delta["Token"] = std::move(delta_tokens);
+  if (!delta_pairs.empty()) w.delta["Pair"] = std::move(delta_pairs);
+  if (!delta_labels.empty()) w.delta["Q_Ev"] = std::move(delta_labels);
+  return w;
+}
+
+Status PopulateCatalog(const SyntheticWorkload& workload, Catalog* catalog) {
+  DD_ASSIGN_OR_RETURN(
+      Table * token,
+      catalog->CreateTable(
+          "Token", Schema({{"s", ValueType::kInt}, {"t", ValueType::kString}})));
+  DD_ASSIGN_OR_RETURN(
+      Table * pair,
+      catalog->CreateTable("Pair", Schema({{"s", ValueType::kInt},
+                                           {"a", ValueType::kInt},
+                                           {"b", ValueType::kInt}})));
+  DD_ASSIGN_OR_RETURN(
+      Table * link,
+      catalog->CreateTable(
+          "Link", Schema({{"a", ValueType::kInt}, {"b", ValueType::kInt}})));
+  DD_ASSIGN_OR_RETURN(
+      Table * ev,
+      catalog->CreateTable("Q_Ev", Schema({{"a", ValueType::kInt},
+                                           {"b", ValueType::kInt},
+                                           {"label", ValueType::kBool}})));
+  for (const Tuple& t : workload.tokens) DD_RETURN_IF_ERROR(token->Insert(t).status());
+  for (const Tuple& t : workload.pairs) DD_RETURN_IF_ERROR(pair->Insert(t).status());
+  for (const Tuple& t : workload.links) DD_RETURN_IF_ERROR(link->Insert(t).status());
+  for (const Tuple& t : workload.labels) DD_RETURN_IF_ERROR(ev->Insert(t).status());
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,72 @@
+#ifndef DEEPDIVE_TESTDATA_SYNTHETIC_PROGRAMS_H_
+#define DEEPDIVE_TESTDATA_SYNTHETIC_PROGRAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddlog/ast.h"
+#include "query/source.h"
+#include "storage/catalog.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// Knobs for the randomized DDlog program + corpus generator used by the
+/// differential grounding tests and the parallel-grounding benchmark.
+/// Everything is a pure function of `seed`, so a (seed, thread-count)
+/// test matrix reproduces exactly.
+struct SyntheticProgramOptions {
+  uint64_t seed = 1;
+  /// Corpus shape: sentences of random tokens, candidate pairs per
+  /// sentence drawn from a small entity id space.
+  size_t num_sentences = 30;
+  size_t num_entities = 10;
+  size_t vocab_size = 12;
+  size_t tokens_per_sentence = 5;
+  size_t max_pairs_per_sentence = 2;
+  /// Fraction of distinct candidates given a distant label; a further
+  /// slice of those gets a second, opposite label (conflict path) and a
+  /// few labels target tuples with no candidate (orphan path).
+  double label_fraction = 0.4;
+  double conflict_fraction = 0.1;
+  size_t num_orphan_labels = 2;
+  /// Incremental batch: this many new sentences arrive (tokens + pairs +
+  /// labels) and this fraction of the original pairs is deleted.
+  size_t delta_sentences = 4;
+  double delta_delete_fraction = 0.2;
+};
+
+/// A generated workload: program text (randomized rule menu — UDF /
+/// learnable / fixed / variable-list weights, negation, a condition, and
+/// optionally a correlation rule to a second query relation), base rows
+/// in a deterministic insertion order, and one delta batch for
+/// Grounder::ApplyDeltas.
+struct SyntheticWorkload {
+  std::string ddlog;
+  DdlogProgram program;
+  /// Base rows in insertion order. Insertion order determines row ids and
+  /// therefore variable ids — keep it.
+  std::vector<Tuple> tokens;  ///< Token(s: int, t: text)
+  std::vector<Tuple> pairs;   ///< Pair(s: int, a: int, b: int)
+  std::vector<Tuple> links;   ///< Link(a: int, b: int)
+  std::vector<Tuple> labels;  ///< Q_Ev(a: int, b: int, label: bool)
+  /// Presence deltas on base relations (Token/Pair/Q_Ev): additions from
+  /// fresh sentences plus deletions of existing pairs.
+  std::map<std::string, DeltaSet> delta;
+};
+
+/// Generate program + corpus + delta from `options`. The program always
+/// has the candidate rule and an identity-UDF feature rule; other rules
+/// join per-seed coin flips.
+Result<SyntheticWorkload> MakeSyntheticWorkload(const SyntheticProgramOptions& options);
+
+/// Create the base tables (Token, Pair, Link, Q_Ev) in `catalog` and
+/// insert the workload's rows in order. The catalog must not already
+/// contain those tables.
+Status PopulateCatalog(const SyntheticWorkload& workload, Catalog* catalog);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_SYNTHETIC_PROGRAMS_H_

@@ -1,0 +1,49 @@
+#include "util/parallel.h"
+
+#include <thread>
+#include <vector>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace dd {
+
+size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+Status ParallelMorsels(ThreadPool* pool, size_t n, size_t morsel_size,
+                       const std::function<Status(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (morsel_size == 0) morsel_size = 1;
+  const size_t num_morsels = NumMorsels(n, morsel_size);
+
+  if (pool == nullptr || num_morsels == 1) {
+    for (size_t m = 0; m < num_morsels; ++m) {
+      size_t begin = m * morsel_size;
+      size_t end = begin + morsel_size < n ? begin + morsel_size : n;
+      DD_RETURN_IF_ERROR(fn(m, begin, end));
+    }
+    return Status::OK();
+  }
+
+  DD_COUNTER_ADD("dd.parallel.morsels", num_morsels);
+  // One Status slot per morsel; workers only touch their own slot, and
+  // the pool's Wait() orders those writes before the scan below.
+  std::vector<Status> statuses(num_morsels);
+  for (size_t m = 0; m < num_morsels; ++m) {
+    size_t begin = m * morsel_size;
+    size_t end = begin + morsel_size < n ? begin + morsel_size : n;
+    pool->Submit([&fn, &statuses, m, begin, end] {
+      statuses[m] = fn(m, begin, end);
+    });
+  }
+  pool->Wait();
+  for (Status& st : statuses) {
+    if (!st.ok()) return std::move(st);
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

@@ -1,0 +1,55 @@
+#ifndef DEEPDIVE_UTIL_PARALLEL_H_
+#define DEEPDIVE_UTIL_PARALLEL_H_
+
+// Morsel-driven parallelism helpers shared by the grounding pipeline
+// (DESIGN.md §10). A "morsel" is a fixed-size contiguous slice of an
+// index space [0, n); workers pull whole morsels off the ThreadPool
+// queue, so scheduling is dynamic but the *work decomposition* is a pure
+// function of (n, morsel_size) — the property the deterministic-merge
+// rule builds on: per-morsel outputs concatenated in morsel-index order
+// reproduce the serial iteration order exactly, at any thread count.
+
+#include <cstddef>
+#include <functional>
+
+#include "util/status.h"
+
+namespace dd {
+
+class ThreadPool;
+
+/// Number of worker threads to use when the caller asked for "hardware
+/// default" (0): std::thread::hardware_concurrency(), clamped to >= 1.
+size_t HardwareThreads();
+
+/// Number of morsels covering [0, n) at `morsel_size` items each (the
+/// last morsel may be short). 0 when n == 0.
+inline size_t NumMorsels(size_t n, size_t morsel_size) {
+  if (morsel_size == 0) morsel_size = 1;
+  return (n + morsel_size - 1) / morsel_size;
+}
+
+/// Runs fn(morsel_index, begin, end) for every morsel of [0, n).
+///
+/// With a null pool, a single morsel, or n == 0, everything runs inline
+/// on the calling thread. Otherwise each morsel is one pool task; the
+/// call blocks until every morsel finished. `fn` must be safe to call
+/// concurrently from pool threads and must not touch shared mutable
+/// state without its own synchronization — the intended pattern is
+/// "write into a per-morsel buffer, merge after this returns".
+///
+/// Error contract: all morsels always run (no cancellation — a morsel is
+/// cheap relative to the cost of tearing down in-flight workers), and
+/// the returned Status is the error of the *lowest-indexed* failing
+/// morsel, so the reported failure is deterministic even when thread
+/// scheduling is not. Tasks must not throw; errors travel as Status.
+///
+/// Memory ordering: the pool's queue mutex orders everything a worker
+/// wrote before finishing its morsel before ParallelMorsels returns, so
+/// the caller may read per-morsel buffers without further fences.
+Status ParallelMorsels(ThreadPool* pool, size_t n, size_t morsel_size,
+                       const std::function<Status(size_t, size_t, size_t)>& fn);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_PARALLEL_H_

@@ -1,0 +1,162 @@
+// Differential property harness for morsel-parallel grounding: random
+// synthetic DDlog programs + corpora are grounded with num_threads=1
+// (the serial oracle) and with {2,3,4,8} worker threads, and the
+// resulting factor graphs — serialized bytes, snapshot CRC, compiled
+// kernel streams, stats, changed-variable sets — must be bit-identical,
+// for the initial grounding, after an incremental ApplyDeltas batch, and
+// after a full Reground.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "core/udf.h"
+#include "factor/io.h"
+#include "grounding/grounder.h"
+#include "storage/catalog.h"
+#include "testdata/synthetic_programs.h"
+#include "util/crc32c.h"
+
+namespace dd {
+namespace {
+
+struct GroundingFingerprint {
+  std::string graph_text;
+  uint32_t crc = 0;
+  std::vector<uint32_t> kernel_stream;
+  std::vector<uint32_t> kernel_offsets;
+  std::vector<double> var_bias;
+  GroundingStats stats;
+  std::vector<uint32_t> changed_vars;
+  std::vector<std::pair<uint32_t, bool>> holdout;
+  std::vector<uint64_t> weight_observations;
+};
+
+GroundingFingerprint Fingerprint(const Grounder& grounder) {
+  GroundingFingerprint fp;
+  fp.graph_text = SerializeGraph(grounder.graph());
+  fp.crc = Crc32c(fp.graph_text.data(), fp.graph_text.size());
+  fp.kernel_stream = grounder.graph().kernel_stream();
+  fp.kernel_offsets = grounder.graph().kernel_offsets();
+  fp.var_bias = grounder.graph().var_bias();
+  fp.stats = grounder.stats();
+  fp.changed_vars = grounder.changed_vars();
+  fp.holdout = grounder.holdout();
+  fp.weight_observations = grounder.weight_observations();
+  return fp;
+}
+
+void ExpectIdentical(const GroundingFingerprint& oracle,
+                     const GroundingFingerprint& parallel, const char* phase) {
+  SCOPED_TRACE(phase);
+  EXPECT_EQ(oracle.crc, parallel.crc);
+  ASSERT_EQ(oracle.graph_text, parallel.graph_text);
+  EXPECT_EQ(oracle.kernel_stream, parallel.kernel_stream);
+  EXPECT_EQ(oracle.kernel_offsets, parallel.kernel_offsets);
+  EXPECT_EQ(oracle.var_bias, parallel.var_bias);
+  EXPECT_EQ(oracle.changed_vars, parallel.changed_vars);
+  EXPECT_EQ(oracle.holdout, parallel.holdout);
+  EXPECT_EQ(oracle.weight_observations, parallel.weight_observations);
+  EXPECT_EQ(oracle.stats.num_variables, parallel.stats.num_variables);
+  EXPECT_EQ(oracle.stats.num_factors, parallel.stats.num_factors);
+  EXPECT_EQ(oracle.stats.num_weights, parallel.stats.num_weights);
+  EXPECT_EQ(oracle.stats.num_evidence, parallel.stats.num_evidence);
+  EXPECT_EQ(oracle.stats.num_conflicting_labels,
+            parallel.stats.num_conflicting_labels);
+  EXPECT_EQ(oracle.stats.num_orphan_evidence, parallel.stats.num_orphan_evidence);
+  EXPECT_EQ(oracle.stats.num_holdout, parallel.stats.num_holdout);
+}
+
+/// Ground the seed's workload end to end (initialize, incremental delta
+/// batch, full reground) at the given thread count; fingerprint each
+/// phase. A fresh workload + catalog per call keeps runs independent.
+std::vector<GroundingFingerprint> GroundAll(uint64_t seed, size_t num_threads) {
+  SyntheticProgramOptions sopt;
+  sopt.seed = seed;
+  auto workload = MakeSyntheticWorkload(sopt);
+  EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+
+  Catalog catalog;
+  EXPECT_TRUE(PopulateCatalog(*workload, &catalog).ok());
+  UdfRegistry udfs;
+  RegisterBuiltinUdfs(&udfs);
+
+  GroundingOptions gopt;
+  gopt.num_threads = num_threads;
+  // Tiny morsels so even these small corpora fan out into many morsels
+  // and the ordered merge actually has something to merge.
+  gopt.morsel_size = 16;
+  gopt.holdout_fraction = 0.2;
+
+  std::vector<GroundingFingerprint> fps;
+  Grounder grounder(&catalog, &workload->program, &udfs, gopt);
+  Status st = grounder.Initialize();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  fps.push_back(Fingerprint(grounder));
+
+  st = grounder.ApplyDeltas(workload->delta);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  fps.push_back(Fingerprint(grounder));
+
+  st = grounder.Reground();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  fps.push_back(Fingerprint(grounder));
+  return fps;
+}
+
+class ParallelGroundingTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(ParallelGroundingTest, MatchesSerialOracle) {
+  const auto [seed, threads] = GetParam();
+  std::vector<GroundingFingerprint> oracle = GroundAll(seed, 1);
+  std::vector<GroundingFingerprint> parallel = GroundAll(seed, threads);
+  ASSERT_EQ(oracle.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  ExpectIdentical(oracle[0], parallel[0], "initialize");
+  ExpectIdentical(oracle[1], parallel[1], "apply_deltas");
+  ExpectIdentical(oracle[2], parallel[2], "reground");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedByThreads, ParallelGroundingTest,
+    ::testing::Combine(::testing::Values<uint64_t>(1, 2, 3, 5, 8, 13),
+                       ::testing::Values<size_t>(2, 3, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, size_t>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// Larger single-shot case: default morsel size, bigger corpus, hardware
+// default thread count (num_threads = 0) — the configuration production
+// callers get without touching any knob.
+TEST(ParallelGroundingScaleTest, HardwareDefaultMatchesSerial) {
+  SyntheticProgramOptions sopt;
+  sopt.seed = 21;
+  sopt.num_sentences = 400;
+  sopt.tokens_per_sentence = 8;
+  sopt.max_pairs_per_sentence = 3;
+
+  auto make = [&](size_t num_threads) {
+    auto workload = MakeSyntheticWorkload(sopt);
+    EXPECT_TRUE(workload.ok()) << workload.status().ToString();
+    Catalog catalog;
+    EXPECT_TRUE(PopulateCatalog(*workload, &catalog).ok());
+    UdfRegistry udfs;
+    RegisterBuiltinUdfs(&udfs);
+    GroundingOptions gopt;
+    gopt.num_threads = num_threads;
+    Grounder grounder(&catalog, &workload->program, &udfs, gopt);
+    Status st = grounder.Initialize();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return Fingerprint(grounder);
+  };
+  GroundingFingerprint oracle = make(1);
+  GroundingFingerprint parallel = make(0);  // hardware concurrency
+  ExpectIdentical(oracle, parallel, "initialize");
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,190 @@
+// ThreadPool + ParallelMorsels contracts the parallel grounder depends
+// on: work decomposition independent of scheduling, queue drain on
+// shutdown, Status-based (exception-free) error propagation with a
+// deterministic winner, and safety under many concurrent producers.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dd {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitAllowsReuse) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 20);
+  }
+}
+
+// Destroying the pool with tasks still queued must drain the queue, not
+// drop it: no task the grounder submitted may silently vanish.
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // No Wait(): the destructor must finish the backlog itself.
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ManyProducersStress) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::thread> producers;
+  constexpr int kProducers = 8;
+  constexpr int kTasksEach = 250;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &count] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(count.load(), kProducers * kTasksEach);
+}
+
+// The morsel decomposition is a pure function of (n, morsel_size):
+// every thread count must produce exactly the same (index, begin, end)
+// triples — the property the deterministic merge rule builds on.
+TEST(ParallelMorselsTest, DecompositionIndependentOfThreadCount) {
+  constexpr size_t kN = 103;
+  constexpr size_t kMorsel = 10;
+  auto decompose = [&](ThreadPool* pool) {
+    std::vector<std::pair<size_t, size_t>> spans(NumMorsels(kN, kMorsel));
+    Status st = ParallelMorsels(pool, kN, kMorsel,
+                                [&](size_t m, size_t begin, size_t end) {
+                                  spans[m] = {begin, end};
+                                  return Status::OK();
+                                });
+    EXPECT_TRUE(st.ok());
+    return spans;
+  };
+  auto serial = decompose(nullptr);
+  ASSERT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial.front(), (std::pair<size_t, size_t>{0, 10}));
+  EXPECT_EQ(serial.back(), (std::pair<size_t, size_t>{100, 103}));
+  for (size_t threads : {2, 3, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(decompose(&pool), serial) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelMorselsTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  for (auto& v : visits) v.store(0);
+  Status st = ParallelMorsels(&pool, kN, 7, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      visits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(visits[i].load(), 1) << "i=" << i;
+}
+
+// Errors travel as Status values, never exceptions, and the reported
+// failure is the lowest-indexed failing morsel regardless of which
+// worker finished first — so error output is reproducible.
+TEST(ParallelMorselsTest, LowestIndexedErrorWins) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    Status st = ParallelMorsels(&pool, 100, 10, [&](size_t m, size_t, size_t) {
+      if (m == 7) return Status::Internal("late failure");
+      if (m == 3) {
+        // Make the earlier failure slower so a naive first-to-finish
+        // implementation would report the wrong one.
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        return Status::InvalidArgument("early failure");
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.message(), "early failure");
+  }
+}
+
+// All morsels run even when one fails (no cancellation): the per-morsel
+// buffers the grounder merges are always fully populated or the call
+// errored — never a torn mix.
+TEST(ParallelMorselsTest, AllMorselsRunDespiteFailure) {
+  ThreadPool pool(4);
+  constexpr size_t kMorsels = 20;
+  std::vector<std::atomic<int>> ran(kMorsels);
+  for (auto& r : ran) r.store(0);
+  Status st = ParallelMorsels(&pool, kMorsels, 1, [&](size_t m, size_t, size_t) {
+    ran[m].fetch_add(1, std::memory_order_relaxed);
+    return m == 0 ? Status::Internal("boom") : Status::OK();
+  });
+  EXPECT_FALSE(st.ok());
+  for (size_t m = 0; m < kMorsels; ++m) EXPECT_EQ(ran[m].load(), 1) << "m=" << m;
+}
+
+TEST(ParallelMorselsTest, InlineWhenPoolIsNull) {
+  std::thread::id caller = std::this_thread::get_id();
+  Status st = ParallelMorsels(nullptr, 50, 10, [&](size_t, size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+}
+
+TEST(ParallelMorselsTest, EmptyRangeIsNoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  Status st = ParallelMorsels(&pool, 0, 16, [&](size_t, size_t, size_t) {
+    called = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, CoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(257);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(visits.size(), [&](size_t i) {
+    visits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < visits.size(); ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace dd
