@@ -36,16 +36,30 @@ else
   python3 ci/bench_gate.py BENCH_grounding.json build/BENCH_grounding.json
 fi
 
+echo "=== bench gate (scheduler: recursive strata + phase overlap) ==="
+# Recursive-strata grounding CRC identity and overlapped-vs-sequential
+# pipeline marginal identity are enforced unconditionally; the speedup
+# and overlap-ratio ratchets engage on machines with >= 2 cores (see
+# ci/bench_gate.py). Same DD_BENCH_GATE_SKIP / tolerance overrides.
+if [ "${DD_BENCH_GATE_SKIP:-0}" = "1" ]; then
+  echo "bench gate skipped (DD_BENCH_GATE_SKIP=1)"
+else
+  (cd build && ./bench/bench_scheduler)
+  python3 ci/bench_gate.py BENCH_scheduler.json build/BENCH_scheduler.json
+fi
+
 echo "=== tsan build + concurrency-focused ctest (thread) ==="
 # ThreadSanitizer over the tests that exercise the morsel-parallel
-# grounding pipeline: thread pool, parallel differential harness, and
-# the grounding/query/inference suites that run on top of it.
+# grounding pipeline and the task-graph scheduler: thread pool, task
+# graph, parallel differential harness (which includes the overlapped
+# pipeline schedule), and the grounding/query/inference suites that run
+# on top of them.
 cmake -B build-tsan -S . -DDD_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j
 # ci/tsan.supp masks only the intentionally-racy Hogwild/NUMA samplers.
 TSAN_OPTIONS="suppressions=$PWD/ci/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test'
+  -R 'thread_pool_test|task_graph_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test'
 
 echo "=== sanitized build + ctest (address;undefined) ==="
 cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null

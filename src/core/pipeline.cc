@@ -7,7 +7,10 @@
 #include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
+#include "util/task_graph.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 #include "util/trace.h"
 
@@ -176,112 +179,183 @@ Status DeepDivePipeline::Run() {
   // surface as "phases" in RunMetrics::ToJson().
   DD_TRACE_SPAN_VAR(run_span, "pipeline");
 
-  // Phase 1: candidate generation + feature extraction UDFs (§3 step 1).
-  Stopwatch watch;
-  std::map<std::string, DeltaSet> deltas;
-  {
-    DD_TRACE_SPAN_VAR(span, "extraction");
-    DD_RETURN_IF_ERROR(RunExtraction(&deltas));
-    span.Attr("documents_processed",
-              static_cast<double>(run_stats_.documents_processed));
-    span.Attr("documents_quarantined",
-              static_cast<double>(run_stats_.documents_quarantined));
-    DD_COUNTER_ADD("dd.pipeline.documents_processed",
-                   run_stats_.documents_processed);
+  const size_t threads =
+      options_.num_threads == 0 ? HardwareThreads() : options_.num_threads;
+  if (threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads);
   }
-  timings_.extraction_seconds = watch.Seconds();
+
+  // The run is a task graph rather than a fixed call sequence: phases
+  // with no data dependency on each other overlap (weight learning and
+  // the inference warm-up below), while explicit edges order every
+  // hand-off. With num_threads == 1 the graph degenerates to exactly the
+  // sequential schedule (ready nodes in creation order) — the oracle the
+  // differential tests compare against; results are byte-identical at
+  // every thread count.
+  TaskGraph tg;
+  tg.set_trace_root(TraceSpan::CurrentPath());
+
+  std::map<std::string, DeltaSet> deltas;
+
+  // Phase 1: candidate generation + feature extraction UDFs (§3 step 1).
+  const TaskGraph::NodeId extraction =
+      tg.AddNode("extraction", [this, &deltas](TraceSpan* span) -> Status {
+        DD_RETURN_IF_ERROR(RunExtraction(&deltas));
+        if (span != nullptr) {
+          span->Attr("documents_processed",
+                     static_cast<double>(run_stats_.documents_processed));
+          span->Attr("documents_quarantined",
+                     static_cast<double>(run_stats_.documents_quarantined));
+        }
+        DD_COUNTER_ADD("dd.pipeline.documents_processed",
+                       run_stats_.documents_processed);
+        return Status::OK();
+      });
 
   // Phase 2: grounding — candidate mappings, supervision rules, and
   // factor generation, incrementally after the first run (§3 steps 1-2,
-  // §4.1).
-  watch.Restart();
-  {
-    DD_TRACE_SPAN_VAR(span, "grounding");
-    if (!has_run_) {
-      // Bulk-load the first batch directly into the base tables.
-      for (const auto& [relation, delta] : deltas) {
-        const RelationDecl* decl = program_.FindDecl(relation);
-        if (decl == nullptr) {
-          return Status::NotFound("extractor emitted into undeclared relation: " +
-                                  relation);
+  // §4.1). The grounder shares the pipeline's pool, so its own task
+  // graph (datalog strata + factor build) nests inside this node.
+  const TaskGraph::NodeId grounding =
+      tg.AddNode("grounding", [this, &deltas](TraceSpan* span) -> Status {
+        if (!has_run_) {
+          // Bulk-load the first batch directly into the base tables.
+          for (const auto& [relation, delta] : deltas) {
+            const RelationDecl* decl = program_.FindDecl(relation);
+            if (decl == nullptr) {
+              return Status::NotFound(
+                  "extractor emitted into undeclared relation: " + relation);
+            }
+            DD_ASSIGN_OR_RETURN(
+                Table * table,
+                catalog_.GetOrCreateTable(relation, decl->schema));
+            for (const auto& [tuple, count] : delta) {
+              if (count <= 0) continue;  // deletions meaningless on first load
+              DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+            }
+          }
+          GroundingOptions grounding_options;
+          grounding_options.holdout_fraction = options_.holdout_fraction;
+          grounding_options.pool = pool_.get();
+          // Sequential pipeline => sequential grounder (the full oracle).
+          if (pool_ == nullptr) grounding_options.num_threads = 1;
+          grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
+                                                 grounding_options);
+          DD_RETURN_IF_ERROR(grounder_->Initialize());
+        } else {
+          if (!deltas.empty()) {
+            DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
+          }
         }
-        DD_ASSIGN_OR_RETURN(Table * table,
-                            catalog_.GetOrCreateTable(relation, decl->schema));
-        for (const auto& [tuple, count] : delta) {
-          if (count <= 0) continue;  // deletions meaningless on first load
-          DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+        if (span != nullptr) {
+          span->Attr("variables",
+                     static_cast<double>(grounder_->stats().num_variables));
+          span->Attr("factors",
+                     static_cast<double>(grounder_->stats().num_factors));
         }
-      }
-      GroundingOptions grounding_options;
-      grounding_options.holdout_fraction = options_.holdout_fraction;
-      grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
-                                             grounding_options);
-      DD_RETURN_IF_ERROR(grounder_->Initialize());
-    } else {
-      if (!deltas.empty()) {
-        DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
-      }
-    }
-    span.Attr("variables", static_cast<double>(grounder_->stats().num_variables));
-    span.Attr("factors", static_cast<double>(grounder_->stats().num_factors));
-  }
-  timings_.grounding_seconds = watch.Seconds();
+        return Status::OK();
+      });
+  tg.AddEdge(extraction, grounding);
 
-  Status injected;
-  DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
-  DD_RETURN_IF_ERROR(injected);
-  DD_RETURN_IF_ERROR(PrepareRunDirectory());
+  // Bookkeeping between phases (never a Fig. 2 phase): crash-test
+  // failpoint + run-directory manifest, once the graph fingerprint
+  // exists.
+  const TaskGraph::NodeId prepare =
+      tg.AddUntracedNode("prepare", [this]() -> Status {
+        Status injected;
+        DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
+        DD_RETURN_IF_ERROR(injected);
+        return PrepareRunDirectory();
+      });
+  tg.AddEdge(grounding, prepare);
 
   // Phase 3: weight learning (§3 step 3).
-  watch.Restart();
-  {
-    DD_TRACE_SPAN_VAR(span, "learning");
-    bool learn = !has_run_ || options_.relearn_on_update;
-    if (learn) {
-      LearnOptions learn_opts = options_.learn;
-      if (run_dir_ != nullptr) learn_opts.checkpoint_dir = run_dir_->path();
-      Learner learner(grounder_->mutable_graph());
-      DD_RETURN_IF_ERROR(learner.Learn(learn_opts));
-      grounder_->SaveWeights();
-    }
-    span.Attr("learned", learn ? 1 : 0);
-  }
-  timings_.learning_seconds = watch.Seconds();
+  const TaskGraph::NodeId learning =
+      tg.AddNode("learning", [this](TraceSpan* span) -> Status {
+        const bool learn = !has_run_ || options_.relearn_on_update;
+        if (learn) {
+          LearnOptions learn_opts = options_.learn;
+          if (run_dir_ != nullptr) learn_opts.checkpoint_dir = run_dir_->path();
+          Learner learner(grounder_->mutable_graph());
+          DD_RETURN_IF_ERROR(learner.Learn(learn_opts));
+          grounder_->SaveWeights();
+        }
+        if (span != nullptr) span->Attr("learned", learn ? 1 : 0);
+        Status injected;
+        DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
+        DD_RETURN_IF_ERROR(injected);
+        return UpdateManifestPhase("learned");
+      });
+  tg.AddEdge(prepare, learning);
 
-  DD_FAILPOINT(failpoints::kPipelinePhase, &injected);
-  DD_RETURN_IF_ERROR(injected);
-  DD_RETURN_IF_ERROR(UpdateManifestPhase("learned"));
+  // Overlap: while the learner fits weights, warm inference up with the
+  // weight-oblivious part of its start-up — strategy choice, buffer
+  // reservation, and reading the materialization checkpoint off disk.
+  // Prewarm() reads no weight values, so sharing the graph with the
+  // learner is race-free. Runs after prepare because PrepareRunDirectory
+  // may clear stale snapshots on a fresh run.
+  const TaskGraph::NodeId warmup =
+      tg.AddUntracedNode("inference.warmup", [this]() -> Status {
+        if (inference_materialized_) return Status::OK();  // Update path
+        chosen_strategy_ = PickStrategy();
+        IncrementalOptions opts = options_.inference;
+        opts.clamp_evidence = false;  // probabilities for labeled tuples too
+        if (run_dir_ != nullptr) {
+          opts.checkpoint_path = run_dir_->InferenceSnapshotPath();
+        }
+        inference_ = std::make_unique<IncrementalInference>(
+            &grounder_->graph(), chosen_strategy_, opts);
+        return inference_->Prewarm();
+      });
+  tg.AddEdge(prepare, warmup);
 
   // Phase 4: inference (§3 step 3, §4.2).
-  watch.Restart();
-  {
-    DD_TRACE_SPAN_VAR(span, "inference");
-    DD_RETURN_IF_ERROR(RunInference());
-    span.Attr("marginals", static_cast<double>(marginals_.size()));
-  }
-  timings_.inference_seconds = watch.Seconds();
-
-  DD_RETURN_IF_ERROR(UpdateManifestPhase("done"));
-  has_run_ = true;
+  const TaskGraph::NodeId inference =
+      tg.AddNode("inference", [this](TraceSpan* span) -> Status {
+        DD_RETURN_IF_ERROR(RunInference());
+        if (span != nullptr) {
+          span->Attr("marginals", static_cast<double>(marginals_.size()));
+        }
+        DD_RETURN_IF_ERROR(UpdateManifestPhase("done"));
+        has_run_ = true;
+        return Status::OK();
+      });
+  tg.AddEdge(learning, inference);
+  tg.AddEdge(warmup, inference);
 
   // Phase 5: calibration (Fig. 2's last phase / Fig. 5's input) — bucket
   // the fresh marginals of every query relation against its held-out and
   // clamped labels. Cheap (one pass over the variables per relation) but
   // measured, because the developer loop reads these plots every cycle.
-  watch.Restart();
-  {
-    DD_TRACE_SPAN_VAR(span, "calibration");
-    run_calibration_.clear();
-    for (const RelationDecl& decl : program_.declarations) {
-      if (!decl.is_query) continue;
-      DD_ASSIGN_OR_RETURN(CalibrationPair pair, Calibration(decl.name));
-      run_calibration_.emplace(decl.name, std::move(pair));
-    }
-    span.Attr("relations", static_cast<double>(run_calibration_.size()));
-  }
-  timings_.calibration_seconds = watch.Seconds();
+  const TaskGraph::NodeId calibration =
+      tg.AddNode("calibration", [this](TraceSpan* span) -> Status {
+        run_calibration_.clear();
+        for (const RelationDecl& decl : program_.declarations) {
+          if (!decl.is_query) continue;
+          DD_ASSIGN_OR_RETURN(CalibrationPair pair, Calibration(decl.name));
+          run_calibration_.emplace(decl.name, std::move(pair));
+        }
+        if (span != nullptr) {
+          span->Attr("relations", static_cast<double>(run_calibration_.size()));
+        }
+        return Status::OK();
+      });
+  tg.AddEdge(inference, calibration);
 
-  return Status::OK();
+  const Status run_status = tg.Run(pool_.get());
+
+  // Per-phase time spent *inside* each node — accurate under overlap,
+  // where stopwatch segments around blocking calls would double-count.
+  auto record = [&tg](TaskGraph::NodeId id, double* out) {
+    if (!tg.NodeSkipped(id)) *out = tg.NodeSeconds(id);
+  };
+  record(extraction, &timings_.extraction_seconds);
+  record(grounding, &timings_.grounding_seconds);
+  record(learning, &timings_.learning_seconds);
+  record(inference, &timings_.inference_seconds);
+  record(calibration, &timings_.calibration_seconds);
+
+  return run_status;
 }
 
 std::string DeepDivePipeline::RunSummary() const {
@@ -303,17 +377,22 @@ std::string DeepDivePipeline::RunSummary() const {
 
 Status DeepDivePipeline::RunInference() {
   const FactorGraph* graph = &grounder_->graph();
-  if (inference_ == nullptr) {
-    chosen_strategy_ = PickStrategy();
-    IncrementalOptions opts = options_.inference;
-    opts.clamp_evidence = false;  // probabilities for labeled tuples too (Fig. 5)
-    if (run_dir_ != nullptr) {
-      opts.checkpoint_path = run_dir_->InferenceSnapshotPath();
+  if (!inference_materialized_) {
+    if (inference_ == nullptr) {
+      // The warm-up node constructs inference_ on the normal Run() path;
+      // this fallback keeps RunInference self-contained.
+      chosen_strategy_ = PickStrategy();
+      IncrementalOptions opts = options_.inference;
+      opts.clamp_evidence = false;  // probabilities for labeled tuples too
+      if (run_dir_ != nullptr) {
+        opts.checkpoint_path = run_dir_->InferenceSnapshotPath();
+      }
+      inference_ =
+          std::make_unique<IncrementalInference>(graph, chosen_strategy_, opts);
     }
-    inference_ =
-        std::make_unique<IncrementalInference>(graph, chosen_strategy_, opts);
     DD_RETURN_IF_ERROR(inference_->Materialize());
     marginals_ = inference_->marginals();
+    inference_materialized_ = true;
     return Status::OK();
   }
   DD_ASSIGN_OR_RETURN(marginals_,

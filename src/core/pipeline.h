@@ -94,6 +94,12 @@ struct PipelineOptions {
   /// fails with the first quarantine error — a systematically broken
   /// extractor should not silently produce an empty KB.
   double max_quarantine_fraction = 0.5;
+  /// Worker threads shared by the run's phase scheduler and the
+  /// grounding morsel scans (one pool). 0 = hardware concurrency; 1 =
+  /// strictly sequential phases — the oracle the differential tests
+  /// compare against. Results (factor-graph bytes, learned weights,
+  /// marginals) are byte-identical at every setting.
+  size_t num_threads = 0;
 };
 
 /// The end-to-end DeepDive system (§3): documents in, probabilistic
@@ -224,8 +230,13 @@ class DeepDivePipeline {
   std::vector<Document> documents_;
   size_t next_document_ = 0;  ///< first unprocessed document
   std::map<std::string, DeltaSet> queued_deltas_;
+  std::unique_ptr<ThreadPool> pool_;  ///< phase scheduler + grounding morsels
   std::unique_ptr<Grounder> grounder_;
   std::unique_ptr<IncrementalInference> inference_;
+  /// True once inference_ holds materialized state for the current
+  /// pipeline (gates Materialize-vs-Update; a merely prewarmed instance
+  /// is rebuilt freely).
+  bool inference_materialized_ = false;
   std::vector<double> marginals_;
   MaterializationStrategy chosen_strategy_ = MaterializationStrategy::kSampling;
   PhaseTimings timings_;

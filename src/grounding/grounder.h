@@ -10,12 +10,15 @@
 #include "core/udf.h"
 #include "ddlog/ast.h"
 #include "factor/graph.h"
+#include "query/datalog.h"
 #include "query/dred.h"
 #include "query/source.h"
 #include "storage/catalog.h"
 #include "util/result.h"
 
 namespace dd {
+
+class TraceSpan;
 
 /// Maps a factor-graph variable back to its database tuple — the link
 /// DeepDive maintains so every marginal can be "reloaded into the
@@ -36,16 +39,23 @@ struct GroundingOptions {
   uint64_t holdout_seed = 0x5eedULL;
   /// Worker threads for the grounding pipeline: datalog evaluation,
   /// DRed delta joins, the evidence scan, and factor assembly all fan
-  /// out fixed-size morsels onto one shared dd::ThreadPool. 0 = hardware
+  /// out morsels onto one shared dd::ThreadPool. 0 = hardware
   /// concurrency; 1 = the legacy single-threaded path, kept reachable as
   /// the oracle for differential testing. The produced FactorGraph —
   /// ids, weights, CSR layout, compiled kernel streams — is byte-
   /// identical at every setting (see DESIGN.md §10 for the merge rule).
   size_t num_threads = 0;
-  /// Rows per morsel for parallel scans. Scans smaller than one morsel
-  /// never fan out, so the default self-regulates small workloads; tests
-  /// shrink it to exercise multi-morsel merging on tiny corpora.
-  size_t morsel_size = 1024;
+  /// Externally owned pool to share instead of creating one (e.g. the
+  /// pipeline's phase-scheduler pool, so grounding morsels and phase
+  /// nodes interleave on the same workers). When set, num_threads is
+  /// ignored. Must outlive the Grounder.
+  ThreadPool* pool = nullptr;
+  /// Rows per morsel for parallel scans. 0 (the default) = adaptive
+  /// per-operator sizing from the operator's estimated per-item cost
+  /// (AdaptiveMorselSize); tests pin small values to exercise multi-
+  /// morsel merging on tiny corpora. Either way the decomposition is a
+  /// deterministic function of the input, never of thread count.
+  size_t morsel_size = 0;
 };
 
 /// Summary statistics of a (re-)grounding pass. All fields are exact at
@@ -62,7 +72,10 @@ struct GroundingStats {
   size_t num_holdout = 0;             ///< labeled candidates held out of training
   /// Time spent evaluating the datalog program (the part DRed makes
   /// incremental) vs assembling the factor graph from the evaluated
-  /// tables (common to both paths). EXP-DRED compares eval_seconds.
+  /// tables (common to both paths). Under the overlapped schedule these
+  /// are sums of per-node execution times, so attribution stays exact
+  /// even when eval and build nodes interleave. EXP-DRED compares
+  /// eval_seconds.
   double eval_seconds = 0;
   double build_seconds = 0;
 };
@@ -80,6 +93,15 @@ struct GroundingStats {
 ///     relation tuple, one factor per pseudo-relation row, weights tied
 ///     by (rule, feature value) keys, evidence applied from `X_Ev`
 ///     tables.
+///
+/// Execution is structured as a TaskGraph (DESIGN.md §11): registry
+/// extension, the evidence scan, and per-rule factor drafting are nodes
+/// with explicit dependency edges, and for recursive programs the
+/// stratum-evaluation nodes join the same graph — so drafting factors
+/// for stratum k's pseudo-relations overlaps with evaluating stratum
+/// k+1. The final single-threaded assemble node merges all drafts in
+/// deterministic order, keeping the result byte-identical to the serial
+/// schedule.
 ///
 /// Variable ids are stable across ApplyDeltas() calls: surviving tuples
 /// keep their id, deleted tuples leave an inert variable behind, new
@@ -139,18 +161,16 @@ class Grounder {
   }
 
  private:
-  /// Rewrite program rules: derivations stay, feature/correlation rules
-  /// become pseudo-relation derivations. Fills rewritten_rules_ and
-  /// factor_rule_meta_.
-  Status RewriteRules();
-  Status CreateDerivedTables();
-  Status BuildGraph();
-  Status ApplyEvidence(std::vector<int8_t>* evidence, std::vector<uint8_t>* conflict);
-  Status BuildFactors();
-  Status CollectChangedVars(const std::map<std::string, DeltaSet>& deltas);
-  /// How rule evaluation and graph assembly fan out (pool is null when
-  /// num_threads resolves to 1 — the serial oracle path).
-  EvalParallelism Parallelism();
+  /// A factor resolved by a worker but not yet merged: variables looked
+  /// up, weight tying key computed (the expensive part, including UDF
+  /// calls); the ordered merge assigns weight/factor ids.
+  struct FactorDraft {
+    uint32_t head_var = 0;
+    uint32_t implied_var = 0;
+    std::string key;
+    double init = 0.0;
+    bool fixed = false;
+  };
 
   struct FactorRuleMeta {
     size_t rule_index = 0;            ///< index into program_->rules
@@ -165,12 +185,44 @@ class Grounder {
     size_t num_weight_args = 0;
   };
 
+  /// Rewrite program rules: derivations stay, feature/correlation rules
+  /// become pseudo-relation derivations. Fills rewritten_rules_ and
+  /// factor_rule_meta_.
+  Status RewriteRules();
+  Status CreateDerivedTables();
+  /// Clear every derived table (they must start empty for evaluation).
+  Status ClearDerivedTables();
+  /// Build the factor graph as a TaskGraph of registry / evidence /
+  /// draft / assemble nodes. With a non-null `eval_strat` (recursive
+  /// programs), stratum-evaluation nodes join the same graph and build
+  /// nodes hang off the strata that produce their inputs — eval and
+  /// build overlap. Sets stats_.build_seconds, and stats_.eval_seconds
+  /// when eval nodes ran here (callers overwrite it otherwise).
+  Status BuildGraph(const Stratification* eval_strat);
+  /// Node bodies of BuildGraph's task graph:
+  Status ExtendVarRegistry();
+  Status ApplyEvidence(std::vector<int8_t>* evidence,
+                       std::vector<uint8_t>* conflict, size_t* orphans);
+  Status BuildFactorDrafts(const FactorRuleMeta& meta,
+                           std::vector<std::vector<FactorDraft>>* drafts);
+  /// The single-threaded tail: add variables (evidence/holdout/conflict
+  /// policy), merge factor drafts in (rule, morsel, row) order, finalize
+  /// the graph, fill stats_. The only node that mutates graph_.
+  Status AssembleGraph(const std::vector<int8_t>& evidence,
+                       const std::vector<uint8_t>& conflict, size_t orphans,
+                       std::vector<std::vector<std::vector<FactorDraft>>>* drafts,
+                       TraceSpan* span);
+  Status CollectChangedVars(const std::map<std::string, DeltaSet>& deltas);
+  /// How rule evaluation and graph assembly fan out (pool is null when
+  /// num_threads resolves to 1 — the serial oracle path).
+  EvalParallelism Parallelism();
+
   Catalog* catalog_;
   const DdlogProgram* program_;
   const UdfRegistry* udfs_;
   GroundingOptions options_;
-  size_t num_threads_ = 1;           ///< options_.num_threads, 0 resolved
-  std::unique_ptr<ThreadPool> pool_; ///< null when num_threads_ == 1
+  size_t num_threads_ = 1;           ///< resolved worker count
+  std::unique_ptr<ThreadPool> pool_; ///< owned pool; null when serial or shared
 
   std::vector<ConjunctiveRule> rewritten_rules_;
   std::vector<FactorRuleMeta> factor_rule_meta_;

@@ -32,6 +32,24 @@ IncrementalInference::IncrementalInference(const FactorGraph* graph,
                                            const IncrementalOptions& options)
     : graph_(graph), strategy_(strategy), options_(options) {}
 
+IncrementalInference::~IncrementalInference() = default;
+
+Status IncrementalInference::Prewarm() {
+  marginals_.reserve(graph_->num_variables());
+  chain_state_.reserve(graph_->num_variables());
+  if (strategy_ == MaterializationStrategy::kSampling &&
+      !options_.checkpoint_path.empty() && FileExists(options_.checkpoint_path)) {
+    Result<GraphSnapshot> snap = ReadGraphSnapshot(options_.checkpoint_path);
+    // A corrupt or foreign snapshot is not an error here: the restore in
+    // Materialize() re-reads the file and reports it exactly as it would
+    // without the warm-up.
+    if (snap.ok()) {
+      prewarmed_ = std::make_unique<GraphSnapshot>(std::move(*snap));
+    }
+  }
+  return Status::OK();
+}
+
 Status IncrementalInference::Materialize() {
   switch (strategy_) {
     case MaterializationStrategy::kSampling:
@@ -63,11 +81,19 @@ Status IncrementalInference::WriteSamplingCheckpoint(const GibbsSampler& sampler
 Status IncrementalInference::TryRestoreSampling(GibbsSampler* sampler,
                                                 int* sweeps_done) {
   *sweeps_done = 0;
-  if (options_.checkpoint_path.empty() || !FileExists(options_.checkpoint_path)) {
+  if (options_.checkpoint_path.empty()) {
+    prewarmed_.reset();
     return Status::OK();
   }
-  DD_ASSIGN_OR_RETURN(GraphSnapshot snap,
-                      ReadGraphSnapshot(options_.checkpoint_path));
+  GraphSnapshot snap;
+  if (prewarmed_ != nullptr) {
+    // Consume the snapshot Prewarm() already read off disk.
+    snap = std::move(*prewarmed_);
+    prewarmed_.reset();
+  } else {
+    if (!FileExists(options_.checkpoint_path)) return Status::OK();
+    DD_ASSIGN_OR_RETURN(snap, ReadGraphSnapshot(options_.checkpoint_path));
+  }
   auto kind = snap.meta.find("kind");
   if (kind == snap.meta.end() || kind->second != kSamplingKind) {
     return Status::InvalidArgument(

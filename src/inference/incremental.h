@@ -2,6 +2,7 @@
 #define DEEPDIVE_INFERENCE_INCREMENTAL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,8 @@
 #include "util/result.h"
 
 namespace dd {
+
+struct GraphSnapshot;
 
 /// The two approximate-inference materialization strategies of §4.2.
 enum class MaterializationStrategy {
@@ -53,6 +56,15 @@ class IncrementalInference {
  public:
   IncrementalInference(const FactorGraph* graph, MaterializationStrategy strategy,
                        const IncrementalOptions& options);
+  ~IncrementalInference();
+
+  /// Weight-oblivious warm-up that a scheduler may overlap with weight
+  /// learning on the same graph: reserves result buffers and prefetches
+  /// the materialization checkpoint (if any) from disk. Reads no weight
+  /// values and writes nothing, so running it while the learner mutates
+  /// weights is race-free; Materialize() afterwards produces the same
+  /// bytes as without the warm-up.
+  Status Prewarm();
 
   /// Full inference + state materialization on the current graph.
   Status Materialize();
@@ -86,6 +98,8 @@ class IncrementalInference {
   IncrementalOptions options_;
   std::vector<double> marginals_;
   std::vector<uint8_t> chain_state_;  // sampling strategy
+  /// Checkpoint prefetched by Prewarm(), consumed by the next restore.
+  std::unique_ptr<GraphSnapshot> prewarmed_;
   uint64_t last_work_units_ = 0;
   bool materialized_ = false;
 };

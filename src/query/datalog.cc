@@ -6,6 +6,9 @@
 
 #include "query/evaluator.h"
 #include "util/logging.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/trace.h"
 
 namespace dd {
 
@@ -78,6 +81,7 @@ Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules) {
   Stratification out;
   out.strata = scc.sccs;
   out.rules_by_stratum.resize(scc.sccs.size());
+  out.recursive.assign(scc.sccs.size(), false);
   for (size_t i = 0; i < rules.size(); ++i) {
     out.rules_by_stratum[scc_of[rules[i].head.relation]].push_back(i);
   }
@@ -96,93 +100,195 @@ Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules) {
         }
       }
     }
+    out.recursive[i] = recursive;
     if (recursive) out.has_recursion = true;
   }
   return out;
 }
 
 Status DatalogEngine::Evaluate(const std::vector<ConjunctiveRule>& rules) {
-  for (const ConjunctiveRule& rule : rules) DD_RETURN_IF_ERROR(rule.Validate());
   DD_ASSIGN_OR_RETURN(Stratification strat, Stratify(rules));
+  TaskGraph graph;
+  graph.set_trace_root(TraceSpan::CurrentPath());
+  std::vector<TaskGraph::NodeId> nodes;
+  DD_RETURN_IF_ERROR(Schedule(rules, strat, &graph, &nodes));
+  return graph.Run(par_.pool);
+}
+
+Status DatalogEngine::Schedule(const std::vector<ConjunctiveRule>& rules,
+                               const Stratification& strat, TaskGraph* graph,
+                               std::vector<TaskGraph::NodeId>* node_of_stratum) {
+  for (const ConjunctiveRule& rule : rules) DD_RETURN_IF_ERROR(rule.Validate());
+  std::map<std::string, size_t> stratum_of;
   for (size_t s = 0; s < strat.strata.size(); ++s) {
-    std::set<std::string> members(strat.strata[s].begin(), strat.strata[s].end());
-    DD_RETURN_IF_ERROR(EvaluateStratum(rules, strat.rules_by_stratum[s], members));
+    for (const std::string& r : strat.strata[s]) stratum_of[r] = s;
+  }
+
+  node_of_stratum->clear();
+  for (size_t s = 0; s < strat.strata.size(); ++s) {
+    const bool recursive = s < strat.recursive.size() && strat.recursive[s];
+    node_of_stratum->push_back(graph->AddNode(
+        "datalog.s" + std::to_string(s),
+        [this, &rules, &strat, s, recursive]() -> Status {
+          std::set<std::string> members(strat.strata[s].begin(),
+                                        strat.strata[s].end());
+          return EvaluateStratum(rules, strat.rules_by_stratum[s], members,
+                                 recursive);
+        }));
+  }
+  // One edge per inter-stratum dependency: stratum s reads a relation
+  // another stratum derives. Tarjan's reverse-topological SCC order
+  // guarantees producers have smaller stratum ids, so the serial oracle
+  // (ascending node ids) is exactly the legacy strata-in-order loop.
+  for (size_t s = 0; s < strat.strata.size(); ++s) {
+    std::set<size_t> deps;
+    for (size_t rid : strat.rules_by_stratum[s]) {
+      for (const Atom& atom : rules[rid].body) {
+        auto it = stratum_of.find(atom.relation);
+        if (it != stratum_of.end() && it->second != s) deps.insert(it->second);
+      }
+    }
+    for (size_t p : deps) {
+      graph->AddEdge((*node_of_stratum)[p], (*node_of_stratum)[s]);
+    }
   }
   return Status::OK();
 }
 
 Status DatalogEngine::EvaluateStratum(const std::vector<ConjunctiveRule>& rules,
                                       const std::vector<size_t>& rule_ids,
-                                      const std::set<std::string>& stratum_relations) {
+                                      const std::set<std::string>& stratum_relations,
+                                      bool recursive) {
   RuleEvaluator evaluator(catalog_);
 
-  // Morsel-parallel scans are only used for non-recursive strata: there
-  // a rule's body never reads its own stratum's head tables, so the
-  // tables a parallel scan probes are frozen for the whole fan-out and
-  // deferring the head inserts to the ordered merge cannot change what
-  // any probe observes. In a recursive stratum, serial evaluation
-  // interleaves inserts with probes, so it stays on the serial path
-  // (which is also the fixpoint-iteration-friendly one).
-  bool recursive = stratum_relations.size() > 1;
-  for (size_t rid : rule_ids) {
-    for (const Atom& atom : rules[rid].body) {
-      if (stratum_relations.count(atom.relation) > 0) recursive = true;
-    }
-  }
-  const EvalParallelism par = recursive ? EvalParallelism() : par_;
+  // Per-rule cap on individually logged ill-typed-tuple drops; past it
+  // we count silently and emit one summary line per rule at the end.
+  constexpr size_t kMaxDropLogsPerRule = 5;
+  std::vector<size_t> drop_logged(rule_ids.size(), 0);
+  std::vector<size_t> drop_count(rule_ids.size(), 0);
 
-  // Pass 1: evaluate every rule once over current state.
+  // Semi-naive iteration with frozen rounds: each round evaluates the
+  // affected rules against the table state as of round start (inserts
+  // are deferred to the ordered barrier merge below), so workers probe
+  // strictly read-only tables and the morsel decomposition + merge make
+  // the emission sequence — hence derived row order — identical to the
+  // serial oracle at any thread count. Monotone rules reach the same
+  // fixpoint as insert-during-scan evaluation; for non-recursive strata
+  // (no rule reads an in-stratum head) the single round reproduces the
+  // legacy emission order exactly.
   std::map<std::string, std::vector<Tuple>> delta;
-  for (size_t rid : rule_ids) {
-    const ConjunctiveRule& rule = rules[rid];
-    DD_ASSIGN_OR_RETURN(Table* head_table, catalog_->GetTable(rule.head.relation));
-    DD_RETURN_IF_ERROR(evaluator.Evaluate(
-        rule,
-        [&](const Tuple& t) {
-          Status st = head_table->CheckTuple(t);
-          if (!st.ok()) {
-            DD_LOG(Error) << "dropping ill-typed derived tuple " << t.ToString()
-                          << ": " << st.ToString();
-            return;
-          }
-          auto [id, inserted] = head_table->InsertUnchecked(t);
-          (void)id;
-          if (inserted) delta[rule.head.relation].push_back(t);
-        },
-        par));
-  }
-
-  // Semi-naive iteration: a rule only needs re-evaluation if its body
-  // mentions an in-stratum relation that changed. We re-run the full rule
-  // (set-semantics dedup makes this correct); the delta restriction below
-  // keeps the common non-recursive case to a single pass.
+  bool first_round = true;
   while (true) {
-    std::map<std::string, std::vector<Tuple>> next_delta;
-    bool any = false;
-    for (size_t rid : rule_ids) {
-      const ConjunctiveRule& rule = rules[rid];
-      bool affected = false;
-      for (const Atom& atom : rule.body) {
+    std::vector<size_t> active;  // positions into rule_ids
+    for (size_t i = 0; i < rule_ids.size(); ++i) {
+      if (first_round) {
+        active.push_back(i);
+        continue;
+      }
+      for (const Atom& atom : rules[rule_ids[i]].body) {
         if (stratum_relations.count(atom.relation) > 0 &&
             delta.count(atom.relation) > 0 && !delta.at(atom.relation).empty()) {
-          affected = true;
+          active.push_back(i);
           break;
         }
       }
-      if (!affected) continue;
-      DD_ASSIGN_OR_RETURN(Table* head_table, catalog_->GetTable(rule.head.relation));
-      DD_RETURN_IF_ERROR(evaluator.Evaluate(rule, [&](const Tuple& t) {
-        if (!head_table->CheckTuple(t).ok()) return;
-        auto [id, inserted] = head_table->InsertUnchecked(t);
-        (void)id;
-        if (inserted) {
-          next_delta[rule.head.relation].push_back(t);
-          any = true;
-        }
-      }));
     }
-    if (!any) break;
+    if (active.empty()) break;
+
+    // Compile the round's rules against the frozen state. The shared
+    // index cache holds raw row pointers, valid exactly because nothing
+    // mutates a table until the merge — it lives one round, never longer.
+    JoinIndexCache cache;
+    struct RoundRule {
+      RuleEvaluator::CompiledRule cr;
+      size_t n = 0;            // top-level enumeration units
+      size_t morsel_size = 1;
+      size_t num_morsels = 0;
+      size_t unit_base = 0;    // first slot in the flattened unit space
+    };
+    std::vector<RoundRule> round(active.size());
+    size_t total_units = 0;
+    for (size_t k = 0; k < active.size(); ++k) {
+      RoundRule& rr = round[k];
+      DD_RETURN_IF_ERROR(
+          evaluator.Compile(rules[rule_ids[active[k]]], &cache, &rr.cr));
+      rr.cr.cc.PrepareIndexes();
+      rr.n = rr.cr.cc.TopLevelSize();
+      rr.morsel_size = par_.MorselSizeFor(rr.cr.cc.EstimatedUnitCost());
+      rr.num_morsels = NumMorsels(rr.n, rr.morsel_size);
+      rr.unit_base = total_units;
+      total_units += rr.num_morsels;
+    }
+
+    // All (rule, morsel) pairs flattened into one unit space so a single
+    // fan-out covers the whole round regardless of per-rule skew.
+    std::vector<size_t> unit_rule(total_units);
+    for (size_t k = 0; k < active.size(); ++k) {
+      for (size_t u = 0; u < round[k].num_morsels; ++u) {
+        unit_rule[round[k].unit_base + u] = k;
+      }
+    }
+    std::vector<std::vector<Tuple>> drafts(total_units);
+    DD_RETURN_IF_ERROR(ParallelMorsels(
+        par_.pool, total_units, 1, [&](size_t unit, size_t, size_t) -> Status {
+          const RoundRule& rr = round[unit_rule[unit]];
+          const size_t m = unit - rr.unit_base;
+          const size_t begin = m * rr.morsel_size;
+          const size_t end = std::min(begin + rr.morsel_size, rr.n);
+          std::vector<Tuple>& out = drafts[unit];
+          rr.cr.cc.RunMorsel(
+              begin, end, [&](const std::vector<Value>& slots, int64_t) {
+                out.push_back(RuleEvaluator::ProjectHead(rr.cr.rule->head,
+                                                         rr.cr.cc, slots));
+              });
+          return Status::OK();
+        }));
+
+    // Barrier merge in (rule order, morsel order): the only place this
+    // round inserts, so every probe above saw the frozen state.
+    std::map<std::string, std::vector<Tuple>> next_delta;
+    bool any = false;
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t i = active[k];
+      const ConjunctiveRule& rule = rules[rule_ids[i]];
+      DD_ASSIGN_OR_RETURN(Table* head_table,
+                          catalog_->GetTable(rule.head.relation));
+      for (size_t u = round[k].unit_base;
+           u < round[k].unit_base + round[k].num_morsels; ++u) {
+        for (Tuple& t : drafts[u]) {
+          Status st = head_table->CheckTuple(t);
+          if (!st.ok()) {
+            ++drop_count[i];
+            DD_COUNTER_ADD("dd.datalog.dropped_tuples", 1);
+            if (drop_logged[i] < kMaxDropLogsPerRule) {
+              ++drop_logged[i];
+              DD_LOG(Error) << "dropping ill-typed derived tuple "
+                            << t.ToString() << ": " << st.ToString();
+            }
+            continue;
+          }
+          auto [id, inserted] = head_table->InsertUnchecked(t);
+          (void)id;
+          if (inserted) {
+            next_delta[rule.head.relation].push_back(std::move(t));
+            any = true;
+          }
+        }
+      }
+    }
+    first_round = false;
+    if (!recursive || !any) break;
     delta = std::move(next_delta);
+  }
+
+  for (size_t i = 0; i < rule_ids.size(); ++i) {
+    if (drop_count[i] > drop_logged[i]) {
+      DD_LOG(Error) << "rule for " << rules[rule_ids[i]].head.relation
+                    << " dropped " << drop_count[i]
+                    << " ill-typed derived tuples total ("
+                    << (drop_count[i] - drop_logged[i])
+                    << " not logged individually)";
+    }
   }
   return Status::OK();
 }

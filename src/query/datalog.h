@@ -11,6 +11,7 @@
 #include "storage/catalog.h"
 #include "util/result.h"
 #include "util/status.h"
+#include "util/task_graph.h"
 
 namespace dd {
 
@@ -22,7 +23,11 @@ struct Stratification {
   std::vector<std::vector<std::string>> strata;
   /// Rule indexes grouped by the stratum of their head relation.
   std::vector<std::vector<size_t>> rules_by_stratum;
-  /// True if some stratum contains a (mutually) recursive relation.
+  /// Per stratum: true when the stratum is (self- or mutually-)
+  /// recursive. Computed once here; evaluation consumes it instead of
+  /// re-deriving recursion from the rule bodies.
+  std::vector<bool> recursive;
+  /// True if some stratum is recursive.
   bool has_recursion = false;
 };
 
@@ -34,6 +39,14 @@ Result<Stratification> Stratify(const std::vector<ConjunctiveRule>& rules);
 /// tables must already exist in the catalog (the caller declares their
 /// schemas); base tables are whatever the rules reference but never
 /// derive.
+///
+/// Evaluation is round-based with frozen inputs (DESIGN.md §11): every
+/// fixpoint round compiles its rules against the table state frozen at
+/// round start, workers emit per-morsel head-tuple drafts, and a barrier
+/// merges the drafts in (rule order, morsel order) before any insert.
+/// Serial and parallel execution therefore produce byte-identical
+/// derived tables — row ids included — at any thread count, including
+/// for recursive strata.
 class DatalogEngine {
  public:
   /// `par` controls morsel-parallel rule scans; results (and derived-
@@ -46,10 +59,21 @@ class DatalogEngine {
   /// their tables (existing rows are kept; evaluation is monotone).
   Status Evaluate(const std::vector<ConjunctiveRule>& rules);
 
+  /// Add one node per stratum of `strat` to `graph`, with edges for
+  /// every inter-stratum dependency; node_of_stratum[i] receives the
+  /// node id of stratum i. Lets callers overlap stratum evaluation with
+  /// their own downstream nodes (the grounder hangs factor-drafting off
+  /// the strata that feed it). The engine, `rules`, and `strat` must
+  /// outlive the graph's Run().
+  Status Schedule(const std::vector<ConjunctiveRule>& rules,
+                  const Stratification& strat, TaskGraph* graph,
+                  std::vector<TaskGraph::NodeId>* node_of_stratum);
+
  private:
   Status EvaluateStratum(const std::vector<ConjunctiveRule>& rules,
                          const std::vector<size_t>& rule_ids,
-                         const std::set<std::string>& stratum_relations);
+                         const std::set<std::string>& stratum_relations,
+                         bool recursive);
 
   Catalog* catalog_;
   EvalParallelism par_;

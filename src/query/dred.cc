@@ -139,11 +139,12 @@ Status IncrementalEngine::DeltaJoin(const ConjunctiveRule& rule, size_t delta_po
     // on the coordinating thread; workers afterwards only probe.
     cc.PrepareIndexes();
     const size_t n = cc.TopLevelSize();
-    const size_t num_morsels = NumMorsels(n, par_.morsel_size);
+    const size_t morsel_size = par_.MorselSizeFor(cc.EstimatedUnitCost());
+    const size_t num_morsels = NumMorsels(n, morsel_size);
     if (num_morsels > 1) {
       std::vector<std::vector<std::pair<Tuple, int64_t>>> buffers(num_morsels);
       DD_RETURN_IF_ERROR(ParallelMorsels(
-          par_.pool, n, par_.morsel_size,
+          par_.pool, n, morsel_size,
           [&](size_t m, size_t begin, size_t end) {
             auto& buf = buffers[m];
             cc.RunMorsel(begin, end, [&](const std::vector<Value>& slots,

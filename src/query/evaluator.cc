@@ -295,10 +295,23 @@ void CompiledConjunction::TryRow(size_t depth, const Tuple& row, int64_t count,
   Recurse(depth + 1, slots, mult * count, emit);
 }
 
-Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
-                               const std::function<void(const Tuple&)>& emit,
-                               const EvalParallelism& par) const {
+double CompiledConjunction::EstimatedUnitCost() const {
+  constexpr double kProbeCost = 8.0;  // index lookup + unification
+  const size_t joins = atoms_.empty() ? 0 : atoms_.size() - 1;
+  return 1.0 + kProbeCost * static_cast<double>(joins) +
+         static_cast<double>(conditions_.size());
+}
+
+size_t EvalParallelism::MorselSizeFor(double cost_per_item) const {
+  if (morsel_size != 0) return morsel_size;
+  return AdaptiveMorselSize(cost_per_item);
+}
+
+Status RuleEvaluator::Compile(const ConjunctiveRule& rule, JoinIndexCache* cache,
+                              CompiledRule* out) const {
   DD_RETURN_IF_ERROR(rule.Validate());
+  out->rule = &rule;
+  out->sources.clear();
 
   // Order atoms positive-first so negated atoms are fully bound.
   std::vector<const Atom*> ordered;
@@ -309,33 +322,40 @@ Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
     if (a.negated) ordered.push_back(&a);
   }
 
-  std::vector<std::unique_ptr<TableSource>> sources;
   std::vector<AtomInput> inputs;
   for (const Atom* atom : ordered) {
     DD_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(atom->relation));
-    sources.push_back(std::make_unique<TableSource>(table));
-    inputs.push_back(AtomInput{atom, sources.back().get()});
+    out->sources.push_back(std::make_unique<TableSource>(table));
+    inputs.push_back(AtomInput{atom, out->sources.back().get()});
   }
-
-  CompiledConjunction cc;
-  DD_RETURN_IF_ERROR(cc.Build(std::move(inputs), &rule.conditions));
+  DD_RETURN_IF_ERROR(out->cc.Build(std::move(inputs), &rule.conditions, cache));
 
   // Pre-resolve head slots.
   for (const Term& t : rule.head.terms) {
-    if (t.is_var() && cc.SlotOf(t.var) < 0) {
+    if (t.is_var() && out->cc.SlotOf(t.var) < 0) {
       return Status::InvalidArgument("head variable not bound: " + t.var);
     }
   }
+  return Status::OK();
+}
+
+Status RuleEvaluator::Evaluate(const ConjunctiveRule& rule,
+                               const std::function<void(const Tuple&)>& emit,
+                               const EvalParallelism& par) const {
+  CompiledRule cr;
+  DD_RETURN_IF_ERROR(Compile(rule, nullptr, &cr));
+  const CompiledConjunction& cc = cr.cc;
 
   if (par.pool != nullptr) {
     cc.PrepareIndexes();
     const size_t n = cc.TopLevelSize();
-    if (NumMorsels(n, par.morsel_size) > 1) {
+    const size_t morsel_size = par.MorselSizeFor(cc.EstimatedUnitCost());
+    if (NumMorsels(n, morsel_size) > 1) {
       // Workers project head tuples into per-morsel buffers; the merge
       // emits them in morsel order, reproducing the serial sequence.
-      std::vector<std::vector<Tuple>> buffers(NumMorsels(n, par.morsel_size));
+      std::vector<std::vector<Tuple>> buffers(NumMorsels(n, morsel_size));
       DD_RETURN_IF_ERROR(ParallelMorsels(
-          par.pool, n, par.morsel_size,
+          par.pool, n, morsel_size,
           [&](size_t m, size_t begin, size_t end) {
             std::vector<Tuple>& out = buffers[m];
             cc.RunMorsel(begin, end, [&](const std::vector<Value>& slots,

@@ -102,6 +102,12 @@ class CompiledConjunction {
   /// emit closure (typically appending to a per-morsel buffer).
   void RunMorsel(size_t begin, size_t end, const BindingEmit& emit) const;
 
+  /// Rough cost of expanding one top-level unit, in probe units (one
+  /// hash probe ≈ 1): each atom past the first is about one index probe
+  /// plus unification, plus one unit per condition. Feeds
+  /// EvalParallelism::MorselSizeFor so join-heavy rules split finer.
+  double EstimatedUnitCost() const;
+
  private:
   struct TermPlan {
     bool is_constant = false;
@@ -157,12 +163,22 @@ class ThreadPool;
 
 /// How a query-side scan may fan out. A null pool means strictly serial
 /// evaluation (the differential-testing oracle); with a pool, scans are
-/// split into `morsel_size`-row morsels and the per-morsel results are
-/// merged in morsel order, which makes the parallel result — including
-/// emission order — identical to serial at any thread count.
+/// split into morsels and the per-morsel results are merged in morsel
+/// order, which makes the parallel result — including emission order —
+/// identical to serial at any thread count.
 struct EvalParallelism {
   ThreadPool* pool = nullptr;
-  size_t morsel_size = 1024;
+  /// Rows per morsel. 0 (the default) = adaptive per-operator sizing:
+  /// MorselSizeFor picks a deterministic power of two from the
+  /// operator's estimated per-item cost (AdaptiveMorselSize). Tests pin
+  /// small fixed values to force multi-morsel merges on tiny inputs.
+  size_t morsel_size = 0;
+
+  /// Morsel size for a scan whose items cost ~cost_per_item probe units
+  /// each: `morsel_size` when pinned, else AdaptiveMorselSize. Pure in
+  /// its inputs, so the decomposition the merge depends on never varies
+  /// with thread count or machine.
+  size_t MorselSizeFor(double cost_per_item) const;
 };
 
 /// Convenience: evaluate a validated rule against the current catalog
@@ -171,6 +187,24 @@ struct EvalParallelism {
 class RuleEvaluator {
  public:
   explicit RuleEvaluator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// A rule compiled for repeated or parallel evaluation: the planned
+  /// conjunction plus the table sources backing it. Movable. Valid only
+  /// while the rule and catalog outlive it, and only until a table it
+  /// reads is mutated — fixpoint evaluation recompiles per round against
+  /// the round's frozen table state.
+  struct CompiledRule {
+    const ConjunctiveRule* rule = nullptr;
+    CompiledConjunction cc;
+    std::vector<std::unique_ptr<TableSource>> sources;
+  };
+
+  /// Compile `rule` against current catalog state: validates, orders
+  /// atoms positive-first (so negated atoms are fully bound), checks
+  /// head slots. With a non-null `cache`, table-backed atoms share
+  /// indexes with other rules compiled in the same frozen round.
+  Status Compile(const ConjunctiveRule& rule, JoinIndexCache* cache,
+                 CompiledRule* out) const;
 
   /// Evaluate rule body over catalog tables; call emit(head_tuple) once
   /// per derivation. With non-serial `par`, the join runs morsel-

@@ -50,6 +50,17 @@ Result<SyntheticWorkload> MakeSyntheticWorkload(const SyntheticProgramOptions& o
     p += "R(a) :- Link(a, b).\n";
     p += "Q(a, b) => R(a) :- Pair(s, a, b), Link(a, b) weight = 0.9.\n";
   }
+  if (options.recursive) {
+    // Transitive closure of Link through a helper relation: Reach and
+    // Hop derive from each other, one SCC => one recursive stratum.
+    p += "Reach?(a: int, b: int).\n";
+    p += "Hop?(a: int, b: int).\n";
+    p += "Reach(a, b) :- Link(a, b).\n";
+    p += "Reach(a, c) :- Hop(a, b), Link(b, c).\n";
+    p += "Hop(a, b) :- Reach(a, b).\n";
+    p += "Reach(a, b) :- Link(a, b) weight = ?.\n";
+    p += "Q(a, b) :- Pair(s, a, b), Reach(a, b) weight = 0.8.\n";
+  }
   w.ddlog = p;
   DD_ASSIGN_OR_RETURN(w.program, ParseDdlog(p));
 

@@ -36,6 +36,13 @@ struct SyntheticProgramOptions {
   /// labels) and this fraction of the original pairs is deleted.
   size_t delta_sentences = 4;
   double delta_delete_fraction = 0.2;
+  /// Append a mutually recursive transitive-closure block over Link
+  /// (query relations Reach/Hop forming one SCC) plus feature rules
+  /// tying Reach into the graph. Added after the base menu with zero
+  /// extra rng draws, so a given seed produces the identical corpus and
+  /// base program with or without it. Recursive programs take the
+  /// semi-naive path: Grounder::ApplyDeltas returns Unimplemented.
+  bool recursive = false;
 };
 
 /// A generated workload: program text (randomized rule menu — UDF /

@@ -1,5 +1,6 @@
 #include "util/parallel.h"
 
+#include <bit>
 #include <thread>
 #include <vector>
 
@@ -11,6 +12,18 @@ namespace dd {
 size_t HardwareThreads() {
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+size_t AdaptiveMorselSize(double cost_per_item) {
+  // ≈100× the cost of one pool dispatch, so fan-out overhead stays in
+  // the low single-digit percent even at the finest split.
+  constexpr double kTargetMorselCost = 4096.0;
+  constexpr size_t kMaxMorselSize = size_t{1} << 20;
+  if (cost_per_item < 1.0) cost_per_item = 1.0;
+  size_t size = static_cast<size_t>(kTargetMorselCost / cost_per_item);
+  if (size < 1) size = 1;
+  if (size > kMaxMorselSize) size = kMaxMorselSize;
+  return std::bit_floor(size);
 }
 
 Status ParallelMorsels(ThreadPool* pool, size_t n, size_t morsel_size,
@@ -30,16 +43,17 @@ Status ParallelMorsels(ThreadPool* pool, size_t n, size_t morsel_size,
 
   DD_COUNTER_ADD("dd.parallel.morsels", num_morsels);
   // One Status slot per morsel; workers only touch their own slot, and
-  // the pool's Wait() orders those writes before the scan below.
+  // WaitGroup()'s mutex orders those writes before the scan below.
   std::vector<Status> statuses(num_morsels);
+  TaskGroup group;
   for (size_t m = 0; m < num_morsels; ++m) {
     size_t begin = m * morsel_size;
     size_t end = begin + morsel_size < n ? begin + morsel_size : n;
-    pool->Submit([&fn, &statuses, m, begin, end] {
+    pool->Submit(&group, [&fn, &statuses, m, begin, end] {
       statuses[m] = fn(m, begin, end);
     });
   }
-  pool->Wait();
+  pool->WaitGroup(&group);
   for (Status& st : statuses) {
     if (!st.ok()) return std::move(st);
   }

@@ -29,6 +29,17 @@ inline size_t NumMorsels(size_t n, size_t morsel_size) {
   return (n + morsel_size - 1) / morsel_size;
 }
 
+/// Adaptive morsel sizing (DESIGN.md §11): items per morsel such that a
+/// morsel carries roughly a fixed budget of work — kTargetMorselCost
+/// cost units, where one unit ≈ one hash probe — so cheap scans take big
+/// morsels (tiny deltas never pay fan-out overhead) and expensive
+/// operators (multi-atom joins, UDF-weighted factor scans) split finely
+/// enough that a handful of giant tasks cannot starve the pool. The
+/// result is a power of two depending only on `cost_per_item`, never on
+/// thread count or machine, so the work decomposition — and therefore
+/// the deterministic morsel-order merge — is identical everywhere.
+size_t AdaptiveMorselSize(double cost_per_item);
+
 /// Runs fn(morsel_index, begin, end) for every morsel of [0, n).
 ///
 /// With a null pool, a single morsel, or n == 0, everything runs inline
@@ -43,6 +54,10 @@ inline size_t NumMorsels(size_t n, size_t morsel_size) {
 /// the returned Status is the error of the *lowest-indexed* failing
 /// morsel, so the reported failure is deterministic even when thread
 /// scheduling is not. Tasks must not throw; errors travel as Status.
+///
+/// Nestable: morsels are submitted under a TaskGroup and awaited with
+/// the help-while-waiting WaitGroup(), so calling this from inside a
+/// pool task (e.g. a task-graph node) cannot deadlock the pool.
 ///
 /// Memory ordering: the pool's queue mutex orders everything a worker
 /// wrote before finishing its morsel before ParallelMorsels returns, so

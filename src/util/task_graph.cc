@@ -1,0 +1,152 @@
+#include "util/task_graph.h"
+
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace dd {
+
+TaskGraph::NodeId TaskGraph::AddNode(std::string name, NodeFn fn) {
+  Node node;
+  node.name = std::move(name);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+TaskGraph::NodeId TaskGraph::AddNode(std::string name,
+                                     std::function<Status()> fn) {
+  return AddNode(std::move(name),
+                 [fn = std::move(fn)](TraceSpan*) { return fn(); });
+}
+
+TaskGraph::NodeId TaskGraph::AddUntracedNode(std::string name,
+                                             std::function<Status()> fn) {
+  NodeId id = AddNode(std::move(name), std::move(fn));
+  nodes_[id].traced = false;
+  return id;
+}
+
+void TaskGraph::AddEdge(NodeId before, NodeId after) {
+  if (before >= nodes_.size() || after >= nodes_.size() || before == after) {
+    malformed_ = true;
+    return;
+  }
+  nodes_[before].out.push_back(after);
+}
+
+void TaskGraph::ExecuteNode(Node* node, bool poisoned, bool anchor) {
+  if (poisoned) {
+    node->skipped = true;
+    node->status = Status::OK();
+    return;
+  }
+  // Re-parent this worker thread's span stack under the coordinator's
+  // path so the node's span lands where the sequential call would.
+  std::optional<TraceAnchor> reparent;
+  if (anchor) reparent.emplace(trace_root_);
+  const auto start = std::chrono::steady_clock::now();
+  if (node->traced) {
+    TraceSpan span(node->name.c_str());
+    node->status = node->fn(&span);
+  } else {
+    node->status = node->fn(nullptr);
+  }
+  node->seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  node->failed = !node->status.ok();
+  DD_COUNTER_ADD("dd.scheduler.nodes_executed", 1);
+  DD_HISTOGRAM_OBSERVE("dd.scheduler.node_seconds", node->seconds);
+}
+
+Status TaskGraph::Run(ThreadPool* pool) {
+  if (malformed_) {
+    return Status::Internal("task graph has an edge with invalid node ids");
+  }
+  const size_t n = nodes_.size();
+  std::vector<size_t> indegree(n, 0);
+  std::vector<char> poisoned(n, 0);
+  for (Node& node : nodes_) {
+    node.status = Status::OK();
+    node.failed = false;
+    node.skipped = false;
+    node.seconds = 0;
+    for (NodeId child : node.out) ++indegree[child];
+  }
+  size_t processed = 0;
+
+  if (pool == nullptr) {
+    // Serial oracle: among ready nodes, always the lowest id next.
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+        ready;
+    for (NodeId id = 0; id < n; ++id) {
+      if (indegree[id] == 0) ready.push(id);
+    }
+    while (!ready.empty()) {
+      const NodeId id = ready.top();
+      ready.pop();
+      ExecuteNode(&nodes_[id], poisoned[id] != 0, /*anchor=*/false);
+      ++processed;
+      const bool bad = nodes_[id].failed || nodes_[id].skipped;
+      for (NodeId child : nodes_[id].out) {
+        if (bad) poisoned[child] = 1;
+        if (--indegree[child] == 0) ready.push(child);
+      }
+    }
+  } else {
+    std::mutex mu;
+    TaskGroup group;
+    // A node submits its newly-ready dependents from inside its own pool
+    // task, before its own completion is counted against the group, so
+    // the group's pending count never transiently reaches zero while
+    // work remains.
+    std::function<void(NodeId)> submit = [&](NodeId id) {
+      pool->Submit(&group, [this, &mu, &poisoned, &indegree, &processed,
+                            &submit, id] {
+        bool p;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          p = poisoned[id] != 0;  // final: all dependencies completed
+        }
+        ExecuteNode(&nodes_[id], p, /*anchor=*/true);
+        std::vector<NodeId> now_ready;
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          ++processed;
+          const bool bad = nodes_[id].failed || nodes_[id].skipped;
+          for (NodeId child : nodes_[id].out) {
+            if (bad) poisoned[child] = 1;
+            if (--indegree[child] == 0) now_ready.push_back(child);
+          }
+        }
+        for (NodeId child : now_ready) submit(child);
+      });
+    };
+    // Snapshot the initially-ready set BEFORE submitting anything: once a
+    // task is in flight it decrements indegrees under mu, and re-reading
+    // indegree here would race with that — a node whose count just hit
+    // zero could be submitted both by its finished parent and by this
+    // loop, executing it twice.
+    std::vector<NodeId> initial;
+    for (NodeId id = 0; id < n; ++id) {
+      if (indegree[id] == 0) initial.push_back(id);
+    }
+    for (NodeId id : initial) submit(id);
+    pool->WaitGroup(&group);
+  }
+
+  if (processed < n) return Status::Internal("task graph has a cycle");
+  for (NodeId id = 0; id < n; ++id) {
+    if (nodes_[id].failed) return nodes_[id].status;
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

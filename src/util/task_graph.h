@@ -1,0 +1,111 @@
+#ifndef DEEPDIVE_UTIL_TASK_GRAPH_H_
+#define DEEPDIVE_UTIL_TASK_GRAPH_H_
+
+// Dependency-aware task scheduling over ThreadPool (DESIGN.md §11).
+//
+// A TaskGraph is a DAG of named nodes, each a Status-returning body.
+// Run(pool) executes every node after all of its dependencies, fanning
+// independent nodes out across the pool; Run(nullptr) executes nodes on
+// the calling thread in a deterministic topological order (ready nodes
+// by ascending id) — the scheduling oracle the parallel path is
+// differential-tested against. Node bodies may themselves call
+// ParallelMorsels on the same pool: morsel fan-out nests via TaskGroup's
+// help-while-waiting discipline.
+//
+// Error contract: a node whose dependency failed (or was skipped) is
+// skipped, transitively and deterministically; Run returns the status of
+// the lowest-id failed node regardless of thread scheduling. A cycle
+// yields Internal.
+//
+// Tracing: each node's body runs inside a TraceSpan named after the
+// node. On pool threads the span is re-parented under set_trace_root()'s
+// path via TraceAnchor, so phase spans keep their Fig. 2 tree position
+// and per-phase time is attributed to the node that spent it, not to
+// whichever thread happened to host it.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dd {
+
+class ThreadPool;
+class TraceSpan;
+
+class TaskGraph {
+ public:
+  using NodeId = size_t;
+  /// Node body. The span pointer is the node's own TraceSpan (for
+  /// Attr()); null for untraced nodes or when tracing is disabled.
+  using NodeFn = std::function<Status(TraceSpan*)>;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Add a node; returns its id. Ids are dense and creation-ordered —
+  /// the serial oracle runs ready nodes in ascending-id order, so add
+  /// nodes in the order the sequential program would execute them.
+  NodeId AddNode(std::string name, NodeFn fn);
+  NodeId AddNode(std::string name, std::function<Status()> fn);
+
+  /// Node that opens no TraceSpan (bookkeeping between phases that has
+  /// never been a Fig. 2 phase; keeps the phase report's key set stable).
+  NodeId AddUntracedNode(std::string name, std::function<Status()> fn);
+
+  /// Require `before` to complete before `after` starts. Both ids must
+  /// come from AddNode; a bad edge surfaces as Internal from Run().
+  void AddEdge(NodeId before, NodeId after);
+
+  /// Anchor node spans under this path (e.g. "pipeline") when bodies run
+  /// on pool threads. Typically TraceSpan::CurrentPath() at build time.
+  void set_trace_root(std::string path) { trace_root_ = std::move(path); }
+
+  /// Execute the graph; blocks until every node ran or was skipped.
+  /// Null pool = serial deterministic order. Re-runnable (per-run state
+  /// is reset), though typical callers build a fresh graph per run.
+  Status Run(ThreadPool* pool);
+
+  /// Wall-clock seconds node `id` spent executing in the last Run (0 if
+  /// skipped). Unlike a phase stopwatch around a blocking call, this is
+  /// time *inside* the node — accurate attribution under overlap.
+  double NodeSeconds(NodeId id) const { return nodes_[id].seconds; }
+
+  /// The node's status from the last Run (OK if skipped).
+  const Status& NodeStatus(NodeId id) const { return nodes_[id].status; }
+
+  /// True if the node was skipped in the last Run because a dependency
+  /// failed.
+  bool NodeSkipped(NodeId id) const { return nodes_[id].skipped; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::string name;
+    NodeFn fn;
+    bool traced = true;
+    std::vector<NodeId> out;  ///< dependents
+    // Per-run state, reset by Run(); written by at most one thread and
+    // ordered before the coordinator's reads by the pool mutex.
+    Status status;
+    bool failed = false;
+    bool skipped = false;
+    double seconds = 0;
+  };
+
+  /// Run one node body (or mark it skipped). `anchor` re-parents the
+  /// node's span under trace_root_ (pool threads only).
+  void ExecuteNode(Node* node, bool poisoned, bool anchor);
+
+  std::vector<Node> nodes_;
+  std::string trace_root_;
+  bool malformed_ = false;  ///< an AddEdge had out-of-range ids
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_TASK_GRAPH_H_

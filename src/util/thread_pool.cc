@@ -22,7 +22,16 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+    tasks_.push(QueuedTask{std::move(task), nullptr});
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++group->pending_;
+    tasks_.push(QueuedTask{std::move(task), group});
   }
   task_available_.notify_one();
 }
@@ -32,16 +41,42 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return tasks_.empty() && active_ == 0; });
 }
 
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  for (size_t i = 0; i < n; ++i) {
-    Submit([&fn, i] { fn(i); });
+void ThreadPool::FinishTask(TaskGroup* group) {
+  --active_;
+  if (group != nullptr && --group->pending_ == 0) group_done_.notify_all();
+  if (tasks_.empty() && active_ == 0) all_done_.notify_all();
+}
+
+void ThreadPool::WaitGroup(TaskGroup* group) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (group->pending_ > 0) {
+    if (!tasks_.empty()) {
+      // Help: run a queued task (any group's) instead of blocking a
+      // thread the group's own tasks may need.
+      QueuedTask task = std::move(tasks_.front());
+      tasks_.pop();
+      ++active_;
+      lock.unlock();
+      task.fn();
+      lock.lock();
+      FinishTask(task.group);
+    } else {
+      group_done_.wait(lock);
+    }
   }
-  Wait();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  TaskGroup group;
+  for (size_t i = 0; i < n; ++i) {
+    Submit(&group, [&fn, i] { fn(i); });
+  }
+  WaitGroup(&group);
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       task_available_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
@@ -50,11 +85,10 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop();
       ++active_;
     }
-    task();
+    task.fn();
     {
       std::unique_lock<std::mutex> lock(mu_);
-      --active_;
-      if (tasks_.empty() && active_ == 0) all_done_.notify_all();
+      FinishTask(task.group);
     }
   }
 }

@@ -11,9 +11,28 @@
 
 namespace dd {
 
-/// Minimal fixed-size thread pool used by the parallel samplers. Tasks are
-/// std::function<void()>; Wait() blocks until the queue drains and all
-/// workers are idle.
+class ThreadPool;
+
+/// A set of pool tasks whose completion can be awaited independently of
+/// the rest of the queue. Unlike ThreadPool::Wait(), WaitGroup() is
+/// nestable: the waiting thread executes queued tasks while its group is
+/// incomplete, so a pool task may itself fan out a group and block on it
+/// without deadlocking the fixed-size pool. A group must outlive the
+/// WaitGroup() call that drains it and must not be reused concurrently.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class ThreadPool;
+  size_t pending_ = 0;  ///< guarded by the pool's mutex
+};
+
+/// Minimal fixed-size thread pool used by the parallel samplers and the
+/// task-graph scheduler. Tasks are std::function<void()>; Wait() blocks
+/// until the queue drains and all workers are idle.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -25,8 +44,16 @@ class ThreadPool {
   /// Enqueue a task for execution.
   void Submit(std::function<void()> task);
 
+  /// Enqueue a task belonging to `group` (awaitable via WaitGroup).
+  void Submit(TaskGroup* group, std::function<void()> task);
+
   /// Block until all submitted tasks have completed.
   void Wait();
+
+  /// Block until every task submitted under `group` has completed,
+  /// executing queued tasks (of any group) on this thread meanwhile —
+  /// the help-while-waiting discipline that makes nested fan-out safe.
+  void WaitGroup(TaskGroup* group);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -34,13 +61,21 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
   void WorkerLoop();
+  /// Post-task bookkeeping; `mu_` must be held.
+  void FinishTask(TaskGroup* group);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
+  std::condition_variable group_done_;
   size_t active_ = 0;
   bool shutdown_ = false;
 };

@@ -1,5 +1,6 @@
 #include "util/trace.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -84,6 +85,26 @@ void Tracer::Reset() {
   records_.clear();
   dropped_ = 0;
   epoch_ = std::chrono::steady_clock::now();
+}
+
+TraceAnchor::TraceAnchor(const std::string& path) {
+  if (!MetricsEnabled() || path.empty()) return;
+  installed_ = true;
+  saved_span_ = t_current_span;
+  saved_path_ = t_current_path;
+  // The inert span never Begin()s or End()s: it only gives children a
+  // parent whose depth/path match `path`, as if the anchor's owner were
+  // running inside the coordinator's span stack.
+  span_.path_ = path;
+  span_.depth_ = static_cast<int>(std::count(path.begin(), path.end(), '/'));
+  t_current_span = &span_;
+  t_current_path = path;
+}
+
+TraceAnchor::~TraceAnchor() {
+  if (!installed_) return;
+  t_current_span = saved_span_;
+  t_current_path = std::move(saved_path_);
 }
 
 void TraceSpan::Begin(const char* name) {

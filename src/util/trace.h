@@ -98,6 +98,9 @@ class TraceSpan {
   static std::string CurrentPath();
 
  private:
+  friend class TraceAnchor;
+  TraceSpan() = default;  ///< inert span, used by TraceAnchor only
+
   void Begin(const char* name);
   void End();
 
@@ -107,6 +110,27 @@ class TraceSpan {
   int depth_ = 0;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> attrs_;
+};
+
+/// RAII re-parenting for pool threads: installs `path` as the innermost
+/// live span on the current thread without recording anything itself, so
+/// spans opened by a task-graph node running on a worker thread land at
+/// the same Fig. 2 tree position ("pipeline/<node>") they would occupy
+/// on the coordinator. Restores the thread's previous span stack on
+/// destruction. No-op when tracing is disabled or `path` is empty.
+class TraceAnchor {
+ public:
+  explicit TraceAnchor(const std::string& path);
+  ~TraceAnchor();
+
+  TraceAnchor(const TraceAnchor&) = delete;
+  TraceAnchor& operator=(const TraceAnchor&) = delete;
+
+ private:
+  bool installed_ = false;
+  TraceSpan span_;  ///< inert (never records); exists to parent children
+  TraceSpan* saved_span_ = nullptr;
+  std::string saved_path_;
 };
 
 #define DD_TRACE_CONCAT_INNER(a, b) a##b

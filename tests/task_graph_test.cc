@@ -1,0 +1,252 @@
+// TaskGraph scheduling contracts the pipeline and grounder build on:
+// serial runs follow a deterministic topological order (ready nodes by
+// ascending id), pooled runs respect every edge and run each node
+// exactly once, errors pick a deterministic winner and skip dependents
+// transitively, cycles and malformed edges surface as Internal, and
+// node bodies may nest ParallelMorsels on the same pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.h"
+#include "util/status.h"
+#include "util/task_graph.h"
+#include "util/thread_pool.h"
+
+namespace dd {
+namespace {
+
+// Serial oracle: among ready nodes, always the lowest id. A diamond with
+// a detached tail pinned behind the slow side exercises the choice.
+TEST(TaskGraphTest, SerialRunsReadyNodesInAscendingIdOrder) {
+  TaskGraph tg;
+  std::vector<int> order;
+  auto rec = [&order](int id) {
+    return [&order, id]() {
+      order.push_back(id);
+      return Status::OK();
+    };
+  };
+  //     0
+  //    / \
+  //   1   2      4 (free)
+  //    \ /
+  //     3
+  auto a = tg.AddNode("a", rec(0));
+  auto b = tg.AddNode("b", rec(1));
+  auto c = tg.AddNode("c", rec(2));
+  auto d = tg.AddNode("d", rec(3));
+  tg.AddNode("e", rec(4));
+  tg.AddEdge(a, b);
+  tg.AddEdge(a, c);
+  tg.AddEdge(b, d);
+  tg.AddEdge(c, d);
+  ASSERT_TRUE(tg.Run(nullptr).ok());
+  // 4 is ready from the start but has the highest id, so it runs last.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TaskGraphTest, PoolRunRespectsEdges) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    TaskGraph tg;
+    std::atomic<bool> root_done{false};
+    std::atomic<int> mids_done{0};
+    Status violation = Status::OK();
+    std::mutex mu;
+    auto note = [&](const char* msg) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (violation.ok()) violation = Status::Internal(msg);
+    };
+    auto root = tg.AddNode("root", [&]() {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      root_done.store(true);
+      return Status::OK();
+    });
+    std::vector<TaskGraph::NodeId> mids;
+    for (int i = 0; i < 6; ++i) {
+      auto mid = tg.AddNode("mid", [&]() {
+        if (!root_done.load()) note("mid ran before its dependency");
+        mids_done.fetch_add(1);
+        return Status::OK();
+      });
+      tg.AddEdge(root, mid);
+      mids.push_back(mid);
+    }
+    auto sink = tg.AddNode("sink", [&]() {
+      if (mids_done.load() != 6) note("sink ran before all mids");
+      return Status::OK();
+    });
+    for (auto mid : mids) tg.AddEdge(mid, sink);
+    ASSERT_TRUE(tg.Run(&pool).ok());
+    EXPECT_TRUE(violation.ok()) << violation.ToString();
+  }
+}
+
+// Regression for the initial-submission race: a fast root fanning out
+// wide must not let the coordinator double-submit a child whose
+// indegree a finished parent already decremented. Every node runs
+// exactly once, at any scheduling.
+TEST(TaskGraphTest, NodesRunExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kNodes = 64;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    TaskGraph tg;
+    std::vector<std::atomic<int>> runs(kNodes);
+    for (auto& r : runs) r.store(0);
+    std::vector<TaskGraph::NodeId> ids;
+    for (size_t i = 0; i < kNodes; ++i) {
+      ids.push_back(tg.AddNode("n", [&runs, i]() {
+        runs[i].fetch_add(1);
+        return Status::OK();
+      }));
+    }
+    // Chain of cheap hubs, each fanning out to the next few nodes.
+    for (size_t i = 0; i + 1 < kNodes; ++i) {
+      tg.AddEdge(ids[i], ids[i + 1]);
+      if (i + 5 < kNodes) tg.AddEdge(ids[i], ids[i + 5]);
+    }
+    ASSERT_TRUE(tg.Run(&pool).ok());
+    for (size_t i = 0; i < kNodes; ++i) {
+      ASSERT_EQ(runs[i].load(), 1) << "node " << i << " attempt " << attempt;
+    }
+  }
+}
+
+// A failed node poisons its dependents (transitively); unrelated nodes
+// still run; the returned status is the lowest-id failure no matter
+// which one finished first.
+TEST(TaskGraphTest, LowestIdFailureWinsAndDependentsSkip) {
+  ThreadPool pool(4);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    TaskGraph tg;
+    std::atomic<bool> dependent_ran{false};
+    std::atomic<bool> unrelated_ran{false};
+    auto slow_fail = tg.AddNode("slow_fail", []() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      return Status::InvalidArgument("early failure");
+    });
+    auto fast_fail = tg.AddNode("fast_fail", []() {
+      return Status::Internal("late failure");
+    });
+    auto dependent = tg.AddNode("dependent", [&]() {
+      dependent_ran.store(true);
+      return Status::OK();
+    });
+    auto grandchild = tg.AddNode("grandchild", [&]() {
+      dependent_ran.store(true);
+      return Status::OK();
+    });
+    auto unrelated = tg.AddNode("unrelated", [&]() {
+      unrelated_ran.store(true);
+      return Status::OK();
+    });
+    tg.AddEdge(slow_fail, dependent);
+    tg.AddEdge(dependent, grandchild);
+    Status st = tg.Run(&pool);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_EQ(st.message(), "early failure");
+    EXPECT_FALSE(dependent_ran.load());
+    EXPECT_TRUE(unrelated_ran.load());
+    EXPECT_TRUE(tg.NodeSkipped(dependent));
+    EXPECT_TRUE(tg.NodeSkipped(grandchild));
+    EXPECT_FALSE(tg.NodeSkipped(fast_fail));
+    EXPECT_FALSE(tg.NodeSkipped(unrelated));
+    EXPECT_EQ(tg.NodeStatus(fast_fail).code(), StatusCode::kInternal);
+  }
+}
+
+TEST(TaskGraphTest, CycleReturnsInternal) {
+  TaskGraph tg;
+  auto a = tg.AddNode("a", []() { return Status::OK(); });
+  auto b = tg.AddNode("b", []() { return Status::OK(); });
+  tg.AddEdge(a, b);
+  tg.AddEdge(b, a);
+  EXPECT_EQ(tg.Run(nullptr).code(), StatusCode::kInternal);
+  ThreadPool pool(2);
+  EXPECT_EQ(tg.Run(&pool).code(), StatusCode::kInternal);
+}
+
+TEST(TaskGraphTest, MalformedEdgeReturnsInternal) {
+  TaskGraph tg;
+  auto a = tg.AddNode("a", []() { return Status::OK(); });
+  tg.AddEdge(a, a);  // self-edge is malformed
+  EXPECT_EQ(tg.Run(nullptr).code(), StatusCode::kInternal);
+}
+
+// Node bodies fan morsels out on the same pool the graph runs on — the
+// nesting the grounder's build nodes rely on. Must not deadlock and
+// must cover every index exactly once.
+TEST(TaskGraphTest, NodesNestParallelMorselsOnSamePool) {
+  ThreadPool pool(2);
+  constexpr size_t kN = 300;
+  std::vector<std::atomic<int>> visits(2 * kN);
+  for (auto& v : visits) v.store(0);
+  TaskGraph tg;
+  for (int node = 0; node < 2; ++node) {
+    tg.AddNode("scan", [&pool, &visits, node]() {
+      return ParallelMorsels(&pool, kN, 7, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          visits[node * kN + i].fetch_add(1, std::memory_order_relaxed);
+        }
+        return Status::OK();
+      });
+    });
+  }
+  ASSERT_TRUE(tg.Run(&pool).ok());
+  for (size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "i=" << i;
+  }
+}
+
+// Serial and pooled runs of the same graph compute the same result when
+// each node reads only completed predecessors and writes only its own
+// slot — the property the pipeline's differential tests lean on end to
+// end. Each node's value is 1 + sum of its dependencies' values.
+TEST(TaskGraphTest, SerialAndPoolProduceSameResult) {
+  constexpr size_t kNodes = 16;
+  auto run = [&](ThreadPool* pool) {
+    std::vector<int64_t> slots(kNodes, 0);
+    TaskGraph tg;
+    std::vector<TaskGraph::NodeId> ids;
+    for (size_t i = 0; i < kNodes; ++i) {
+      ids.push_back(tg.AddNode("n", [&slots, i]() {
+        int64_t v = 1;
+        if (i >= 1) v += slots[i - 1];
+        if (i >= 4) v += slots[i - 4];
+        slots[i] = v;
+        return Status::OK();
+      }));
+      if (i >= 1) tg.AddEdge(ids[i - 1], ids[i]);
+      if (i >= 4) tg.AddEdge(ids[i - 4], ids[i]);
+    }
+    EXPECT_TRUE(tg.Run(pool).ok());
+    return slots;
+  };
+  auto serial = run(nullptr);
+  ThreadPool pool(4);
+  auto pooled = run(&pool);
+  EXPECT_EQ(serial, pooled);
+}
+
+TEST(TaskGraphTest, NodeSecondsAttributesTimeToTheNodeThatSpentIt) {
+  TaskGraph tg;
+  auto quick = tg.AddNode("quick", []() { return Status::OK(); });
+  auto slow = tg.AddNode("slow", []() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return Status::OK();
+  });
+  tg.AddEdge(quick, slow);
+  ASSERT_TRUE(tg.Run(nullptr).ok());
+  EXPECT_GE(tg.NodeSeconds(slow), 0.005);
+  EXPECT_LT(tg.NodeSeconds(quick), tg.NodeSeconds(slow));
+}
+
+}  // namespace
+}  // namespace dd

@@ -176,6 +176,34 @@ TEST(ParallelMorselsTest, EmptyRangeIsNoOp) {
   EXPECT_FALSE(called);
 }
 
+// WaitGroup from inside a pool task: the waiter must help drain the
+// queue instead of parking, or a pool whose workers all wait on inner
+// groups deadlocks. This is the discipline TaskGraph nodes rely on when
+// they fan out morsels on the same pool.
+TEST(ThreadPoolTest, NestedWaitGroupInsidePoolTask) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_count{0};
+  std::atomic<int> outer_count{0};
+  TaskGroup outer;
+  // More outer tasks than workers, each blocking on its own inner group:
+  // without help-while-waiting the pool would starve immediately.
+  for (int t = 0; t < 4; ++t) {
+    pool.Submit(&outer, [&pool, &inner_count, &outer_count] {
+      TaskGroup inner;
+      for (int i = 0; i < 8; ++i) {
+        pool.Submit(&inner, [&inner_count] {
+          inner_count.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      pool.WaitGroup(&inner);
+      outer_count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.WaitGroup(&outer);
+  EXPECT_EQ(outer_count.load(), 4);
+  EXPECT_EQ(inner_count.load(), 32);
+}
+
 TEST(ParallelForTest, CoversRange) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> visits(257);
