@@ -48,6 +48,18 @@ else
   python3 ci/bench_gate.py BENCH_scheduler.json build/BENCH_scheduler.json
 fi
 
+echo "=== bench gate (storage: scan/load identity + floor ratchets) ==="
+# Columnar-vs-row scan agreement and mmap-vs-text graph identity are
+# enforced unconditionally; the DESIGN.md §12 performance floors (2x
+# scan, 10x load, memory below the row store) gate on any machine since
+# they are single-threaded ratios. Same DD_BENCH_GATE_SKIP override.
+if [ "${DD_BENCH_GATE_SKIP:-0}" = "1" ]; then
+  echo "bench gate skipped (DD_BENCH_GATE_SKIP=1)"
+else
+  (cd build && ./bench/bench_storage)
+  python3 ci/bench_gate.py BENCH_storage.json build/BENCH_storage.json
+fi
+
 echo "=== tsan build + concurrency-focused ctest (thread) ==="
 # ThreadSanitizer over the tests that exercise the morsel-parallel
 # grounding pipeline and the task-graph scheduler: thread pool, task
@@ -59,7 +71,7 @@ cmake --build build-tsan -j
 # ci/tsan.supp masks only the intentionally-racy Hogwild/NUMA samplers.
 TSAN_OPTIONS="suppressions=$PWD/ci/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|task_graph_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test'
+  -R 'thread_pool_test|task_graph_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test|storage_test|snapshot_test'
 
 echo "=== sanitized build + ctest (address;undefined) ==="
 cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null

@@ -9,7 +9,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
+#include <string_view>
 
+#include "storage/snapshot.h"
 #include "util/crc32c.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -182,7 +184,7 @@ void AppendDouble(std::string* out, double v) {
 /// the offset on truncation — partial structs are never produced.
 class ByteReader {
  public:
-  explicit ByteReader(const std::string& buf) : buf_(buf) {}
+  explicit ByteReader(std::string_view buf) : buf_(buf) {}
 
   size_t offset() const { return pos_; }
   size_t remaining() const { return buf_.size() - pos_; }
@@ -205,6 +207,16 @@ class ByteReader {
                     pos_, n, remaining()));
     }
     out->assign(buf_.data() + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status Skip(size_t n, const char* what) {
+    if (n > remaining()) {
+      return Status::Corruption(
+          StrFormat("truncated %s at offset %zu: need %zu bytes, have %zu", what,
+                    pos_, n, remaining()));
+    }
     pos_ += n;
     return Status::OK();
   }
@@ -233,9 +245,11 @@ class ByteReader {
   }
 
  private:
-  const std::string& buf_;
+  std::string_view buf_;
   size_t pos_ = 0;
 };
+
+}  // namespace
 
 /// Read a whole file with checked chunked freads (no size assumptions;
 /// ferror is surfaced as IoError, never a short silent read).
@@ -267,8 +281,6 @@ Result<std::string> ReadFileBytes(const std::string& path) {
   return bytes;
 }
 
-}  // namespace
-
 void SnapshotWriter::AddSection(const std::string& tag, std::string payload) {
   DD_CHECK(tag.size() == 4);
   sections_.emplace_back(tag, std::move(payload));
@@ -291,8 +303,6 @@ std::string SnapshotWriter::Encode() const {
   append_section(kEndTag, "");
   return out;
 }
-
-namespace {
 
 /// Durable write protocol shared by every snapshot producer: temp file,
 /// full write, fsync, atomic rename. A fired short-write failpoint
@@ -336,13 +346,11 @@ Status WriteBytesAtomic(const std::string& bytes, const std::string& path) {
   return Status::OK();
 }
 
-}  // namespace
-
 Status SnapshotWriter::WriteFile(const std::string& path) const {
   return WriteBytesAtomic(Encode(), path);
 }
 
-Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
+Result<SnapshotView> SnapshotView::Parse(std::string_view bytes) {
   ByteReader r(bytes);
   char magic[4];
   DD_RETURN_IF_ERROR(r.ReadBytes(magic, 4, "snapshot magic"));
@@ -355,7 +363,7 @@ Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
     return Status::Corruption(StrFormat("unsupported snapshot version %u", version));
   }
 
-  SnapshotReader reader;
+  SnapshotView view;
   for (;;) {
     size_t section_offset = r.offset();
     std::string tag;
@@ -369,9 +377,10 @@ Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
                     tag.c_str(), section_offset,
                     static_cast<unsigned long long>(len), r.remaining()));
     }
-    std::string payload;
-    DD_RETURN_IF_ERROR(r.ReadString(&payload, static_cast<size_t>(len),
-                                    "section payload"));
+    size_t payload_offset = r.offset();
+    std::string_view payload = bytes.substr(payload_offset,
+                                            static_cast<size_t>(len));
+    DD_RETURN_IF_ERROR(r.Skip(static_cast<size_t>(len), "section payload"));
     uint32_t stored_crc = 0;
     DD_RETURN_IF_ERROR(r.ReadU32(&stored_crc, "section checksum"));
     std::string header = tag;
@@ -395,11 +404,28 @@ Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
       }
       break;
     }
-    if (reader.sections_.count(tag) > 0) {
+    if (view.sections_.count(tag) > 0) {
       return Status::Corruption(StrFormat("duplicate section '%s' at offset %zu",
                                           tag.c_str(), section_offset));
     }
-    reader.sections_.emplace(tag, std::move(payload));
+    view.sections_.emplace(tag, SectionSpan{payload_offset, payload});
+  }
+  return view;
+}
+
+Result<SectionSpan> SnapshotView::Section(const std::string& tag) const {
+  auto it = sections_.find(tag);
+  if (it == sections_.end()) {
+    return Status::NotFound("snapshot has no section '" + tag + "'");
+  }
+  return it->second;
+}
+
+Result<SnapshotReader> SnapshotReader::Parse(std::string bytes) {
+  DD_ASSIGN_OR_RETURN(SnapshotView view, SnapshotView::Parse(bytes));
+  SnapshotReader reader;
+  for (const auto& [tag, span] : view.sections()) {
+    reader.sections_.emplace(tag, std::string(span.payload));
   }
   return reader;
 }
@@ -434,14 +460,35 @@ Status ExpectConsumed(const ByteReader& r, const char* tag) {
 
 std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot) {
   SnapshotWriter writer;
+  SectionLayout layout;
+  auto add_section = [&](const char* tag, std::string payload) {
+    layout.Add(payload.size());
+    writer.AddSection(tag, std::move(payload));
+  };
+  // Binary sections are pad-prefixed against their file offset so their
+  // content is 8-byte-aligned in the file (mmap readers get aligned
+  // arrays); the layout tracker must therefore see every section, in
+  // file order.
+  auto add_aligned = [&](const char* tag, std::string content) {
+    add_section(tag,
+                WithAlignmentPad(layout.NextPayloadOffset(), std::move(content)));
+  };
   if (snapshot.has_graph) {
-    writer.AddSection("GRPH", SerializeGraph(snapshot.graph));
+    if (snapshot.text_graph) {
+      add_section("GRPH", SerializeGraph(snapshot.graph));
+    } else {
+      StringPoolBuilder pool;
+      std::string grbn;
+      EncodeBinaryGraph(snapshot.graph, &pool, &grbn);
+      add_aligned("GRBN", std::move(grbn));
+      add_aligned("DICT", pool.EncodeContent());
+    }
   }
   if (!snapshot.weights.empty()) {
     std::string payload;
     AppendU64(&payload, snapshot.weights.size());
     for (double w : snapshot.weights) AppendDouble(&payload, w);
-    writer.AddSection("WGHT", std::move(payload));
+    add_section("WGHT", std::move(payload));
   }
   if (!snapshot.chains.empty()) {
     std::string payload;
@@ -450,19 +497,19 @@ std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot) {
       AppendU64(&payload, chain.size());
       payload.append(reinterpret_cast<const char*>(chain.data()), chain.size());
     }
-    writer.AddSection("CHNS", std::move(payload));
+    add_section("CHNS", std::move(payload));
   }
   if (!snapshot.counts.empty()) {
     std::string payload;
     AppendU64(&payload, snapshot.counts.size());
     for (uint64_t c : snapshot.counts) AppendU64(&payload, c);
-    writer.AddSection("CNTS", std::move(payload));
+    add_section("CNTS", std::move(payload));
   }
   if (!snapshot.marginals.empty()) {
     std::string payload;
     AppendU64(&payload, snapshot.marginals.size());
     for (double m : snapshot.marginals) AppendDouble(&payload, m);
-    writer.AddSection("MRGN", std::move(payload));
+    add_section("MRGN", std::move(payload));
   }
   if (!snapshot.rng_states.empty()) {
     std::string payload;
@@ -471,7 +518,7 @@ std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot) {
       AppendU64(&payload, st.s0);
       AppendU64(&payload, st.s1);
     }
-    writer.AddSection("RNGS", std::move(payload));
+    add_section("RNGS", std::move(payload));
   }
   if (!snapshot.meta.empty()) {
     std::string payload;
@@ -481,18 +528,38 @@ std::string EncodeGraphSnapshot(const GraphSnapshot& snapshot) {
       payload += value;
       payload += '\n';
     }
-    writer.AddSection("META", std::move(payload));
+    add_section("META", std::move(payload));
   }
   return writer.Encode();
 }
 
 Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
-  DD_ASSIGN_OR_RETURN(SnapshotReader reader, SnapshotReader::Parse(bytes));
+  DD_ASSIGN_OR_RETURN(SnapshotView reader, SnapshotView::Parse(bytes));
   GraphSnapshot snap;
 
-  if (reader.Has("GRPH")) {
-    DD_ASSIGN_OR_RETURN(std::string text, reader.Section("GRPH"));
-    Result<FactorGraph> graph = DeserializeGraph(text);
+  if (reader.Has("GRBN")) {
+    // Binary graph + its string pool. Pads are validated against the
+    // sections' file offsets recorded by the container parse.
+    DD_ASSIGN_OR_RETURN(SectionSpan grbn_span, reader.Section("GRBN"));
+    Result<SectionSpan> dict_span = reader.Section("DICT");
+    if (!dict_span.ok()) {
+      return Status::Corruption("GRBN section without its DICT string pool");
+    }
+    DD_ASSIGN_OR_RETURN(
+        std::string_view dict_content,
+        StripAlignmentPad(dict_span->offset, dict_span->payload));
+    DD_ASSIGN_OR_RETURN(StringPoolView pool, StringPoolView::Parse(dict_content));
+    DD_ASSIGN_OR_RETURN(
+        std::string_view grbn_content,
+        StripAlignmentPad(grbn_span.offset, grbn_span.payload));
+    DD_ASSIGN_OR_RETURN(BinaryGraphView view,
+                        ParseBinaryGraph(grbn_content, pool));
+    DD_ASSIGN_OR_RETURN(snap.graph, GraphFromBinary(view, pool));
+    snap.has_graph = true;
+    snap.text_graph = false;
+  } else if (reader.Has("GRPH")) {
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("GRPH"));
+    Result<FactorGraph> graph = DeserializeGraph(std::string(span.payload));
     if (!graph.ok()) {
       // The payload passed its CRC, so a parse failure means the bytes
       // were written wrong, not flipped — still corruption to a caller.
@@ -501,10 +568,11 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     }
     snap.graph = std::move(*graph);
     snap.has_graph = true;
+    snap.text_graph = true;
   }
   if (reader.Has("WGHT")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("WGHT"));
-    ByteReader r(payload);
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("WGHT"));
+    ByteReader r(span.payload);
     uint64_t count = 0;
     DD_RETURN_IF_ERROR(r.ReadU64(&count, "WGHT count"));
     if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
@@ -517,8 +585,8 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     DD_RETURN_IF_ERROR(ExpectConsumed(r, "WGHT"));
   }
   if (reader.Has("CHNS")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("CHNS"));
-    ByteReader r(payload);
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("CHNS"));
+    ByteReader r(span.payload);
     uint64_t num_chains = 0;
     DD_RETURN_IF_ERROR(r.ReadU64(&num_chains, "CHNS count"));
     // Each chain needs at least its 8-byte length prefix.
@@ -526,7 +594,7 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
       return Status::Corruption(StrFormat("CHNS declares %llu chains in a %zu-byte "
                                           "payload",
                                           static_cast<unsigned long long>(num_chains),
-                                          payload.size()));
+                                          span.payload.size()));
     }
     snap.chains.resize(static_cast<size_t>(num_chains));
     for (auto& chain : snap.chains) {
@@ -546,8 +614,8 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     DD_RETURN_IF_ERROR(ExpectConsumed(r, "CHNS"));
   }
   if (reader.Has("CNTS")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("CNTS"));
-    ByteReader r(payload);
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("CNTS"));
+    ByteReader r(span.payload);
     uint64_t count = 0;
     DD_RETURN_IF_ERROR(r.ReadU64(&count, "CNTS count"));
     if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
@@ -560,8 +628,8 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     DD_RETURN_IF_ERROR(ExpectConsumed(r, "CNTS"));
   }
   if (reader.Has("MRGN")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("MRGN"));
-    ByteReader r(payload);
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("MRGN"));
+    ByteReader r(span.payload);
     uint64_t count = 0;
     DD_RETURN_IF_ERROR(r.ReadU64(&count, "MRGN count"));
     if (r.remaining() % 8 != 0 || count != r.remaining() / 8) {
@@ -576,8 +644,8 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     DD_RETURN_IF_ERROR(ExpectConsumed(r, "MRGN"));
   }
   if (reader.Has("RNGS")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("RNGS"));
-    ByteReader r(payload);
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("RNGS"));
+    ByteReader r(span.payload);
     uint64_t count = 0;
     DD_RETURN_IF_ERROR(r.ReadU64(&count, "RNGS count"));
     if (r.remaining() % 16 != 0 || count != r.remaining() / 16) {
@@ -593,8 +661,8 @@ Result<GraphSnapshot> DecodeGraphSnapshot(const std::string& bytes) {
     DD_RETURN_IF_ERROR(ExpectConsumed(r, "RNGS"));
   }
   if (reader.Has("META")) {
-    DD_ASSIGN_OR_RETURN(std::string payload, reader.Section("META"));
-    for (const std::string& line : Split(payload, '\n')) {
+    DD_ASSIGN_OR_RETURN(SectionSpan span, reader.Section("META"));
+    for (const std::string& line : Split(std::string(span.payload), '\n')) {
       if (line.empty()) continue;
       size_t eq = line.find('=');
       if (eq == std::string::npos) {

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "factor/graph.h"
@@ -67,10 +68,40 @@ class SnapshotWriter {
   std::vector<std::pair<std::string, std::string>> sections_;
 };
 
+/// One section located inside a container buffer. `offset` is the byte
+/// position of the payload within the *file* (after the 12-byte tag+len
+/// header) — binary sections use it to validate their alignment padding,
+/// which is computed against file offsets so that an mmap of the file
+/// (page-aligned base) yields 8-byte-aligned section contents.
+struct SectionSpan {
+  size_t offset = 0;
+  std::string_view payload;
+};
+
+/// Zero-copy container index: validates the full container (magic,
+/// version, per-section CRC32C, terminator, no trailing bytes) and hands
+/// out string_views into the caller's buffer. The buffer must outlive the
+/// view. SnapshotReader below is the owning convenience wrapper;
+/// MappedSnapshot (storage/snapshot.h) parses mmap'ed files with this.
+class SnapshotView {
+ public:
+  /// Any structural defect yields Status::Corruption (with offset),
+  /// never a crash — every read is bounds-checked before dereference.
+  static Result<SnapshotView> Parse(std::string_view bytes);
+
+  bool Has(const std::string& tag) const { return sections_.count(tag) > 0; }
+  Result<SectionSpan> Section(const std::string& tag) const;
+  const std::map<std::string, SectionSpan>& sections() const { return sections_; }
+
+ private:
+  std::map<std::string, SectionSpan> sections_;
+};
+
 class SnapshotReader {
  public:
-  /// Validate a container and index its sections. Any structural defect
-  /// yields Status::Corruption (with offset), never a crash.
+  /// Validate a container and index its sections (copies payloads; use
+  /// SnapshotView to stay zero-copy). Any structural defect yields
+  /// Status::Corruption (with offset), never a crash.
   static Result<SnapshotReader> Parse(std::string bytes);
 
   /// Read `path` fully (checked I/O) and Parse.
@@ -87,7 +118,11 @@ class SnapshotReader {
 /// ---- Typed snapshot of pipeline/learning/inference state --------------
 ///
 /// One container carries any subset of:
-///   GRPH  factor graph (text format above; finalized on load)
+///   GRBN  factor graph, binary columnar format (default; 8-byte-aligned
+///         arrays readable in place — see storage/snapshot.h)
+///   DICT  string pool for GRBN weight descriptions
+///   GRPH  factor graph (text format above; the debugging oracle —
+///         written when text_graph is set, always readable)
 ///   WGHT  dense weight vector (overrides the graph's weights)
 ///   CHNS  per-chain variable assignments (one byte per variable)
 ///   CNTS  per-variable marginal tallies (u64)
@@ -96,6 +131,10 @@ class SnapshotReader {
 ///   META  key=value lines (epoch counters, seeds, learning rate, ...)
 struct GraphSnapshot {
   bool has_graph = false;
+  /// Encode the graph as the line-oriented ddfg text (GRPH) instead of
+  /// the binary GRBN+DICT sections. Decode sets this to whichever form
+  /// the file carried, so decode→encode round-trips are byte-exact.
+  bool text_graph = false;
   FactorGraph graph;
   std::vector<double> weights;
   std::vector<std::vector<uint8_t>> chains;
@@ -120,6 +159,16 @@ Result<double> ParseExactDouble(const std::string& s);
 
 /// stat()-based existence check (shared by checkpoint/recovery code).
 bool FileExists(const std::string& path);
+
+/// Read a whole file with checked chunked freads (ferror surfaces as
+/// IoError, never a silent short read). Honors the kFactorIoRead
+/// failpoint.
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// Durable write protocol shared by every snapshot producer: temp file,
+/// full write, fsync, atomic rename. Honors the kFactorIoWrite (short
+/// write) and kFactorIoRename failpoints.
+Status WriteBytesAtomic(const std::string& bytes, const std::string& path);
 
 }  // namespace dd
 

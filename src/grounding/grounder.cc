@@ -434,7 +434,8 @@ Status Grounder::ApplyEvidence(std::vector<int8_t>* evidence,
           EvMorsel& out = morsels[m];
           for (size_t row = begin; row < end; ++row) {
             if (!ev_table->is_live(static_cast<int64_t>(row))) continue;
-            const Tuple& ev = ev_table->row(static_cast<int64_t>(row));
+            // Zero-copy read of the frozen column arrays.
+            RowRef ev = ev_table->ref(static_cast<int64_t>(row));
             if (ev.size() != n + 1 || ev.at(n).type() != ValueType::kBool) continue;
             Tuple target;
             for (size_t i = 0; i < n; ++i) target.Append(ev.at(i));
@@ -497,7 +498,8 @@ Status Grounder::BuildFactorDrafts(const FactorRuleMeta& meta,
         std::vector<FactorDraft>& out = (*drafts)[m];
         for (size_t row = begin; row < end; ++row) {
           if (!pseudo->is_live(static_cast<int64_t>(row))) continue;
-          const Tuple& grounding = pseudo->row(static_cast<int64_t>(row));
+          // Zero-copy read of the frozen column arrays.
+          RowRef grounding = pseudo->ref(static_cast<int64_t>(row));
 
           // Resolve the head variable. Lookups use find() rather than
           // at(): a miss is an internal invariant violation, and worker
@@ -591,7 +593,7 @@ Status Grounder::AssembleGraph(
     const VarInfo& info = var_info_[v];
     auto table = catalog_->GetTable(info.relation);
     if (!table.ok()) return false;
-    uint64_t h = HashCombine((*table)->row(info.row_id).Hash(),
+    uint64_t h = HashCombine((*table)->RowHash(info.row_id),
                              options_.holdout_seed);
     return (h % 10000) < static_cast<uint64_t>(options_.holdout_fraction * 10000);
   };

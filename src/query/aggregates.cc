@@ -62,7 +62,7 @@ Result<std::vector<Tuple>> GroupBy(const Table& table,
   for (size_t row = 0; row < cap; ++row) {
     int64_t id = static_cast<int64_t>(row);
     if (!table.is_live(id)) continue;
-    const Tuple& t = table.row(id);
+    RowRef t = table.ref(id);
     Tuple key;
     for (int col : group_cols) key.Append(t.at(static_cast<size_t>(col)));
     auto [it, inserted] = groups.try_emplace(key);
@@ -71,7 +71,7 @@ Result<std::vector<Tuple>> GroupBy(const Table& table,
       AggState& state = it->second[a];
       state.count++;
       if (agg_cols[a] < 0) continue;
-      const Value& v = t.at(static_cast<size_t>(agg_cols[a]));
+      const Value v = t.at(static_cast<size_t>(agg_cols[a]));
       if (v.is_null()) continue;
       switch (aggregates[a].func) {
         case AggFunc::kCount:

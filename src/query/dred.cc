@@ -43,6 +43,9 @@ Status IncrementalEngine::Initialize() {
       DD_RETURN_IF_ERROR(evaluator.Evaluate(
           rules_[rid], [&](const Tuple& t) { counts[t] += 1; }, par_));
     }
+    // Known-size re-materialization: size storage and index up front so
+    // the insert loop never rehashes.
+    table->Reserve(counts.size());
     for (const auto& [tuple, count] : counts) {
       if (count > 0) {
         DD_RETURN_IF_ERROR(table->CheckTuple(tuple));

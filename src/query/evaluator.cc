@@ -18,10 +18,12 @@ const JoinIndexCache::SharedIndex* JoinIndexCache::Get(
   for (size_t row = 0; row < cap; ++row) {
     int64_t id = static_cast<int64_t>(row);
     if (!table->is_live(id)) continue;
-    const Tuple& t = table->row(id);  // stable storage while frozen
+    // Refs read the frozen column arrays in place; nothing is copied.
     Tuple key_tuple;
-    for (int pos : positions) key_tuple.Append(t.at(static_cast<size_t>(pos)));
-    index->map[key_tuple].emplace_back(&t, 1);
+    for (int pos : positions) {
+      key_tuple.Append(table->ValueAt(id, static_cast<size_t>(pos)));
+    }
+    index->map[key_tuple].emplace_back(table->ref(id), 1);
   }
   const SharedIndex* out = index.get();
   cache_.emplace(std::move(key), std::move(index));
@@ -161,13 +163,12 @@ const CompiledConjunction::Index& CompiledConjunction::GetIndex(size_t depth) co
     index.built = true;
     return index;
   }
-  plan.source->ForEach([&](const Tuple& t, int64_t count) {
+  plan.source->ForEach([&](const RowRef& t, int64_t count) {
     if (t.size() != plan.terms.size()) return;  // arity mismatch: no match
     Tuple key;
     for (int pos : plan.bound_positions) key.Append(t.at(static_cast<size_t>(pos)));
-    auto owned = std::make_unique<Tuple>(t);
-    index.map[key].emplace_back(owned.get(), count);
-    index.owned.push_back(std::move(owned));
+    // The ref's storage (frozen table or delta-map key) outlives the index.
+    index.map[key].emplace_back(t, count);
   });
   index.built = true;
   return index;
@@ -184,8 +185,7 @@ void CompiledConjunction::PrepareIndexes() const {
   }
 }
 
-const std::vector<std::pair<const Tuple*, int64_t>>*
-CompiledConjunction::TopLevelRows() const {
+const JoinIndexCache::MatchList* CompiledConjunction::TopLevelRows() const {
   if (atoms_.empty() || atoms_[0].all_bound) return nullptr;
   const AtomPlan& plan = atoms_[0];
   const Index& index = GetIndex(0);
@@ -220,7 +220,7 @@ void CompiledConjunction::RunMorsel(size_t begin, size_t end,
   if (rows == nullptr) return;
   if (end > rows->size()) end = rows->size();
   for (size_t i = begin; i < end; ++i) {
-    TryRow(0, *(*rows)[i].first, (*rows)[i].second, slots, 1, emit);
+    TryRow(0, (*rows)[i].first, (*rows)[i].second, slots, 1, emit);
   }
 }
 
@@ -269,11 +269,11 @@ void CompiledConjunction::Recurse(size_t depth, std::vector<Value>& slots, int64
   if (it == index_map.end()) return;
 
   for (const auto& [row, count] : it->second) {
-    TryRow(depth, *row, count, slots, mult, emit);
+    TryRow(depth, row, count, slots, mult, emit);
   }
 }
 
-void CompiledConjunction::TryRow(size_t depth, const Tuple& row, int64_t count,
+void CompiledConjunction::TryRow(size_t depth, const RowRef& row, int64_t count,
                                  std::vector<Value>& slots, int64_t mult,
                                  const BindingEmit& emit) const {
   const AtomPlan& plan = atoms_[depth];

@@ -38,10 +38,11 @@ using BindingEmit = std::function<void(const std::vector<Value>& slots, int64_t 
 /// outlive a mutation of any indexed table.
 class JoinIndexCache {
  public:
+  /// Rows matching one key: zero-copy refs into frozen columnar storage.
+  using MatchList = std::vector<std::pair<RowRef, int64_t>>;
+
   struct SharedIndex {
-    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>,
-                       TupleHash>
-        map;
+    std::unordered_map<Tuple, MatchList, TupleHash> map;
   };
 
   /// Index of `table` on `positions` (built on first request).
@@ -130,26 +131,25 @@ class CompiledConjunction {
     CmpOp op = CmpOp::kEq;
   };
   /// Hash index on an atom's bound positions: key tuple -> matching rows.
+  /// Match lists hold RowRefs into the source's stable storage (columnar
+  /// table rows or delta-map keys), so nothing is copied per row.
   struct Index {
     bool built = false;
     const JoinIndexCache::SharedIndex* shared = nullptr;  // cache-owned
-    std::unordered_map<Tuple, std::vector<std::pair<const Tuple*, int64_t>>, TupleHash>
-        map;
-    // Rows owned here when the source yields temporaries.
-    std::vector<std::unique_ptr<Tuple>> owned;
+    std::unordered_map<Tuple, JoinIndexCache::MatchList, TupleHash> map;
   };
 
   void Recurse(size_t depth, std::vector<Value>& slots, int64_t mult,
                const BindingEmit& emit) const;
   /// Unify one enumerated row at `depth`, check its ready conditions,
   /// and recurse. Shared by Run (all rows) and RunMorsel (a slice).
-  void TryRow(size_t depth, const Tuple& row, int64_t count,
+  void TryRow(size_t depth, const RowRef& row, int64_t count,
               std::vector<Value>& slots, int64_t mult, const BindingEmit& emit) const;
   bool CheckCondition(const ConditionPlan& c, const std::vector<Value>& slots) const;
   const Index& GetIndex(size_t depth) const;
   /// Match list of the first atom's index (key built from constants
   /// only), or nullptr when the first atom is a probe / body is empty.
-  const std::vector<std::pair<const Tuple*, int64_t>>* TopLevelRows() const;
+  const JoinIndexCache::MatchList* TopLevelRows() const;
 
   std::vector<AtomPlan> atoms_;
   std::vector<ConditionPlan> conditions_;

@@ -12,18 +12,26 @@ namespace dd {
 
 /// A signed multiset of tuples; the unit of change in incremental
 /// maintenance. Positive counts are insertions, negative deletions.
-using DeltaSet = std::unordered_map<Tuple, int64_t, TupleHash>;
+/// Transparent hash/eq let table scans probe by RowRef without
+/// materializing a Tuple per row.
+using DeltaSet = std::unordered_map<Tuple, int64_t, TupleHash, TupleEq>;
 
 /// Abstract relation view consumed by the join evaluator. A source yields
-/// (tuple, count) pairs; for ordinary tables counts are always 1 (set
+/// (row, count) pairs; for ordinary tables counts are always 1 (set
 /// semantics), for delta views they are signed.
+///
+/// Rows are handed out as RowRef — a zero-allocation view into columnar
+/// table storage or into a delta-map key. The referenced storage is
+/// stable for the lifetime of the source's frozen round (tables are not
+/// mutated mid-scan, delta-map keys do not move), so the evaluator may
+/// retain the refs in join indexes.
 class TupleSource {
  public:
   virtual ~TupleSource() = default;
 
-  /// Enumerate every tuple with its count (count never 0).
+  /// Enumerate every row with its count (count never 0).
   virtual void ForEach(
-      const std::function<void(const Tuple&, int64_t)>& fn) const = 0;
+      const std::function<void(const RowRef&, int64_t)>& fn) const = 0;
 
   /// Count of a specific tuple (0 if absent).
   virtual int64_t Count(const Tuple& tuple) const = 0;
@@ -39,11 +47,11 @@ class TableSource : public TupleSource {
  public:
   explicit TableSource(const Table* table) : table_(table) {}
 
-  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+  void ForEach(const std::function<void(const RowRef&, int64_t)>& fn) const override {
     size_t n = table_->capacity();
     for (size_t i = 0; i < n; ++i) {
       int64_t id = static_cast<int64_t>(i);
-      if (table_->is_live(id)) fn(table_->row(id), 1);
+      if (table_->is_live(id)) fn(table_->ref(id), 1);
     }
   }
 
@@ -62,9 +70,9 @@ class DeltaSource : public TupleSource {
  public:
   explicit DeltaSource(const DeltaSet* delta) : delta_(delta) {}
 
-  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+  void ForEach(const std::function<void(const RowRef&, int64_t)>& fn) const override {
     for (const auto& [tuple, count] : *delta_) {
-      if (count != 0) fn(tuple, count);
+      if (count != 0) fn(RowRef(&tuple), count);
     }
   }
 
@@ -85,17 +93,21 @@ class OverlaySource : public TupleSource {
   OverlaySource(const Table* table, const DeltaSet* delta)
       : table_(table), delta_(delta) {}
 
-  void ForEach(const std::function<void(const Tuple&, int64_t)>& fn) const override {
+  void ForEach(const std::function<void(const RowRef&, int64_t)>& fn) const override {
     size_t n = table_->capacity();
     for (size_t i = 0; i < n; ++i) {
       int64_t id = static_cast<int64_t>(i);
       if (!table_->is_live(id)) continue;
-      const Tuple& t = table_->row(id);
-      if (Present(t)) fn(t, 1);
+      // A live row has base count 1; present unless the delta drives the
+      // total to zero. Probed by ref — no per-row materialization.
+      RowRef row = table_->ref(id);
+      auto it = delta_->find(row);
+      int64_t d = it == delta_->end() ? 0 : it->second;
+      if (1 + d > 0) fn(row, 1);
     }
     // Tuples introduced purely by the delta.
     for (const auto& [tuple, count] : *delta_) {
-      if (count > 0 && !table_->Contains(tuple)) fn(tuple, 1);
+      if (count > 0 && !table_->Contains(tuple)) fn(RowRef(&tuple), 1);
     }
   }
 

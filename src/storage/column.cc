@@ -1,0 +1,13 @@
+#include "storage/column.h"
+
+#include <bit>
+
+namespace dd {
+
+size_t Bitmap::PopCount() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+}  // namespace dd

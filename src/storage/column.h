@@ -1,0 +1,108 @@
+#ifndef DEEPDIVE_STORAGE_COLUMN_H_
+#define DEEPDIVE_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace dd {
+
+/// Word-addressed liveness bitmap. Replaces std::vector<bool>: Get/Set
+/// compile to a shift+mask on a uint64_t word with no proxy references,
+/// which keeps Scan/is_live cheap and makes the const-read concurrency
+/// contract easy to audit (a reader touches one word, nothing else).
+class Bitmap {
+ public:
+  size_t size() const { return size_; }
+
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i, bool v) {
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void PushBack(bool v) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    ++size_;
+    Set(size_ - 1, v);
+  }
+
+  void Reserve(size_t bits) { words_.reserve(WordsFor(bits)); }
+
+  void Clear() {
+    words_.clear();
+    size_ = 0;
+  }
+
+  /// Number of set bits; O(words).
+  size_t PopCount() const;
+
+  static size_t WordsFor(size_t bits) { return (bits + 63) / 64; }
+  const uint64_t* words() const { return words_.data(); }
+  size_t num_words() const { return words_.size(); }
+
+  size_t MemoryBytes() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t size_ = 0;
+};
+
+/// One column of a table, struct-of-arrays: an 8-byte payload per cell
+/// (Value::payload_bits) plus a 1-byte type tag. The tag per cell — not
+/// per column — is what lets a declared-kString column hold SQL NULLs
+/// (CheckTuple admits them anywhere) and keeps every cell fixed-width, so
+/// a column serializes to two flat arrays an mmap reader can use in place.
+///
+/// Named ColumnVector because `Column` is the schema's {name, type} pair.
+class ColumnVector {
+ public:
+  explicit ColumnVector(ValueType declared) : declared_(declared) {}
+
+  ValueType declared_type() const { return declared_; }
+  size_t size() const { return tags_.size(); }
+
+  void Append(const Value& v) {
+    payload_.push_back(v.payload_bits());
+    tags_.push_back(static_cast<uint8_t>(v.type()));
+  }
+
+  Value at(size_t i) const {
+    return Value::FromRaw(static_cast<ValueType>(tags_[i]), payload_[i]);
+  }
+
+  void Reserve(size_t n) {
+    payload_.reserve(n);
+    tags_.reserve(n);
+  }
+
+  void Clear() {
+    payload_.clear();
+    tags_.clear();
+  }
+
+  /// Flat views for zero-copy scans and snapshot encoding.
+  const uint64_t* payload_data() const { return payload_.data(); }
+  const uint8_t* tag_data() const { return tags_.data(); }
+
+  size_t MemoryBytes() const {
+    return payload_.capacity() * sizeof(uint64_t) + tags_.capacity();
+  }
+
+ private:
+  ValueType declared_;
+  std::vector<uint64_t> payload_;
+  std::vector<uint8_t> tags_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_COLUMN_H_

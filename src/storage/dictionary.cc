@@ -1,0 +1,81 @@
+#include "storage/dictionary.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace dd {
+
+StringDictionary& StringDictionary::Global() {
+  static StringDictionary* dict = new StringDictionary();  // never destroyed
+  return *dict;
+}
+
+StringDictionary::StringDictionary()
+    : chunks_(new std::atomic<Entry*>[kMaxChunks]) {
+  for (size_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+StringDictionary::~StringDictionary() {
+  size_t n = size_.load(std::memory_order_acquire);
+  size_t num_chunks = (n + kChunkSize - 1) >> kChunkBits;
+  for (size_t i = 0; i < num_chunks; ++i) {
+    delete[] chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+uint32_t StringDictionary::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lookup_.find(s);
+  if (it != lookup_.end()) return it->second;
+
+  size_t id = size_.load(std::memory_order_relaxed);
+  assert(id < (size_t{1} << 32) - 1 && "string dictionary id space exhausted");
+  size_t chunk_index = id >> kChunkBits;
+  Entry* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  Entry& e = chunk[id & kChunkMask];
+  e.text.assign(s.data(), s.size());
+  e.hash = Fnv1a(e.text);
+  lookup_.emplace(std::string_view(e.text), static_cast<uint32_t>(id));
+  // Publish: readers that acquire-load size_ >= id+1 see the entry fields.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<uint32_t>(id);
+}
+
+const StringDictionary::Entry& StringDictionary::EntryFor(uint32_t id) const {
+  assert(id < size_.load(std::memory_order_acquire));
+  const Entry* chunk =
+      chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  return chunk[id & kChunkMask];
+}
+
+const std::string& StringDictionary::Get(uint32_t id) const {
+  return EntryFor(id).text;
+}
+
+uint64_t StringDictionary::HashOf(uint32_t id) const {
+  return EntryFor(id).hash;
+}
+
+uint32_t StringDictionary::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lookup_.find(s);
+  return it == lookup_.end() ? kInvalidId : it->second;
+}
+
+size_t StringDictionary::MemoryBytes() const {
+  size_t n = size_.load(std::memory_order_acquire);
+  size_t bytes = 0;
+  for (size_t id = 0; id < n; ++id) {
+    bytes += sizeof(Entry) + EntryFor(static_cast<uint32_t>(id)).text.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace dd

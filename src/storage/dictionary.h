@@ -1,0 +1,101 @@
+#ifndef DEEPDIVE_STORAGE_DICTIONARY_H_
+#define DEEPDIVE_STORAGE_DICTIONARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dd {
+
+/// Process-wide string interning dictionary. Every distinct string the
+/// pipeline touches (mentions, features, entity names, weight keys) is
+/// stored exactly once and addressed by a dense uint32_t id assigned in
+/// first-insertion order. Value carries the id instead of a heap string,
+/// which is what makes it a 16-byte non-allocating tagged union and makes
+/// table columns fixed-width (DESIGN.md §12).
+///
+/// Determinism: ids are handed out under a mutex in strict first-Intern
+/// order, so a deterministic pipeline (and the serial grounding oracle)
+/// observes identical ids run-to-run. Snapshots never persist global ids
+/// directly — encoders remap to snapshot-local first-reference order — so
+/// on-disk bytes stay byte-identical even if a future caller interns from
+/// worker threads in nondeterministic order.
+///
+/// Concurrency: Intern serializes on a mutex; Get/HashOf/size are
+/// lock-free. Entries live in fixed-size chunks that are never moved or
+/// freed, and a release-store of size_ publishes each fully-constructed
+/// entry; readers acquire-load size_ before touching entries, giving a
+/// happens-before edge that keeps the fast path TSan-clean.
+///
+/// Interned strings are never freed: the dictionary models the working
+/// vocabulary of a corpus, which the paper's workloads hold in memory for
+/// the life of the run anyway (features repeat heavily across mentions).
+class StringDictionary {
+ public:
+  static constexpr uint32_t kInvalidId = 0xffffffffu;
+
+  /// The process-global dictionary backing Value::String.
+  static StringDictionary& Global();
+
+  StringDictionary();
+  ~StringDictionary();
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+
+  /// Id for `s`, interning it on first sight. Ids are dense from 0 in
+  /// first-insertion order.
+  uint32_t Intern(std::string_view s);
+
+  /// Text for an id previously returned by Intern. The reference is
+  /// stable for the life of the process (entries are never moved).
+  const std::string& Get(uint32_t id) const;
+
+  /// Precomputed Fnv1a(text) for an interned id; equals Fnv1a(Get(id))
+  /// but costs one load. Value::Hash for strings must match the
+  /// content hash bit-for-bit (map iteration orders depend on it).
+  uint64_t HashOf(uint32_t id) const;
+
+  /// Id for `s` if already interned, kInvalidId otherwise. Takes the
+  /// intern mutex (the lookup map is not safe to read during an Intern).
+  uint32_t Find(std::string_view s) const;
+
+  /// Number of interned strings; ids [0, size()) are valid.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Bytes of text + entry bookkeeping, for RSS accounting in benches.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    uint64_t hash = 0;
+  };
+
+  // 2^16 entries per chunk keeps the chunk directory small (2^16 chunks
+  // covers the full 2^32 id space) while bounding the up-front allocation.
+  static constexpr size_t kChunkBits = 16;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks = size_t{1} << (32 - kChunkBits);
+
+  const Entry& EntryFor(uint32_t id) const;
+
+  // Chunk directory: fixed-size array of atomic pointers so readers never
+  // race a vector reallocation. Chunks are allocated under mu_ and
+  // published with a release store.
+  std::unique_ptr<std::atomic<Entry*>[]> chunks_;
+  std::atomic<size_t> size_{0};
+
+  mutable std::mutex mu_;
+  // Views point into chunk entries, which never move.
+  std::unordered_map<std::string_view, uint32_t> lookup_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STORAGE_DICTIONARY_H_

@@ -1,0 +1,748 @@
+#include "storage/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "storage/tuple.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+// Typed array accessors memcpy little-endian words straight out of the
+// file image; on a big-endian host every word would need a byte swap.
+static_assert(std::endian::native == std::endian::little,
+              "binary snapshot reader assumes a little-endian host");
+
+namespace {
+
+constexpr uint8_t kMaxTypeTag = static_cast<uint8_t>(ValueType::kString);
+constexpr uint8_t kMaxFactorFunc = static_cast<uint8_t>(FactorFunc::kEqual);
+constexpr uint32_t kEmptyProbe = 0xffffffffu;
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// Zero-pad `out` to the next multiple of 8. Valid because every binary
+/// section's *content* starts at an 8-aligned file offset, so offsets
+/// within the content are congruent to file offsets mod 8.
+void PadTo8(std::string* out) {
+  while (out->size() & 7) out->push_back('\0');
+}
+
+/// Bounds-checked forward cursor over section content. Array() never
+/// dereferences — it validates `count * elem_size` bytes exist
+/// (overflow-safe) and records the byte offset, so a malformed count
+/// fails before any accessor can touch memory.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view buf) : buf_(buf) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+  Status U32(uint32_t* out, const char* what) {
+    if (remaining() < 4) return Truncated(what, 4);
+    std::memcpy(out, buf_.data() + pos_, 4);
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status U64(uint64_t* out, const char* what) {
+    if (remaining() < 8) return Truncated(what, 8);
+    std::memcpy(out, buf_.data() + pos_, 8);
+    pos_ += 8;
+    return Status::OK();
+  }
+
+  Status Array(size_t elem_size, uint64_t count, size_t* off_out,
+               const char* what) {
+    if (count > remaining() / elem_size) {
+      return Status::Corruption(
+          StrFormat("truncated %s at offset %zu: need %llu x %zu bytes, have %zu",
+                    what, pos_, static_cast<unsigned long long>(count), elem_size,
+                    remaining()));
+    }
+    *off_out = pos_;
+    pos_ += static_cast<size_t>(count) * elem_size;
+    return Status::OK();
+  }
+
+  Status Pad8(const char* what) {
+    size_t pad = (8 - (pos_ & 7)) & 7;
+    if (pad > remaining()) return Truncated(what, pad);
+    for (size_t i = 0; i < pad; ++i) {
+      if (buf_[pos_ + i] != '\0') {
+        return Status::Corruption(StrFormat("nonzero %s pad byte at offset %zu",
+                                            what, pos_ + i));
+      }
+    }
+    pos_ += pad;
+    return Status::OK();
+  }
+
+  Status Done(const char* what) {
+    if (remaining() != 0) {
+      return Status::Corruption(StrFormat("%zu trailing bytes in %s section",
+                                          remaining(), what));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Truncated(const char* what, size_t need) const {
+    return Status::Corruption(
+        StrFormat("truncated %s at offset %zu: need %zu bytes, have %zu", what,
+                  pos_, need, remaining()));
+  }
+
+  std::string_view buf_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---- Alignment padding --------------------------------------------------
+
+std::string WithAlignmentPad(size_t payload_file_offset, std::string content) {
+  size_t pad = (8 - ((payload_file_offset + 1) & 7)) & 7;
+  std::string out;
+  out.reserve(1 + pad + content.size());
+  out.push_back(static_cast<char>(pad));
+  out.append(pad, '\0');
+  out += content;
+  return out;
+}
+
+Result<std::string_view> StripAlignmentPad(size_t payload_file_offset,
+                                           std::string_view payload) {
+  if (payload.empty()) {
+    return Status::Corruption("aligned section payload missing pad prefix");
+  }
+  size_t expected = (8 - ((payload_file_offset + 1) & 7)) & 7;
+  size_t pad = static_cast<uint8_t>(payload[0]);
+  if (pad != expected) {
+    return Status::Corruption(
+        StrFormat("section pad length %zu does not match file offset %zu "
+                  "(expected %zu)",
+                  pad, payload_file_offset, expected));
+  }
+  if (payload.size() < 1 + pad) {
+    return Status::Corruption("aligned section shorter than its pad");
+  }
+  for (size_t i = 0; i < pad; ++i) {
+    if (payload[1 + i] != '\0') {
+      return Status::Corruption(
+          StrFormat("nonzero alignment pad byte at index %zu", i));
+    }
+  }
+  return payload.substr(1 + pad);
+}
+
+// ---- String pool --------------------------------------------------------
+
+size_t StringPoolBuilder::ProbeFor(std::string_view s) const {
+  size_t mask = ids_by_probe_.size() - 1;
+  size_t pos = std::hash<std::string_view>{}(s) & mask;
+  while (ids_by_probe_[pos] != kEmptyProbe &&
+         strings_[ids_by_probe_[pos]] != s) {
+    pos = (pos + 1) & mask;
+  }
+  return pos;
+}
+
+void StringPoolBuilder::MaybeGrow() {
+  if (ids_by_probe_.empty()) {
+    ids_by_probe_.assign(16, kEmptyProbe);
+    return;
+  }
+  size_t cap = ids_by_probe_.size();
+  if (strings_.size() + 1 <= cap - (cap >> 3)) return;
+  std::vector<uint32_t> old = std::move(ids_by_probe_);
+  ids_by_probe_.assign(cap * 2, kEmptyProbe);
+  size_t mask = ids_by_probe_.size() - 1;
+  for (uint32_t id : old) {
+    if (id == kEmptyProbe) continue;
+    size_t pos = std::hash<std::string_view>{}(strings_[id]) & mask;
+    while (ids_by_probe_[pos] != kEmptyProbe) pos = (pos + 1) & mask;
+    ids_by_probe_[pos] = id;
+  }
+}
+
+uint32_t StringPoolBuilder::IdFor(std::string_view s) {
+  MaybeGrow();
+  size_t pos = ProbeFor(s);
+  if (ids_by_probe_[pos] != kEmptyProbe) return ids_by_probe_[pos];
+  uint32_t id = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  ids_by_probe_[pos] = id;
+  return id;
+}
+
+std::string StringPoolBuilder::EncodeContent() const {
+  uint64_t blob_len = 0;
+  for (const std::string& s : strings_) blob_len += s.size();
+  DD_CHECK(blob_len <= 0xffffffffull);  // offsets are u32
+  std::string out;
+  AppendU64(&out, strings_.size());
+  AppendU64(&out, blob_len);
+  uint32_t off = 0;
+  for (const std::string& s : strings_) {
+    AppendU32(&out, off);
+    off += static_cast<uint32_t>(s.size());
+  }
+  AppendU32(&out, off);
+  PadTo8(&out);
+  for (const std::string& s : strings_) out += s;
+  return out;
+}
+
+Result<StringPoolView> StringPoolView::Parse(std::string_view content) {
+  Cursor c(content);
+  uint64_t count = 0, blob_len = 0;
+  DD_RETURN_IF_ERROR(c.U64(&count, "DICT count"));
+  DD_RETURN_IF_ERROR(c.U64(&blob_len, "DICT blob length"));
+  if (count > 0xffffffffull || blob_len > 0xffffffffull) {
+    return Status::Corruption("DICT counts exceed u32 range");
+  }
+  size_t offsets_off = 0, blob_off = 0;
+  DD_RETURN_IF_ERROR(c.Array(4, count + 1, &offsets_off, "DICT offsets"));
+  DD_RETURN_IF_ERROR(c.Pad8("DICT"));
+  DD_RETURN_IF_ERROR(c.Array(1, blob_len, &blob_off, "DICT blob"));
+  DD_RETURN_IF_ERROR(c.Done("DICT"));
+
+  StringPoolView pool;
+  pool.count_ = static_cast<size_t>(count);
+  pool.offsets_ = content.data() + offsets_off;
+  pool.blob_ = content.substr(blob_off, static_cast<size_t>(blob_len));
+  uint32_t prev = pool.OffsetAt(0);
+  if (prev != 0) return Status::Corruption("DICT offsets must start at 0");
+  for (size_t i = 1; i <= pool.count_; ++i) {
+    uint32_t cur = pool.OffsetAt(i);
+    if (cur < prev) return Status::Corruption("DICT offsets not monotone");
+    prev = cur;
+  }
+  if (prev != blob_len) {
+    return Status::Corruption("DICT final offset does not equal blob length");
+  }
+  return pool;
+}
+
+// ---- Binary factor graph (GRBN) -----------------------------------------
+
+void EncodeBinaryGraph(const FactorGraph& graph, StringPoolBuilder* pool,
+                       std::string* out) {
+  const size_t num_vars = graph.num_variables();
+  const size_t num_weights = graph.num_weights();
+  const size_t num_factors = graph.num_factors();
+  const size_t num_literals = graph.num_edges();
+  size_t num_evidence = 0;
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    if (graph.is_evidence(v)) ++num_evidence;
+  }
+
+  AppendU64(out, num_vars);
+  AppendU64(out, num_evidence);
+  AppendU64(out, num_weights);
+  AppendU64(out, num_factors);
+  AppendU64(out, num_literals);
+  for (uint32_t v = 0; v < num_vars; ++v) {
+    if (!graph.is_evidence(v)) continue;
+    AppendU64(out, static_cast<uint64_t>(v) |
+                       (graph.evidence_value(v) ? (uint64_t{1} << 32) : 0));
+  }
+  for (uint32_t w = 0; w < num_weights; ++w) {
+    AppendU64(out, std::bit_cast<uint64_t>(graph.weight_value(w)));
+  }
+  for (uint32_t w = 0; w < num_weights; ++w) {
+    AppendU32(out, pool->IdFor(graph.weight(w).description));
+  }
+  PadTo8(out);
+  for (uint32_t w = 0; w < num_weights; ++w) {
+    out->push_back(graph.weight(w).is_fixed ? 1 : 0);
+  }
+  PadTo8(out);
+  for (uint32_t f = 0; f < num_factors; ++f) {
+    out->push_back(static_cast<char>(graph.factor_func(f)));
+  }
+  PadTo8(out);
+  for (uint32_t f = 0; f < num_factors; ++f) {
+    AppendU32(out, graph.factor_weight(f));
+  }
+  PadTo8(out);
+  uint64_t off = 0;
+  AppendU64(out, 0);
+  for (uint32_t f = 0; f < num_factors; ++f) {
+    size_t arity = 0;
+    graph.factor_literals(f, &arity);
+    off += arity;
+    AppendU64(out, off);
+  }
+  for (uint32_t f = 0; f < num_factors; ++f) {
+    size_t arity = 0;
+    const Literal* lits = graph.factor_literals(f, &arity);
+    for (size_t i = 0; i < arity; ++i) {
+      AppendU64(out, static_cast<uint64_t>(lits[i].var) |
+                         (lits[i].is_positive ? (uint64_t{1} << 32) : 0));
+    }
+  }
+}
+
+Result<BinaryGraphView> ParseBinaryGraph(std::string_view content,
+                                         const StringPoolView& pool) {
+  BinaryGraphView v;
+  v.content = content;
+  Cursor c(content);
+  DD_RETURN_IF_ERROR(c.U64(&v.num_variables, "GRBN variable count"));
+  DD_RETURN_IF_ERROR(c.U64(&v.num_evidence, "GRBN evidence count"));
+  DD_RETURN_IF_ERROR(c.U64(&v.num_weights, "GRBN weight count"));
+  DD_RETURN_IF_ERROR(c.U64(&v.num_factors, "GRBN factor count"));
+  DD_RETURN_IF_ERROR(c.U64(&v.num_literals, "GRBN literal count"));
+  if (v.num_variables > 0xffffffffull || v.num_weights > 0xffffffffull ||
+      v.num_factors > 0xffffffffull) {
+    return Status::Corruption("GRBN counts exceed u32 id range");
+  }
+  if (v.num_evidence > v.num_variables) {
+    return Status::Corruption("GRBN declares more evidence than variables");
+  }
+  DD_RETURN_IF_ERROR(c.Array(8, v.num_evidence, &v.evidence_off, "GRBN evidence"));
+  DD_RETURN_IF_ERROR(
+      c.Array(8, v.num_weights, &v.weight_values_off, "GRBN weight values"));
+  DD_RETURN_IF_ERROR(
+      c.Array(4, v.num_weights, &v.weight_desc_off, "GRBN weight descs"));
+  DD_RETURN_IF_ERROR(c.Pad8("GRBN"));
+  DD_RETURN_IF_ERROR(
+      c.Array(1, v.num_weights, &v.weight_fixed_off, "GRBN weight flags"));
+  DD_RETURN_IF_ERROR(c.Pad8("GRBN"));
+  DD_RETURN_IF_ERROR(
+      c.Array(1, v.num_factors, &v.factor_funcs_off, "GRBN factor funcs"));
+  DD_RETURN_IF_ERROR(c.Pad8("GRBN"));
+  DD_RETURN_IF_ERROR(
+      c.Array(4, v.num_factors, &v.factor_weights_off, "GRBN factor weights"));
+  DD_RETURN_IF_ERROR(c.Pad8("GRBN"));
+  DD_RETURN_IF_ERROR(c.Array(8, v.num_factors + 1, &v.literal_offsets_off,
+                             "GRBN literal offsets"));
+  DD_RETURN_IF_ERROR(c.Array(8, v.num_literals, &v.literals_off, "GRBN literals"));
+  DD_RETURN_IF_ERROR(c.Done("GRBN"));
+
+  // Semantic validation: every id in range, evidence sorted, CSR
+  // monotone, flag/spare bits zero.
+  uint64_t prev_var = 0;
+  for (size_t i = 0; i < v.num_evidence; ++i) {
+    uint64_t word = v.EvidenceWord(i);
+    uint64_t var = word & 0xffffffffull;
+    if ((word >> 33) != 0) {
+      return Status::Corruption("GRBN evidence word has nonzero spare bits");
+    }
+    if (var >= v.num_variables) {
+      return Status::Corruption("GRBN evidence variable out of range");
+    }
+    if (i > 0 && var <= prev_var) {
+      return Status::Corruption("GRBN evidence not sorted by variable id");
+    }
+    prev_var = var;
+  }
+  for (size_t w = 0; w < v.num_weights; ++w) {
+    uint8_t fixed = static_cast<uint8_t>(content[v.weight_fixed_off + w]);
+    if (fixed > 1) {
+      return Status::Corruption("GRBN weight fixed flag outside {0,1}");
+    }
+    if (v.WeightDescId(w) >= pool.size()) {
+      return Status::Corruption("GRBN weight description id out of pool range");
+    }
+  }
+  for (size_t f = 0; f < v.num_factors; ++f) {
+    if (static_cast<uint8_t>(content[v.factor_funcs_off + f]) > kMaxFactorFunc) {
+      return Status::Corruption("GRBN unknown factor function");
+    }
+    if (v.FactorWeight(f) >= v.num_weights) {
+      return Status::Corruption("GRBN factor weight id out of range");
+    }
+  }
+  if (v.LiteralOffset(0) != 0) {
+    return Status::Corruption("GRBN literal offsets must start at 0");
+  }
+  for (size_t f = 0; f < v.num_factors; ++f) {
+    if (v.LiteralOffset(f + 1) < v.LiteralOffset(f)) {
+      return Status::Corruption("GRBN literal offsets not monotone");
+    }
+  }
+  if (v.LiteralOffset(v.num_factors) != v.num_literals) {
+    return Status::Corruption(
+        "GRBN final literal offset does not equal literal count");
+  }
+  for (size_t i = 0; i < v.num_literals; ++i) {
+    uint64_t word = v.LiteralWord(i);
+    if ((word >> 33) != 0) {
+      return Status::Corruption("GRBN literal word has nonzero spare bits");
+    }
+    if ((word & 0xffffffffull) >= v.num_variables) {
+      return Status::Corruption("GRBN literal variable out of range");
+    }
+  }
+  return v;
+}
+
+Result<FactorGraph> GraphFromBinary(const BinaryGraphView& view,
+                                    const StringPoolView& pool) {
+  FactorGraph graph;
+  size_t e = 0;
+  for (uint64_t v = 0; v < view.num_variables; ++v) {
+    if (e < view.num_evidence &&
+        (view.EvidenceWord(e) & 0xffffffffull) == v) {
+      graph.AddVariable(true, (view.EvidenceWord(e) >> 32) & 1);
+      ++e;
+    } else {
+      graph.AddVariable();
+    }
+  }
+  for (size_t w = 0; w < view.num_weights; ++w) {
+    graph.AddWeight(view.WeightValue(w), view.WeightFixed(w),
+                    std::string(pool.String(view.WeightDescId(w))));
+  }
+  for (size_t f = 0; f < view.num_factors; ++f) {
+    std::vector<Literal> literals;
+    uint64_t begin = view.LiteralOffset(f);
+    uint64_t end = view.LiteralOffset(f + 1);
+    literals.reserve(static_cast<size_t>(end - begin));
+    for (uint64_t i = begin; i < end; ++i) {
+      uint64_t word = view.LiteralWord(static_cast<size_t>(i));
+      literals.push_back(Literal{static_cast<uint32_t>(word & 0xffffffffull),
+                                 ((word >> 32) & 1) != 0});
+    }
+    Status st = graph.AddFactor(view.FactorFuncAt(f), view.FactorWeight(f),
+                                std::move(literals));
+    if (!st.ok()) {
+      // The section passed CRC + structural checks, so a rejected factor
+      // (e.g. wrong kEqual arity) means bad written bytes — corruption
+      // to the caller.
+      return Status::Corruption("GRBN factor rejected: " + st.ToString());
+    }
+  }
+  Status st = graph.Finalize();
+  if (!st.ok()) {
+    return Status::Corruption("GRBN graph failed to finalize: " + st.ToString());
+  }
+  return graph;
+}
+
+// ---- Catalog snapshot (COLS) --------------------------------------------
+
+std::string EncodeCatalogSnapshot(const Catalog& catalog) {
+  StringPoolBuilder pool;
+  std::string cols;
+  std::vector<std::string> names = catalog.TableNames();  // sorted
+
+  AppendU64(&cols, names.size());
+  for (const std::string& name : names) {
+    const Table* table = *catalog.GetTable(name);
+    AppendU64(&cols, table->capacity());
+    AppendU32(&cols, pool.IdFor(name));
+    const Schema& schema = table->schema();
+    AppendU32(&cols, static_cast<uint32_t>(schema.num_columns()));
+    for (size_t i = 0; i < schema.num_columns(); ++i) {
+      AppendU32(&cols, pool.IdFor(schema.column(i).name));
+      AppendU32(&cols, static_cast<uint32_t>(schema.column(i).type));
+    }
+  }
+  for (const std::string& name : names) {
+    const Table* table = *catalog.GetTable(name);
+    const size_t rows = table->capacity();
+    const Bitmap& live = table->live_bitmap();
+    for (size_t w = 0; w < Bitmap::WordsFor(rows); ++w) {
+      AppendU64(&cols, live.words()[w]);
+    }
+    for (size_t r = 0; r < rows; ++r) {
+      AppendU64(&cols, table->RowHash(static_cast<int64_t>(r)));
+    }
+    for (size_t col = 0; col < table->schema().num_columns(); ++col) {
+      const ColumnVector& cv = table->column(col);
+      for (size_t r = 0; r < rows; ++r) {
+        const Value v = cv.at(r);
+        // String payloads are remapped from process-global dictionary
+        // ids to snapshot-local pool ids so the bytes are deterministic
+        // regardless of interleaved interning elsewhere.
+        AppendU64(&cols, v.type() == ValueType::kString
+                             ? pool.IdFor(v.AsString())
+                             : v.payload_bits());
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        cols.push_back(static_cast<char>(cv.at(r).type()));
+      }
+      PadTo8(&cols);
+    }
+  }
+
+  SnapshotWriter writer;
+  SectionLayout layout;
+  auto add_aligned = [&](const char* tag, std::string content) {
+    std::string payload =
+        WithAlignmentPad(layout.NextPayloadOffset(), std::move(content));
+    layout.Add(payload.size());
+    writer.AddSection(tag, std::move(payload));
+  };
+  // COLS first: its encode populates the pool, but DICT's *file offset*
+  // is only known once the COLS payload length is fixed.
+  add_aligned("COLS", std::move(cols));
+  add_aligned("DICT", pool.EncodeContent());
+  return writer.Encode();
+}
+
+Status WriteCatalogSnapshot(const Catalog& catalog, const std::string& path) {
+  return WriteBytesAtomic(EncodeCatalogSnapshot(catalog), path);
+}
+
+Result<CatalogView> ParseCatalogSection(std::string_view cols_content,
+                                        const StringPoolView& pool) {
+  CatalogView out;
+  Cursor c(cols_content);
+  uint64_t num_tables = 0;
+  DD_RETURN_IF_ERROR(c.U64(&num_tables, "COLS table count"));
+  // Each directory entry is at least 16 bytes; cheap pre-bound so a
+  // flipped count cannot drive a near-infinite loop.
+  if (num_tables > cols_content.size() / 16) {
+    return Status::Corruption("COLS table count exceeds payload capacity");
+  }
+  std::string_view prev_name;
+  for (uint64_t t = 0; t < num_tables; ++t) {
+    MappedTableView table;
+    table.content = cols_content;
+    uint32_t name_id = 0, num_columns = 0;
+    DD_RETURN_IF_ERROR(c.U64(&table.num_rows, "COLS row count"));
+    DD_RETURN_IF_ERROR(c.U32(&name_id, "COLS table name"));
+    DD_RETURN_IF_ERROR(c.U32(&num_columns, "COLS column count"));
+    if (name_id >= pool.size()) {
+      return Status::Corruption("COLS table name id out of pool range");
+    }
+    table.name = pool.String(name_id);
+    if (table.name.empty()) {
+      return Status::Corruption("COLS table with empty name");
+    }
+    if (t > 0 && table.name <= prev_name) {
+      return Status::Corruption("COLS tables not sorted by name");
+    }
+    prev_name = table.name;
+    if (num_columns > cols_content.size() / 8) {
+      return Status::Corruption("COLS column count exceeds payload capacity");
+    }
+    table.columns.reserve(num_columns);
+    for (uint32_t i = 0; i < num_columns; ++i) {
+      MappedColumnView col;
+      uint32_t col_name_id = 0, type = 0;
+      DD_RETURN_IF_ERROR(c.U32(&col_name_id, "COLS column name"));
+      DD_RETURN_IF_ERROR(c.U32(&type, "COLS column type"));
+      if (col_name_id >= pool.size()) {
+        return Status::Corruption("COLS column name id out of pool range");
+      }
+      if (type > kMaxTypeTag) {
+        return Status::Corruption("COLS column type out of range");
+      }
+      col.name = pool.String(col_name_id);
+      col.declared_type = static_cast<ValueType>(type);
+      table.columns.push_back(col);
+    }
+    out.tables.push_back(std::move(table));
+  }
+  for (MappedTableView& table : out.tables) {
+    const uint64_t rows = table.num_rows;
+    DD_RETURN_IF_ERROR(
+        c.Array(8, Bitmap::WordsFor(rows), &table.live_off, "COLS liveness"));
+    DD_RETURN_IF_ERROR(c.Array(8, rows, &table.hashes_off, "COLS row hashes"));
+    for (MappedColumnView& col : table.columns) {
+      DD_RETURN_IF_ERROR(c.Array(8, rows, &col.payload_off, "COLS payloads"));
+      DD_RETURN_IF_ERROR(c.Array(1, rows, &col.tags_off, "COLS tags"));
+      DD_RETURN_IF_ERROR(c.Pad8("COLS"));
+    }
+  }
+  DD_RETURN_IF_ERROR(c.Done("COLS"));
+
+  // Cell-level validation: liveness spare bits zero, tags in range,
+  // payloads consistent with their tag.
+  for (const MappedTableView& table : out.tables) {
+    const size_t rows = static_cast<size_t>(table.num_rows);
+    if ((rows & 63) != 0) {
+      uint64_t last;
+      std::memcpy(&last,
+                  table.content.data() + table.live_off + 8 * (rows >> 6), 8);
+      if ((last >> (rows & 63)) != 0) {
+        return Status::Corruption("COLS liveness bitmap has spare bits set");
+      }
+    }
+    for (size_t col = 0; col < table.columns.size(); ++col) {
+      for (size_t r = 0; r < rows; ++r) {
+        uint8_t tag = table.CellTag(col, r);
+        uint64_t payload = table.CellPayload(col, r);
+        if (tag > kMaxTypeTag) {
+          return Status::Corruption("COLS cell tag out of range");
+        }
+        switch (static_cast<ValueType>(tag)) {
+          case ValueType::kNull:
+            if (payload != 0) {
+              return Status::Corruption("COLS null cell with nonzero payload");
+            }
+            break;
+          case ValueType::kBool:
+            if (payload > 1) {
+              return Status::Corruption("COLS bool cell outside {0,1}");
+            }
+            break;
+          case ValueType::kString:
+            if (payload >= pool.size()) {
+              return Status::Corruption("COLS string id out of pool range");
+            }
+            break;
+          default:
+            break;  // int/double: any 8 bytes are valid
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Status LoadCatalogFromViews(const CatalogView& view, const StringPoolView& pool,
+                            Catalog* catalog) {
+  for (const MappedTableView& tv : view.tables) {
+    std::vector<Column> columns;
+    columns.reserve(tv.columns.size());
+    for (const MappedColumnView& cv : tv.columns) {
+      columns.push_back(Column{std::string(cv.name), cv.declared_type});
+    }
+    DD_ASSIGN_OR_RETURN(
+        Table * table,
+        catalog->CreateTable(std::string(tv.name), Schema(std::move(columns))));
+    const size_t rows = static_cast<size_t>(tv.num_rows);
+    table->Reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      Tuple tuple;
+      for (size_t col = 0; col < tv.columns.size(); ++col) {
+        ValueType tag = static_cast<ValueType>(tv.CellTag(col, r));
+        uint64_t payload = tv.CellPayload(col, r);
+        tuple.Append(tag == ValueType::kString
+                         ? Value::String(pool.String(
+                               static_cast<uint32_t>(payload)))
+                         : Value::FromRaw(tag, payload));
+      }
+      // Stored hashes are content-based (string cells hash their text),
+      // so they are portable across processes; a mismatch means the
+      // arrays and the hash column disagree.
+      if (tuple.Hash() != tv.RowHash(r)) {
+        return Status::Corruption(
+            StrFormat("row hash mismatch in table %s at row %zu",
+                      std::string(tv.name).c_str(), r));
+      }
+      DD_RETURN_IF_ERROR(table->RestoreRow(tuple, tv.RowLive(r)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadCatalogSnapshot(const std::string& bytes, Catalog* catalog) {
+  DD_ASSIGN_OR_RETURN(SnapshotView container, SnapshotView::Parse(bytes));
+  DD_ASSIGN_OR_RETURN(SectionSpan dict_span, container.Section("DICT"));
+  DD_ASSIGN_OR_RETURN(std::string_view dict_content,
+                      StripAlignmentPad(dict_span.offset, dict_span.payload));
+  DD_ASSIGN_OR_RETURN(StringPoolView pool, StringPoolView::Parse(dict_content));
+  DD_ASSIGN_OR_RETURN(SectionSpan cols_span, container.Section("COLS"));
+  DD_ASSIGN_OR_RETURN(std::string_view cols_content,
+                      StripAlignmentPad(cols_span.offset, cols_span.payload));
+  DD_ASSIGN_OR_RETURN(CatalogView view, ParseCatalogSection(cols_content, pool));
+  return LoadCatalogFromViews(view, pool, catalog);
+}
+
+Status LoadCatalogSnapshotFile(const std::string& path, Catalog* catalog) {
+  DD_ASSIGN_OR_RETURN(std::string bytes, ReadFileBytes(path));
+  return LoadCatalogSnapshot(bytes, catalog);
+}
+
+// ---- Mapped snapshots ---------------------------------------------------
+
+MappedSnapshot& MappedSnapshot::operator=(MappedSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    heap_ = std::move(other.heap_);
+    bytes_ = std::exchange(other.bytes_, std::string_view());
+    view_ = std::move(other.view_);
+  }
+  return *this;
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+}
+
+Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
+  Status injected;
+  DD_FAILPOINT(failpoints::kFactorIoRead, &injected);
+  if (!injected.ok()) return injected;
+
+  MappedSnapshot snap;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* base = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                          MAP_PRIVATE, fd, 0);
+      if (base != MAP_FAILED) {
+        snap.map_base_ = base;
+        snap.map_len_ = static_cast<size_t>(st.st_size);
+        snap.bytes_ = std::string_view(static_cast<const char*>(base),
+                                       snap.map_len_);
+      }
+    }
+    ::close(fd);
+  }
+  if (snap.map_base_ == nullptr) {
+    // Heap fallback into an 8-byte-aligned buffer so section contents
+    // keep the alignment the pads establish relative to file offsets.
+    DD_ASSIGN_OR_RETURN(std::string data, ReadFileBytes(path));
+    snap.heap_ = std::make_unique<uint64_t[]>((data.size() + 7) / 8);
+    std::memcpy(snap.heap_.get(), data.data(), data.size());
+    snap.bytes_ = std::string_view(
+        reinterpret_cast<const char*>(snap.heap_.get()), data.size());
+  }
+  DD_ASSIGN_OR_RETURN(snap.view_, SnapshotView::Parse(snap.bytes_));
+  return snap;
+}
+
+Result<std::string_view> MappedSnapshot::SectionContent(
+    const std::string& tag) const {
+  DD_ASSIGN_OR_RETURN(SectionSpan span, view_.Section(tag));
+  return StripAlignmentPad(span.offset, span.payload);
+}
+
+Result<StringPoolView> MappedSnapshot::Pool() const {
+  DD_ASSIGN_OR_RETURN(std::string_view content, SectionContent("DICT"));
+  return StringPoolView::Parse(content);
+}
+
+Result<BinaryGraphView> MappedSnapshot::Graph(const StringPoolView& pool) const {
+  DD_ASSIGN_OR_RETURN(std::string_view content, SectionContent("GRBN"));
+  return ParseBinaryGraph(content, pool);
+}
+
+Result<CatalogView> MappedSnapshot::Tables(const StringPoolView& pool) const {
+  DD_ASSIGN_OR_RETURN(std::string_view content, SectionContent("COLS"));
+  return ParseCatalogSection(content, pool);
+}
+
+}  // namespace dd

@@ -1,8 +1,30 @@
 #include "storage/table.h"
 
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
 #include "util/string_util.h"
 
 namespace dd {
+
+namespace {
+constexpr size_t kMinBuckets = 16;
+
+// Grow when num_rows_ exceeds 7/8 of the bucket count: cheap shift math,
+// and probes stay short because the index never removes entries.
+inline bool OverLoadFactor(size_t rows, size_t buckets) {
+  return rows + 1 > buckets - (buckets >> 3);
+}
+}  // namespace
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.emplace_back(schema_.column(i).type);
+  }
+}
 
 Status Table::CheckTuple(const Tuple& tuple) const {
   if (tuple.size() != schema_.num_columns()) {
@@ -23,36 +45,120 @@ Status Table::CheckTuple(const Tuple& tuple) const {
   return Status::OK();
 }
 
-Result<std::pair<int64_t, bool>> Table::Insert(Tuple tuple) {
-  DD_RETURN_IF_ERROR(CheckTuple(tuple));
-  return InsertUnchecked(std::move(tuple));
+bool Table::RowEqualsTuple(int64_t id, const Tuple& tuple) const {
+  if (tuple.size() != columns_.size()) return false;
+  size_t r = static_cast<size_t>(id);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    if (!(columns_[c].at(r) == tuple.at(c))) return false;
+  }
+  return true;
 }
 
-std::pair<int64_t, bool> Table::InsertUnchecked(Tuple tuple) {
-  auto it = index_.find(tuple);
-  if (it != index_.end()) {
-    int64_t id = it->second;
-    if (!live_[static_cast<size_t>(id)]) {
-      live_[static_cast<size_t>(id)] = true;
-      ++live_count_;
-      return {id, true};
+size_t Table::ProbeBucket(uint64_t h, const Tuple& tuple) const {
+  size_t mask = buckets_.size() - 1;
+  size_t pos = static_cast<size_t>(h) & mask;
+  while (true) {
+    int64_t r = buckets_[pos];
+    if (r < 0) return pos;
+    if (hashes_[static_cast<size_t>(r)] == h && RowEqualsTuple(r, tuple)) {
+      return pos;
     }
-    return {id, false};
+    pos = (pos + 1) & mask;
   }
-  int64_t id = static_cast<int64_t>(rows_.size());
-  index_.emplace(tuple, id);
-  rows_.push_back(std::move(tuple));
-  live_.push_back(true);
+}
+
+void Table::Rehash(size_t want) {
+  size_t n = std::bit_ceil(std::max(want, kMinBuckets));
+  if (n <= buckets_.size()) return;
+  buckets_.assign(n, -1);
+  size_t mask = n - 1;
+  for (size_t r = 0; r < num_rows_; ++r) {
+    size_t pos = static_cast<size_t>(hashes_[r]) & mask;
+    while (buckets_[pos] >= 0) pos = (pos + 1) & mask;
+    buckets_[pos] = static_cast<int64_t>(r);
+  }
+}
+
+void Table::MaybeGrow() {
+  if (buckets_.empty()) {
+    Rehash(kMinBuckets);
+  } else if (OverLoadFactor(num_rows_, buckets_.size())) {
+    Rehash(buckets_.size() * 2);
+  }
+}
+
+void Table::Reserve(size_t rows) {
+  for (ColumnVector& col : columns_) col.Reserve(rows);
+  hashes_.reserve(rows);
+  live_.Reserve(rows);
+  // Size buckets so `rows` inserts stay under the load factor.
+  Rehash(rows + (rows >> 2));
+}
+
+Result<std::pair<int64_t, bool>> Table::Insert(Tuple tuple) {
+  DD_RETURN_IF_ERROR(CheckTuple(tuple));
+  return InsertUnchecked(tuple);
+}
+
+std::pair<int64_t, bool> Table::InsertUnchecked(const Tuple& tuple) {
+  assert(tuple.size() == schema_.num_columns() &&
+         "InsertUnchecked arity must match the schema");
+  uint64_t h = tuple.Hash();  // hashed exactly once per insert
+  MaybeGrow();
+  size_t pos = ProbeBucket(h, tuple);
+  int64_t existing = buckets_[pos];
+  if (existing >= 0) {
+    if (!live_.Get(static_cast<size_t>(existing))) {
+      live_.Set(static_cast<size_t>(existing), true);
+      ++live_count_;
+      return {existing, true};
+    }
+    return {existing, false};
+  }
+  int64_t id = static_cast<int64_t>(num_rows_);
+  buckets_[pos] = id;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].Append(tuple.at(c));
+  }
+  hashes_.push_back(h);
+  live_.PushBack(true);
+  ++num_rows_;
   ++live_count_;
   return {id, true};
 }
 
+Status Table::RestoreRow(const Tuple& tuple, bool live) {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::Corruption(StrFormat("restored row has %zu cells, table %s "
+                                        "has %zu columns",
+                                        tuple.size(), name_.c_str(),
+                                        schema_.num_columns()));
+  }
+  uint64_t h = tuple.Hash();
+  MaybeGrow();
+  size_t pos = ProbeBucket(h, tuple);
+  if (buckets_[pos] >= 0) {
+    return Status::Corruption("duplicate row in snapshot for table " + name_ +
+                              ": " + tuple.ToString());
+  }
+  buckets_[pos] = static_cast<int64_t>(num_rows_);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].Append(tuple.at(c));
+  }
+  hashes_.push_back(h);
+  live_.PushBack(live);
+  ++num_rows_;
+  if (live) ++live_count_;
+  return Status::OK();
+}
+
 bool Table::Erase(const Tuple& tuple) {
-  auto it = index_.find(tuple);
-  if (it == index_.end()) return false;
-  size_t id = static_cast<size_t>(it->second);
-  if (!live_[id]) return false;
-  live_[id] = false;
+  if (buckets_.empty()) return false;
+  size_t pos = ProbeBucket(tuple.Hash(), tuple);
+  int64_t id = buckets_[pos];
+  if (id < 0) return false;
+  if (!live_.Get(static_cast<size_t>(id))) return false;
+  live_.Set(static_cast<size_t>(id), false);
   --live_count_;
   return true;
 }
@@ -60,31 +166,52 @@ bool Table::Erase(const Tuple& tuple) {
 bool Table::Contains(const Tuple& tuple) const { return Find(tuple) >= 0; }
 
 int64_t Table::Find(const Tuple& tuple) const {
-  auto it = index_.find(tuple);
-  if (it == index_.end()) return -1;
-  if (!live_[static_cast<size_t>(it->second)]) return -1;
-  return it->second;
+  int64_t id = FindIncludingDeleted(tuple);
+  if (id < 0 || !live_.Get(static_cast<size_t>(id))) return -1;
+  return id;
 }
 
 int64_t Table::FindIncludingDeleted(const Tuple& tuple) const {
-  auto it = index_.find(tuple);
-  return it == index_.end() ? -1 : it->second;
+  if (buckets_.empty()) return -1;
+  return buckets_[ProbeBucket(tuple.Hash(), tuple)];
+}
+
+Tuple Table::row(int64_t id) const {
+  std::vector<Value> values;
+  values.reserve(columns_.size());
+  size_t r = static_cast<size_t>(id);
+  for (const ColumnVector& col : columns_) values.push_back(col.at(r));
+  return Tuple(std::move(values));
 }
 
 std::vector<Tuple> Table::Scan() const {
   std::vector<Tuple> out;
   out.reserve(live_count_);
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    if (live_[i]) out.push_back(rows_[i]);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    if (live_.Get(i)) out.push_back(row(static_cast<int64_t>(i)));
   }
   return out;
 }
 
 void Table::Clear() {
-  rows_.clear();
-  live_.clear();
-  index_.clear();
+  for (ColumnVector& col : columns_) col.Clear();
+  live_.Clear();
+  hashes_.clear();
+  buckets_.clear();
+  num_rows_ = 0;
   live_count_ = 0;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = live_.MemoryBytes() + hashes_.capacity() * sizeof(uint64_t) +
+                 buckets_.capacity() * sizeof(int64_t);
+  for (const ColumnVector& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
+Tuple RowRef::ToTuple() const {
+  if (tuple_) return *tuple_;
+  return table_->row(row_);
 }
 
 }  // namespace dd

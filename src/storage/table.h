@@ -3,9 +3,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "storage/column.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 #include "util/result.h"
@@ -13,11 +13,23 @@
 
 namespace dd {
 
+class RowRef;
+
 /// An in-memory relation with set semantics (datalog's natural model).
-/// Rows are stored densely; a hash index from tuple to row id provides
-/// O(1) membership tests and deduplicating inserts. Deletion uses
-/// tombstones so row ids stay stable for the lifetime of the table
-/// (grounding assigns factor-graph variable ids from row ids).
+///
+/// Storage is columnar (struct-of-arrays): one ColumnVector per schema
+/// column — a contiguous 8-byte payload array plus a 1-byte tag array —
+/// a word-addressed liveness Bitmap, and a per-row precomputed hash.
+/// Morsel scans therefore walk cache-contiguous arrays and materialize
+/// nothing per row (RowRef hands out 16-byte Values straight from the
+/// column arrays); the flat arrays are also exactly what the binary
+/// snapshot writes and what MappedSnapshot reads in place (DESIGN.md §12).
+///
+/// Membership is an open-addressing hash index keyed by the stored row
+/// hashes: inserts hash the tuple once and reuse that hash for probing,
+/// growth, and later RowHash() reads. Deletion uses tombstones so row ids
+/// stay stable for the lifetime of the table (grounding assigns
+/// factor-graph variable ids from row ids).
 ///
 /// Concurrency contract: the table is not internally synchronized, but
 /// every const method (Find/Contains/row/is_live/capacity/Scan/...) is a
@@ -28,8 +40,7 @@ namespace dd {
 /// the coordinating thread after workers have joined (DESIGN.md §10).
 class Table {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+  Table(std::string name, Schema schema);
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
@@ -39,15 +50,29 @@ class Table {
   bool empty() const { return live_count_ == 0; }
 
   /// Total slots including tombstones; valid row ids are [0, capacity()).
-  size_t capacity() const { return rows_.size(); }
+  size_t capacity() const { return num_rows_; }
 
   /// Insert with type checking against the schema. Returns the row id of
   /// the (new or existing) tuple; second=true if newly inserted.
   Result<std::pair<int64_t, bool>> Insert(Tuple tuple);
 
   /// Insert without schema validation (hot path for internal operators
-  /// whose output types are known by construction).
-  std::pair<int64_t, bool> InsertUnchecked(Tuple tuple);
+  /// whose output types are known by construction). The arity must still
+  /// match the schema — columnar storage has exactly one array per
+  /// schema column.
+  std::pair<int64_t, bool> InsertUnchecked(const Tuple& tuple);
+
+  /// Pre-size storage and the hash index for `rows` total rows; use when
+  /// the insert count is known (e.g. IncrementalEngine re-materialization)
+  /// to avoid rehash-and-grow churn.
+  void Reserve(size_t rows);
+
+  /// Snapshot-load append: store `tuple` as the next row id with an
+  /// explicit liveness flag, reproducing tombstones byte-for-byte (row
+  /// ids must survive a save/load cycle because grounding derives
+  /// factor-graph variable ids from them). Corruption if the row is
+  /// already present — a well-formed snapshot never repeats a row.
+  Status RestoreRow(const Tuple& tuple, bool live);
 
   /// Remove a tuple. Returns true if it was present.
   bool Erase(const Tuple& tuple);
@@ -63,9 +88,29 @@ class Table {
   /// deleted tuples.
   int64_t FindIncludingDeleted(const Tuple& tuple) const;
 
-  /// Access by row id. The id must be < capacity().
-  const Tuple& row(int64_t id) const { return rows_[static_cast<size_t>(id)]; }
-  bool is_live(int64_t id) const { return live_[static_cast<size_t>(id)]; }
+  /// Materialize row `id` as a Tuple (by value: rows no longer exist
+  /// contiguously in memory). Hot paths should use ref()/ValueAt()
+  /// instead, which read the column arrays without allocating.
+  Tuple row(int64_t id) const;
+
+  /// Zero-copy cell read. id < capacity(), col < schema().num_columns().
+  Value ValueAt(int64_t id, size_t col) const {
+    return columns_[col].at(static_cast<size_t>(id));
+  }
+
+  /// Precomputed hash of row `id`; equal to row(id).Hash().
+  uint64_t RowHash(int64_t id) const {
+    return hashes_[static_cast<size_t>(id)];
+  }
+
+  /// Zero-allocation handle on row `id` (see RowRef below).
+  inline RowRef ref(int64_t id) const;
+
+  bool is_live(int64_t id) const { return live_.Get(static_cast<size_t>(id)); }
+
+  /// Column-level access for scans, benches, and snapshot encoding.
+  const ColumnVector& column(size_t col) const { return columns_[col]; }
+  const Bitmap& live_bitmap() const { return live_; }
 
   /// Snapshot of all live tuples (copy).
   std::vector<Tuple> Scan() const;
@@ -77,14 +122,69 @@ class Table {
   /// kNull is accepted in any column, modeling SQL NULL).
   Status CheckTuple(const Tuple& tuple) const;
 
+  /// Bytes held by column arrays, bitmap, hashes, and the index; for
+  /// RSS accounting in bench_storage.
+  size_t MemoryBytes() const;
+
  private:
+  /// True if row `id` has the same cells as `tuple` (arity already known
+  /// to match the schema for stored rows).
+  bool RowEqualsTuple(int64_t id, const Tuple& tuple) const;
+
+  /// Probe for `tuple` with hash `h`. Returns the bucket holding its row,
+  /// or the first empty bucket if absent (distinguished by buckets_ value).
+  size_t ProbeBucket(uint64_t h, const Tuple& tuple) const;
+
+  /// Grow buckets_ to `want` slots (power of two) and reinsert all rows.
+  void Rehash(size_t want);
+  void MaybeGrow();
+
   std::string name_;
   Schema schema_;
-  std::vector<Tuple> rows_;
-  std::vector<bool> live_;
-  std::unordered_map<Tuple, int64_t, TupleHash> index_;
+  std::vector<ColumnVector> columns_;  // one per schema column
+  Bitmap live_;
+  std::vector<uint64_t> hashes_;  // per-row, set once at insert
+  std::vector<int64_t> buckets_;  // open addressing; -1 = empty
+  size_t num_rows_ = 0;
   size_t live_count_ = 0;
 };
+
+/// A non-owning, zero-allocation view of one row: either a (table, row id)
+/// pair reading straight from the column arrays, or a wrapper over a
+/// materialized Tuple (delta sets hand out these). The referenced storage
+/// must outlive the ref — both forms are stable under the frozen-during-
+/// fan-out contract (tables aren't mutated mid-scan; delta-map keys don't
+/// move).
+class RowRef {
+ public:
+  RowRef() = default;
+  RowRef(const Table* table, int64_t row) : table_(table), row_(row) {}
+  explicit RowRef(const Tuple* tuple) : tuple_(tuple) {}
+
+  size_t size() const {
+    return tuple_ ? tuple_->size() : table_->schema().num_columns();
+  }
+  Value at(size_t i) const {
+    return tuple_ ? tuple_->at(i) : table_->ValueAt(row_, i);
+  }
+  uint64_t Hash() const {
+    return tuple_ ? tuple_->Hash() : table_->RowHash(row_);
+  }
+
+  /// Backing row id when table-backed, -1 for tuple-backed refs.
+  int64_t row_id() const { return row_; }
+
+  /// Materialize (allocates; boundary use only).
+  Tuple ToTuple() const;
+  std::string ToString() const { return ToTuple().ToString(); }
+
+ private:
+  const Table* table_ = nullptr;
+  const Tuple* tuple_ = nullptr;
+  int64_t row_ = -1;
+};
+
+inline RowRef Table::ref(int64_t id) const { return RowRef(this, id); }
 
 }  // namespace dd
 

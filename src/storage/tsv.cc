@@ -76,15 +76,17 @@ std::string TableToTsv(const Table& table) {
   for (size_t row = 0; row < cap; ++row) {
     int64_t id = static_cast<int64_t>(row);
     if (!table.is_live(id)) continue;
-    const Tuple& t = table.row(id);
+    RowRef t = table.ref(id);
     for (size_t c = 0; c < t.size(); ++c) {
       if (c > 0) out += '\t';
-      const Value& v = t.at(c);
+      const Value v = t.at(c);
       switch (v.type()) {
         case ValueType::kNull: out += "\\N"; break;
         case ValueType::kBool: out += v.AsBool() ? 't' : 'f'; break;
         case ValueType::kInt: out += std::to_string(v.AsInt()); break;
-        case ValueType::kDouble: out += StrFormat("%.17g", v.AsDouble()); break;
+        // Shortest round-trip form: locale-independent, exact, and
+        // re-parses (strtod) to the identical bits.
+        case ValueType::kDouble: out += DoubleToString(v.AsDouble()); break;
         case ValueType::kString: AppendEscaped(v.AsString(), &out); break;
       }
     }

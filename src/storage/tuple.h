@@ -40,9 +40,31 @@ class Tuple {
   std::vector<Value> values_;
 };
 
-/// Hash functor for unordered containers keyed by Tuple.
+/// Hash functor for unordered containers keyed by Tuple. Transparent:
+/// anything with a Tuple-compatible Hash() (e.g. RowRef) can probe
+/// without materializing a Tuple.
 struct TupleHash {
-  size_t operator()(const Tuple& t) const { return static_cast<size_t>(t.Hash()); }
+  using is_transparent = void;
+  template <typename T>
+  size_t operator()(const T& t) const {
+    return static_cast<size_t>(t.Hash());
+  }
+};
+
+/// Transparent equality over tuple-like types (Tuple, RowRef): same
+/// length, cell-wise Value equality. Pairs with TupleHash for
+/// heterogeneous unordered-container lookups.
+struct TupleEq {
+  using is_transparent = void;
+  bool operator()(const Tuple& a, const Tuple& b) const { return a == b; }
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a.at(i) == b.at(i))) return false;
+    }
+    return true;
+  }
 };
 
 }  // namespace dd

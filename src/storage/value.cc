@@ -1,6 +1,8 @@
 #include "storage/value.h"
 
-#include <cstdio>
+#include <charconv>
+
+#include "util/hash.h"
 
 namespace dd {
 
@@ -16,54 +18,59 @@ const char* ValueTypeName(ValueType type) {
 }
 
 bool Value::operator<(const Value& other) const {
-  if (data_.index() != other.data_.index()) return data_.index() < other.data_.index();
-  switch (type()) {
+  if (type_ != other.type_) {
+    return static_cast<uint8_t>(type_) < static_cast<uint8_t>(other.type_);
+  }
+  switch (type_) {
     case ValueType::kNull: return false;
     case ValueType::kBool: return AsBool() < other.AsBool();
     case ValueType::kInt: return AsInt() < other.AsInt();
     case ValueType::kDouble: return AsDouble() < other.AsDouble();
-    case ValueType::kString: return AsString() < other.AsString();
+    case ValueType::kString:
+      // Content order, not id order: ids reflect intern time.
+      return AsString() < other.AsString();
   }
   return false;
 }
 
 uint64_t Value::Hash() const {
-  switch (type()) {
+  switch (type_) {
     case ValueType::kNull:
       return 0x9ae16a3b2f90404fULL;
     case ValueType::kBool:
       return AsBool() ? 0xb492b66fbe98f273ULL : 0x9ddfea08eb382d69ULL;
     case ValueType::kInt: {
-      uint64_t x = static_cast<uint64_t>(AsInt());
+      uint64_t x = bits_;
       x *= 0x9e3779b97f4a7c15ULL;
       x ^= x >> 29;
       return x;
     }
     case ValueType::kDouble: {
-      double d = AsDouble();
-      uint64_t bits;
-      static_assert(sizeof(bits) == sizeof(d));
-      __builtin_memcpy(&bits, &d, sizeof(bits));
+      uint64_t bits = bits_;
       bits *= 0xc2b2ae3d27d4eb4fULL;
       bits ^= bits >> 31;
       return bits;
     }
     case ValueType::kString:
-      return Fnv1a(AsString());
+      // Precomputed Fnv1a of the content — identical to hashing the text.
+      return StringDictionary::Global().HashOf(string_id());
   }
   return 0;
 }
 
+std::string DoubleToString(double d) {
+  char buf[32];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  (void)ec;  // 32 bytes always suffice for the shortest form.
+  return std::string(buf, end);
+}
+
 std::string Value::ToString() const {
-  switch (type()) {
+  switch (type_) {
     case ValueType::kNull: return "NULL";
     case ValueType::kBool: return AsBool() ? "true" : "false";
     case ValueType::kInt: return std::to_string(AsInt());
-    case ValueType::kDouble: {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
-      return buf;
-    }
+    case ValueType::kDouble: return DoubleToString(AsDouble());
     case ValueType::kString: return "\"" + AsString() + "\"";
   }
   return "?";

@@ -1,61 +1,119 @@
 #ifndef DEEPDIVE_STORAGE_VALUE_H_
 #define DEEPDIVE_STORAGE_VALUE_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
-#include <variant>
+#include <string_view>
 
-#include "util/hash.h"
+#include "storage/dictionary.h"
 
 namespace dd {
 
 /// Column types supported by the relational substrate. This is the minimal
 /// set the DeepDive pipeline needs: ids and offsets (kInt), probabilities
 /// and measurements (kDouble), text (kString), and supervision labels
-/// (kBool, with kNull meaning "unlabeled").
-enum class ValueType { kNull = 0, kBool, kInt, kDouble, kString };
+/// (kBool, with kNull meaning "unlabeled"). The numeric order is load-
+/// bearing: Value::operator< sorts by it and column tags persist it.
+enum class ValueType : uint8_t { kNull = 0, kBool, kInt, kDouble, kString };
 
 const char* ValueTypeName(ValueType type);
 
-/// A dynamically-typed cell. Values are immutable once constructed and
-/// cheap to move; strings are the only heap-owning alternative.
+/// A dynamically-typed cell: a 16-byte non-allocating tagged union.
+/// Strings are interned into the process-global StringDictionary and
+/// represented by their dense uint32_t id; the text materializes lazily at
+/// UDF/TSV/ToString boundaries via AsString(). Equality and hashing of
+/// string values operate on the id (sound because the dictionary
+/// deduplicates: equal content <=> equal id) while ordering compares the
+/// text itself, so sort-based operators keep content order.
+///
+/// Hash values are bit-identical to the pre-columnar variant
+/// implementation for every type (string hashes are the precomputed
+/// Fnv1a of the content) — unordered-container iteration orders, golden
+/// files, and weight-tying keys all depend on that stability.
 class Value {
  public:
-  Value() : data_(std::monostate{}) {}
+  Value() = default;
   static Value Null() { return Value(); }
-  static Value Bool(bool b) { return Value(Data(b)); }
-  static Value Int(int64_t i) { return Value(Data(i)); }
-  static Value Double(double d) { return Value(Data(d)); }
-  static Value String(std::string s) { return Value(Data(std::move(s))); }
-
-  ValueType type() const {
-    return static_cast<ValueType>(data_.index());
+  static Value Bool(bool b) {
+    return Value(ValueType::kBool, b ? 1 : 0);
   }
-  bool is_null() const { return type() == ValueType::kNull; }
+  static Value Int(int64_t i) {
+    return Value(ValueType::kInt, static_cast<uint64_t>(i));
+  }
+  static Value Double(double d) {
+    return Value(ValueType::kDouble, std::bit_cast<uint64_t>(d));
+  }
+  static Value String(std::string_view s) {
+    return Value(ValueType::kString, StringDictionary::Global().Intern(s));
+  }
+  static Value String(const std::string& s) {
+    return String(std::string_view(s));
+  }
+  static Value String(const char* s) { return String(std::string_view(s)); }
+  /// Wrap an id previously returned by StringDictionary::Intern.
+  static Value InternedString(uint32_t id) {
+    return Value(ValueType::kString, id);
+  }
+
+  /// Reconstruct from a (tag, payload) pair as stored in columns and
+  /// binary snapshots. The payload must have been produced by
+  /// payload_bits() on a value of the same type (snapshot decoders
+  /// validate tags and re-intern string ids before calling this).
+  static Value FromRaw(ValueType type, uint64_t bits) {
+    return Value(type, bits);
+  }
+
+  ValueType type() const { return type_; }
+  bool is_null() const { return type_ == ValueType::kNull; }
 
   /// Typed accessors; the caller must have checked type() first.
-  bool AsBool() const { return std::get<bool>(data_); }
-  int64_t AsInt() const { return std::get<int64_t>(data_); }
-  double AsDouble() const { return std::get<double>(data_); }
-  const std::string& AsString() const { return std::get<std::string>(data_); }
+  bool AsBool() const { return bits_ != 0; }
+  int64_t AsInt() const { return static_cast<int64_t>(bits_); }
+  double AsDouble() const { return std::bit_cast<double>(bits_); }
+  const std::string& AsString() const {
+    return StringDictionary::Global().Get(string_id());
+  }
+  /// Dictionary id of a kString value.
+  uint32_t string_id() const { return static_cast<uint32_t>(bits_); }
 
-  bool operator==(const Value& other) const { return data_ == other.data_; }
+  /// Raw 8-byte payload: bool 0/1, int two's complement, double IEEE
+  /// bits, string dictionary id, null 0. With type(), losslessly
+  /// round-trips through FromRaw.
+  uint64_t payload_bits() const { return bits_; }
+
+  /// Equality is type + payload. For doubles this is bitwise (consistent
+  /// with Hash, which also hashes the bits); for strings id equality,
+  /// which the dictionary makes equivalent to content equality.
+  bool operator==(const Value& other) const {
+    return type_ == other.type_ && bits_ == other.bits_;
+  }
   bool operator!=(const Value& other) const { return !(*this == other); }
-  /// Total order: first by type index, then by payload. Used by sort-based
-  /// operators and deterministic output ordering.
+  /// Total order: first by type index, then by payload (strings by
+  /// content). Used by sort-based operators and deterministic output
+  /// ordering.
   bool operator<(const Value& other) const;
 
   uint64_t Hash() const;
 
   /// Render for debugging and golden tests: NULL, true, 42, 3.5, "text".
+  /// Doubles use std::to_chars shortest round-trip form: locale-
+  /// independent and exact (re-parsing yields the same bits).
   std::string ToString() const;
 
  private:
-  using Data = std::variant<std::monostate, bool, int64_t, double, std::string>;
-  explicit Value(Data data) : data_(std::move(data)) {}
+  Value(ValueType type, uint64_t bits) : bits_(bits), type_(type) {}
 
-  Data data_;
+  uint64_t bits_ = 0;
+  ValueType type_ = ValueType::kNull;
 };
+
+static_assert(sizeof(Value) == 16, "Value must stay a 16-byte POD cell");
+
+/// Shortest-round-trip rendering of a double (std::to_chars): the lexical
+/// form is locale-independent and re-parses to the identical bits. Shared
+/// by Value::ToString and the TSV writer.
+std::string DoubleToString(double d);
 
 }  // namespace dd
 

@@ -7,9 +7,11 @@
 namespace dd {
 
 /// CRC-32C (Castagnoli polynomial, the RocksDB/LevelDB/iSCSI checksum).
-/// Software table implementation — fast enough for snapshot I/O, no
-/// hardware dependency. `Crc32cExtend` continues a running checksum so
-/// multi-part payloads can be checksummed without concatenation.
+/// Uses the SSE4.2 CRC32 instruction when the CPU has it (detected at
+/// runtime) and a slice-by-8 software implementation otherwise; both
+/// produce identical digests. `Crc32cExtend` continues a running
+/// checksum so multi-part payloads can be checksummed without
+/// concatenation.
 uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
 
 inline uint32_t Crc32c(const void* data, size_t n) {

@@ -68,6 +68,33 @@ TEST_P(IoRoundTripTest, PreservesDistribution) {
 INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
 
+// The binary GRBN/DICT snapshot sections (the default since DESIGN.md §12)
+// must describe exactly the same graph as the ddfg text oracle.
+TEST_P(IoRoundTripTest, BinarySnapshotMatchesTextOracle) {
+  SyntheticGraphOptions options;
+  options.num_variables = 10;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.2;
+  options.seed = GetParam();
+
+  GraphSnapshot snap;
+  snap.has_graph = true;
+  snap.graph = MakeRandomGraph(options);
+
+  auto decoded = DecodeGraphSnapshot(EncodeGraphSnapshot(snap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->has_graph);
+  EXPECT_FALSE(decoded->text_graph);
+  // The decoded graph serializes to the exact text the oracle produces.
+  EXPECT_EQ(SerializeGraph(decoded->graph), SerializeGraph(snap.graph));
+
+  snap.text_graph = true;
+  auto from_text = DecodeGraphSnapshot(EncodeGraphSnapshot(snap));
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  EXPECT_TRUE(from_text->text_graph);
+  EXPECT_EQ(SerializeGraph(from_text->graph), SerializeGraph(decoded->graph));
+}
+
 TEST(FactorIoTest, MalformedInputsRejected) {
   EXPECT_FALSE(DeserializeGraph("").ok());
   EXPECT_FALSE(DeserializeGraph("bogus 1\n").ok());

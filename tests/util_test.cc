@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "util/crc32c.h"
 #include "util/hash.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -13,6 +14,31 @@
 
 namespace dd {
 namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // Check value from the CRC catalogue (CRC-32C over "123456789"); pins
+  // the hardware and software paths to the reference polynomial.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  // RFC 3720 B.4 test patterns.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c(ones.data(), ones.size()), 0x62a8ab43u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  // Splitting the input at every position must give the one-shot digest,
+  // covering all slice-by-8 remainder lengths.
+  std::string data;
+  for (int i = 0; i < 100; ++i) data.push_back(static_cast<char>(i * 37));
+  uint32_t whole = Crc32c(data.data(), data.size());
+  for (size_t cut = 0; cut <= data.size(); ++cut) {
+    uint32_t crc = Crc32cExtend(0, data.data(), cut);
+    crc = Crc32cExtend(crc, data.data() + cut, data.size() - cut);
+    EXPECT_EQ(crc, whole) << "split at " << cut;
+  }
+}
 
 TEST(StatusTest, OkAndErrors) {
   EXPECT_TRUE(Status::OK().ok());
