@@ -41,6 +41,16 @@ Two modes, auto-detected from the JSON shape:
   columnar memory below the row store. Ratios are single-threaded and
   machine-local, so the committed-baseline comparison only warns.
 
+* Serving mode (``serving_qps`` present, from ``bench_serving``): the
+  resilience identities of DESIGN.md §13 are unconditional — sampled
+  responses bitwise-match the epoch they claim (``responses_consistent``),
+  every issued request is answered or explicitly shed
+  (``requests_accounted``, ``swap_dropped_requests == 0``), and no client
+  ever observes an epoch id go backwards (``epochs_monotone``). Absolute
+  floors with wide margin: sustained QPS >= 1000 and p99 <= 100 ms, both
+  steady-state and with mid-run swaps. Throughput is machine-local, so
+  the committed-baseline comparison only warns.
+
 Environment:
   DD_BENCH_GATE_SKIP=1        skip the gate entirely (exit 0); for noisy
                               or shared runners where timing is garbage.
@@ -206,6 +216,62 @@ def gate_storage(baseline, fresh, tolerance) -> int:
     return 0
 
 
+def gate_serving(baseline, fresh, tolerance) -> int:
+    # Resilience identities are the contract, enforced on any machine: a
+    # fast server that tears epochs or drops requests must not pass.
+    identities = (
+        ("responses_consistent",
+         "served marginals differ bitwise from the epoch they claim"),
+        ("requests_accounted",
+         "requests vanished without an answer or an explicit shed"),
+        ("epochs_monotone", "a client observed an epoch id go backwards"),
+    )
+    for key, why in identities:
+        if fresh.get(key) is not True:
+            return fail(f"fresh run: {why} ({key} != true)")
+    dropped = int(fresh.get("swap_dropped_requests", -1))
+    if dropped != 0:
+        return fail(f"fresh run: {dropped} request(s) dropped across epoch "
+                    "swaps (swap_dropped_requests != 0)")
+
+    # Absolute floors, far beyond timing noise (measured ~50k qps /
+    # sub-ms p99 even on a single Debug core).
+    floors = (
+        ("serving_qps", 1000.0, False, "steady-state QPS"),
+        ("swap_qps", 1000.0, False, "QPS with mid-run swaps"),
+        ("p99_ms", 100.0, True, "steady-state p99 latency (ms)"),
+        ("swap_p99_ms", 100.0, True, "p99 latency with swaps (ms)"),
+    )
+    for key, bound, is_ceiling, label in floors:
+        value = float(fresh.get(key, -1.0))
+        ok = (0.0 <= value <= bound) if is_ceiling else value >= bound
+        kind = "ceiling" if is_ceiling else "floor"
+        verdict = "OK" if ok else "REGRESSION"
+        print(f"bench-gate: {label} {value:.1f} ({kind} {bound:.0f}) "
+              f"-> {verdict}")
+        if not ok:
+            return fail(
+                f"{label} is {value:.1f}, past the {bound:.0f} {kind} "
+                f"(override with DD_BENCH_GATE_SKIP=1 or fix the regression)")
+
+    # Baseline comparison: warn-only ratchet (QPS is machine-local).
+    for key, label in (("serving_qps", "steady QPS"),
+                       ("swap_qps", "swap QPS")):
+        if key not in baseline:
+            continue
+        base = float(baseline[key])
+        value = float(fresh.get(key, 0.0))
+        limit = base * (1.0 - tolerance)
+        if value < limit:
+            print(f"bench-gate: WARN: {label} {value:.0f} is below the "
+                  f"committed baseline {base:.0f} - {tolerance * 100:.0f}% "
+                  f"(soft: machine-local throughput)")
+        else:
+            print(f"bench-gate: {label} {value:.0f} vs baseline "
+                  f"{base:.0f} -> OK")
+    return 0
+
+
 def main(argv) -> int:
     if os.environ.get("DD_BENCH_GATE_SKIP") == "1":
         print("bench-gate: skipped (DD_BENCH_GATE_SKIP=1)")
@@ -241,6 +307,13 @@ def main(argv) -> int:
         return fail("baseline and fresh JSONs are from different benchmarks")
     if baseline_storage:
         return gate_storage(baseline, fresh, tolerance)
+
+    baseline_serving = "serving_qps" in baseline
+    fresh_serving = "serving_qps" in fresh
+    if baseline_serving != fresh_serving:
+        return fail("baseline and fresh JSONs are from different benchmarks")
+    if baseline_serving:
+        return gate_serving(baseline, fresh, tolerance)
 
     baseline_grounding = "graphs_identical" in baseline
     fresh_grounding = "graphs_identical" in fresh

@@ -60,18 +60,32 @@ else
   python3 ci/bench_gate.py BENCH_storage.json build/BENCH_storage.json
 fi
 
+echo "=== bench gate (serving: resilience identities + QPS/p99 floors) ==="
+# Epoch-swapped snapshot serving under closed-loop load, with and without
+# mid-run swaps. The DESIGN.md §13 resilience identities (bitwise
+# response consistency, full request accounting, monotone epochs, zero
+# drops across swaps) are enforced unconditionally; QPS/p99 have wide
+# absolute floors and a warn-only baseline ratchet. Same overrides.
+if [ "${DD_BENCH_GATE_SKIP:-0}" = "1" ]; then
+  echo "bench gate skipped (DD_BENCH_GATE_SKIP=1)"
+else
+  (cd build && ./bench/bench_serving)
+  python3 ci/bench_gate.py BENCH_serving.json build/BENCH_serving.json
+fi
+
 echo "=== tsan build + concurrency-focused ctest (thread) ==="
 # ThreadSanitizer over the tests that exercise the morsel-parallel
-# grounding pipeline and the task-graph scheduler: thread pool, task
-# graph, parallel differential harness (which includes the overlapped
-# pipeline schedule), and the grounding/query/inference suites that run
-# on top of them.
+# grounding pipeline, the task-graph scheduler, and the serving layer:
+# thread pool, task graph, parallel differential harness (which includes
+# the overlapped pipeline schedule), the grounding/query/inference
+# suites that run on top of them, and the epoch-swap/admission/LRU
+# concurrency tests.
 cmake -B build-tsan -S . -DDD_SANITIZE="thread" >/dev/null
 cmake --build build-tsan -j
 # ci/tsan.supp masks only the intentionally-racy Hogwild/NUMA samplers.
 TSAN_OPTIONS="suppressions=$PWD/ci/tsan.supp" \
   ctest --test-dir build-tsan --output-on-failure \
-  -R 'thread_pool_test|task_graph_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test|storage_test|snapshot_test'
+  -R 'thread_pool_test|task_graph_test|parallel_grounding_test|grounding_test|query_test|dred_test|inference_test|storage_test|snapshot_test|serving_test|lru_cache_test|retry_test'
 
 echo "=== sanitized build + ctest (address;undefined) ==="
 cmake -B build-san -S . -DDD_SANITIZE="address;undefined" >/dev/null
@@ -99,7 +113,8 @@ if [ -z "$failpoints" ]; then
 fi
 echo "discovered failpoint sites:" $failpoints
 for fp in $failpoints; do
-  for bin in build-san/tests/recovery_test build-san/tests/pipeline_test; do
+  for bin in build-san/tests/recovery_test build-san/tests/pipeline_test \
+             build-san/tests/serving_test; do
     echo "--- $fp via $(basename "$bin")"
     set +e
     out=$(DD_FAILPOINTS="$fp=error(p=1,hits=1)" "$bin" 2>&1)

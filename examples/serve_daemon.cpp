@@ -1,0 +1,203 @@
+// KBC serving daemon: answer fact/marginal/top-k queries from a
+// published epoch directory, surviving epoch swaps without dropping a
+// request (DESIGN.md §13).
+//
+// With --build, first runs the spouse pipeline end-to-end and publishes
+// its marginals as the next epoch, so the demo is self-contained:
+//
+//   ./build/examples/serve_daemon --build
+//
+// Then reads commands from stdin (one per line):
+//
+//   marginal <relation> <row>          P(tuple) from the current epoch
+//   fact <relation> <row> [threshold]  is it in the output KB?
+//   top <relation> [k]                 k highest-probability rows
+//   reload                             swap to the directory's CURRENT epoch
+//   stats                              server counters
+//   quit
+//
+// Re-run with --build from another terminal while the daemon is live,
+// then `reload`: the swap is atomic, in-flight queries finish against
+// the epoch they started on, and the answer epoch is visible per reply.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "serve/epoch.h"
+#include "serve/server.h"
+#include "testdata/spouse_app.h"
+
+namespace {
+
+int BuildAndPublish(const std::string& dir) {
+  dd::SpouseCorpusOptions corpus_options;
+  corpus_options.num_documents = 40;
+  corpus_options.seed = 21;
+  dd::SpouseCorpus corpus = dd::GenerateSpouseCorpus(corpus_options);
+
+  dd::PipelineOptions options;
+  options.learn.epochs = 120;
+  options.strategy = dd::PipelineOptions::Strategy::kSampling;
+  auto pipeline =
+      dd::MakeSpousePipeline(corpus, dd::SpouseAppOptions(), options);
+  if (!pipeline.ok()) {
+    std::fprintf(stderr, "%s\n", pipeline.status().ToString().c_str());
+    return 1;
+  }
+  dd::Status status = (*pipeline)->Run();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = (*pipeline)->PublishEpoch(dir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void PrintStats(const dd::ServerStats& stats) {
+  std::printf("admitted=%llu completed=%llu shed_full=%llu shed_budget=%llu "
+              "deadline=%llu\nswaps=%llu swap_rejected_stale=%llu "
+              "swap_rejected_invalid=%llu cache_hits=%llu cache_misses=%llu\n",
+              (unsigned long long)stats.admitted,
+              (unsigned long long)stats.completed,
+              (unsigned long long)stats.shed_queue_full,
+              (unsigned long long)stats.shed_queue_budget,
+              (unsigned long long)stats.deadline_exceeded,
+              (unsigned long long)stats.swaps,
+              (unsigned long long)stats.swap_rejected_stale,
+              (unsigned long long)stats.swap_rejected_invalid,
+              (unsigned long long)stats.cache_hits,
+              (unsigned long long)stats.cache_misses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "serve_epochs";
+  bool build = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--build") == 0) {
+      build = true;
+    } else {
+      dir = argv[i];
+    }
+  }
+  if (build && BuildAndPublish(dir) != 0) return 1;
+
+  dd::EpochDirectory epochs(dir);
+  dd::KbcServer server;
+  dd::Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = server.LoadCurrent(epochs);
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot load an epoch from '%s': %s\n"
+                 "(run with --build to publish one first)\n",
+                 dir.c_str(), status.ToString().c_str());
+    return 1;
+  }
+
+  auto epoch = server.current_epoch();
+  std::printf("serving epoch %llu from %s: %llu variables, relations:",
+              (unsigned long long)server.current_epoch_id(), dir.c_str(),
+              (unsigned long long)epoch->num_variables());
+  for (const std::string& r : epoch->relations()) std::printf(" %s", r.c_str());
+  std::printf("\ntype 'help' for commands\n");
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      std::printf("marginal <rel> <row> | fact <rel> <row> [thresh] | "
+                  "top <rel> [k] | reload | stats | quit\n");
+      continue;
+    }
+    if (cmd == "stats") {
+      PrintStats(server.stats());
+      continue;
+    }
+    if (cmd == "reload") {
+      auto current = epochs.CurrentEpochId();
+      if (current.ok() && *current == server.current_epoch_id()) {
+        std::printf("already serving epoch %llu (nothing newer published)\n",
+                    (unsigned long long)*current);
+        continue;
+      }
+      status = server.LoadCurrent(epochs);
+      if (status.ok()) {
+        std::printf("now serving epoch %llu\n",
+                    (unsigned long long)server.current_epoch_id());
+      } else {
+        std::printf("reload failed, still serving epoch %llu: %s\n",
+                    (unsigned long long)server.current_epoch_id(),
+                    status.ToString().c_str());
+      }
+      continue;
+    }
+
+    dd::QueryRequest request;
+    if (cmd == "marginal" || cmd == "fact") {
+      request.kind =
+          cmd == "fact" ? dd::QueryKind::kFact : dd::QueryKind::kMarginal;
+      if (!(in >> request.relation >> request.row)) {
+        std::printf("usage: %s <relation> <row> %s\n", cmd.c_str(),
+                    cmd == "fact" ? "[threshold]" : "");
+        continue;
+      }
+      in >> request.threshold;  // optional; keeps the 0.9 default on failure
+    } else if (cmd == "top") {
+      request.kind = dd::QueryKind::kTopK;
+      if (!(in >> request.relation)) {
+        std::printf("usage: top <relation> [k]\n");
+        continue;
+      }
+      in >> request.k;
+    } else {
+      std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+      continue;
+    }
+
+    auto response = server.Query(request);
+    if (!response.ok()) {
+      std::printf("error: %s\n", response.status().ToString().c_str());
+      continue;
+    }
+    if (request.kind == dd::QueryKind::kTopK) {
+      std::printf("epoch %llu, top %zu of %s:\n",
+                  (unsigned long long)response->epoch, response->top.size(),
+                  request.relation.c_str());
+      for (const dd::TopKEntry& entry : response->top) {
+        std::printf("  row %lld  p=%.6f\n", (long long)entry.row,
+                    entry.probability);
+      }
+    } else if (request.kind == dd::QueryKind::kFact) {
+      std::printf("epoch %llu: %s(%lld) %s the output KB (p=%.6f, "
+                  "threshold %.2f)%s\n",
+                  (unsigned long long)response->epoch,
+                  request.relation.c_str(), (long long)request.row,
+                  response->is_fact ? "IS IN" : "is NOT in",
+                  response->probability, request.threshold,
+                  response->from_cache ? " [cached]" : "");
+    } else {
+      std::printf("epoch %llu: P(%s(%lld)) = %.6f%s\n",
+                  (unsigned long long)response->epoch,
+                  request.relation.c_str(), (long long)request.row,
+                  response->probability,
+                  response->from_cache ? " [cached]" : "");
+    }
+  }
+  server.Stop();
+  return 0;
+}

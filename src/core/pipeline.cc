@@ -4,7 +4,9 @@
 
 #include "core/diagnostics.h"
 #include "ddlog/parser.h"
+#include "serve/epoch.h"
 #include "util/failpoint.h"
+#include "util/retry.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
@@ -64,19 +66,28 @@ Status DeepDivePipeline::ExtractDocument(const Document& doc,
 Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) {
   run_stats_ = RunStats();
   const size_t batch_size = documents_.size() - next_document_;
+  // UDFs are the flakiest part of a KBC system: retry each document once
+  // on a fresh emitter, then quarantine it rather than let one bad
+  // document kill hours of work. The policy (attempts, no backoff —
+  // extraction is deterministic, so sleeping buys nothing) lives in the
+  // shared retry helper.
+  RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff_ms = 0;
+  retry.jitter_fraction = 0;
+  Rng retry_rng(0);  // unused while backoff is 0; RetryWithBackoff needs one
   for (; next_document_ < documents_.size(); ++next_document_) {
     const Document& doc = documents_[next_document_];
     TupleEmitter emitter;
-    Status status = ExtractDocument(doc, &emitter);
-    if (!status.ok()) {
-      // UDFs are the flakiest part of a KBC system: retry the document
-      // once on a fresh emitter, then quarantine it rather than let one
-      // bad document kill hours of work.
-      ++run_stats_.extractor_retries;
-      DD_COUNTER_ADD("dd.pipeline.extractor_retries", 1);
-      emitter = TupleEmitter();
-      status = ExtractDocument(doc, &emitter);
-    }
+    Status status = RetryWithBackoff(
+        retry, &retry_rng,
+        [&]() -> Status { return ExtractDocument(doc, &emitter); },
+        /*sleep_fn=*/{},
+        [&](int /*attempt*/, const Status& /*error*/, double /*sleep_ms*/) {
+          ++run_stats_.extractor_retries;
+          DD_COUNTER_ADD("dd.pipeline.extractor_retries", 1);
+          emitter = TupleEmitter();
+        });
     if (!status.ok()) {
       ++run_stats_.documents_quarantined;
       DD_COUNTER_ADD("dd.pipeline.documents_quarantined", 1);
@@ -453,6 +464,35 @@ Status DeepDivePipeline::WriteMarginalTables() {
       DD_RETURN_IF_ERROR(out->Insert(std::move(row)).status());
     }
   }
+  return Status::OK();
+}
+
+Status DeepDivePipeline::PublishEpoch(const std::string& dir) {
+  if (!has_run_) return Status::Internal("Run() first");
+  const FactorGraph& graph = grounder_->graph();
+  if (marginals_.size() != graph.num_variables()) {
+    return Status::Internal("marginals do not cover the grounded graph");
+  }
+  const auto& info = grounder_->var_info();
+  std::vector<EpochVarEntry> vars;
+  vars.reserve(info.size());
+  for (const VarInfo& v : info) {
+    vars.push_back(EpochVarEntry{v.relation, v.row_id, v.live});
+  }
+
+  EpochDirectory epochs(dir);
+  DD_RETURN_IF_ERROR(epochs.Create());
+  uint64_t next_id = 1;
+  Result<uint64_t> current = epochs.CurrentEpochId();
+  if (current.ok()) {
+    next_id = *current + 1;
+  } else if (current.status().code() != StatusCode::kNotFound) {
+    return current.status();
+  }
+  std::string bytes = EncodeEpochSnapshot(graph, marginals_, vars, next_id);
+  DD_RETURN_IF_ERROR(epochs.Publish(next_id, bytes));
+  DD_LOG(Info) << "published serving epoch " << next_id << " ("
+               << graph.num_variables() << " variables) to " << dir;
   return Status::OK();
 }
 

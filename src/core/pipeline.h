@@ -182,6 +182,12 @@ class DeepDivePipeline {
   /// output is queryable like any other relation (§3.4).
   Status WriteMarginalTables();
 
+  /// Publish the last Run()'s graph + marginals as a serving epoch into
+  /// `dir` (created if missing). The epoch id is one past the
+  /// directory's CURRENT, so repeated runs produce a monotone sequence a
+  /// KbcServer can follow. Requires a completed Run().
+  Status PublishEpoch(const std::string& dir);
+
   /// Fig. 5's two diagrams for one query relation: `test` is built from
   /// the held-out labeled candidates (requires holdout_fraction > 0),
   /// `train` from the clamped evidence candidates.

@@ -1,0 +1,138 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace dd {
+
+namespace {
+
+struct ClientTally {
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t not_found = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_errors = 0;
+  uint64_t min_epoch = ~0ULL;
+  uint64_t max_epoch = 0;
+  bool epochs_monotone = true;
+  std::vector<double> latencies_ms;  // answered (ok or not_found) only
+};
+
+void ClientLoop(KbcServer* server, const LoadgenOptions& options,
+                uint64_t seed, ClientTally* tally) {
+  Rng rng(seed);
+  const int total_weight =
+      options.marginal_weight + options.fact_weight + options.topk_weight;
+  Stopwatch wall;
+  uint64_t last_epoch = 0;
+  while (wall.Millis() < options.duration_ms) {
+    QueryRequest request;
+    const int draw = static_cast<int>(rng.NextBounded(
+        static_cast<uint64_t>(std::max(total_weight, 1))));
+    if (draw < options.marginal_weight) {
+      request.kind = QueryKind::kMarginal;
+    } else if (draw < options.marginal_weight + options.fact_weight) {
+      request.kind = QueryKind::kFact;
+    } else {
+      request.kind = QueryKind::kTopK;
+      request.k = options.topk_k;
+    }
+    request.relation = options.relations.empty()
+                           ? std::string("spouse")
+                           : options.relations[rng.NextBounded(
+                                 options.relations.size())];
+    request.row = static_cast<int64_t>(
+        rng.NextBounded(static_cast<uint64_t>(std::max<int64_t>(
+            options.row_space, 1))));
+    if (options.deadline_ms > 0) {
+      request.deadline = Deadline::AfterMillis(options.deadline_ms);
+    }
+
+    Stopwatch latency;
+    Result<QueryResponse> response = server->Query(request);
+    ++tally->issued;
+    if (response.ok()) {
+      tally->latencies_ms.push_back(latency.Millis());
+      ++tally->ok;
+      const uint64_t epoch = response->epoch;
+      if (epoch < last_epoch) tally->epochs_monotone = false;
+      last_epoch = epoch;
+      tally->min_epoch = std::min(tally->min_epoch, epoch);
+      tally->max_epoch = std::max(tally->max_epoch, epoch);
+    } else {
+      switch (response.status().code()) {
+        case StatusCode::kNotFound:
+          tally->latencies_ms.push_back(latency.Millis());
+          ++tally->not_found;
+          break;
+        case StatusCode::kUnavailable:
+          ++tally->shed;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++tally->deadline_exceeded;
+          break;
+        default:
+          ++tally->other_errors;
+          break;
+      }
+    }
+  }
+}
+
+double Percentile(std::vector<double>* values, double p) {
+  if (values->empty()) return 0.0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(values->size() - 1));
+  std::nth_element(values->begin(), values->begin() + idx, values->end());
+  return (*values)[idx];
+}
+
+}  // namespace
+
+LoadgenReport RunLoadgen(KbcServer* server, const LoadgenOptions& options) {
+  const size_t clients = std::max<size_t>(options.num_clients, 1);
+  std::vector<ClientTally> tallies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  Stopwatch wall;
+  for (size_t i = 0; i < clients; ++i) {
+    threads.emplace_back(ClientLoop, server, std::cref(options),
+                         options.seed + i, &tallies[i]);
+  }
+  for (auto& t : threads) t.join();
+
+  LoadgenReport report;
+  report.wall_ms = wall.Millis();
+  report.min_epoch = ~0ULL;
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    report.issued += tally.issued;
+    report.ok += tally.ok;
+    report.not_found += tally.not_found;
+    report.shed += tally.shed;
+    report.deadline_exceeded += tally.deadline_exceeded;
+    report.other_errors += tally.other_errors;
+    report.epochs_monotone = report.epochs_monotone && tally.epochs_monotone;
+    report.min_epoch = std::min(report.min_epoch, tally.min_epoch);
+    report.max_epoch = std::max(report.max_epoch, tally.max_epoch);
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  if (report.min_epoch == ~0ULL) report.min_epoch = 0;
+  if (report.wall_ms > 0) {
+    report.qps = static_cast<double>(report.ok + report.not_found) /
+                 (report.wall_ms / 1e3);
+  }
+  report.p50_ms = Percentile(&latencies, 0.50);
+  report.p99_ms = Percentile(&latencies, 0.99);
+  if (!latencies.empty()) {
+    report.max_ms = *std::max_element(latencies.begin(), latencies.end());
+  }
+  return report;
+}
+
+}  // namespace dd

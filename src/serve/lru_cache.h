@@ -1,0 +1,113 @@
+#ifndef DEEPDIVE_SERVE_LRU_CACHE_H_
+#define DEEPDIVE_SERVE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dd {
+
+/// Thread-safe LRU map used as the serving layer's result cache. One
+/// mutex guards the list + index; entries move to the front on every hit
+/// so eviction order is exact recency order. Hit/miss counters are
+/// monotone and exact: every Get() increments exactly one of them, so
+/// hits() + misses() always equals the number of lookups — the invariant
+/// the TSan concurrency test pins down.
+///
+/// The cache itself knows nothing about epochs; KbcServer clears it
+/// wholesale on epoch swap and additionally stamps cached values with
+/// the epoch they were computed on (see server.cc) so a racing insert
+/// from a retiring epoch can never be served against a newer one.
+template <typename K, typename V>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  /// True (and *value filled) on hit; the entry becomes most-recent.
+  bool Get(const K& key, V* value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    *value = it->second->second;
+    return true;
+  }
+
+  /// Insert or overwrite; the entry becomes most-recent. Evicts the
+  /// least-recently-used entry when over capacity. A capacity of 0
+  /// disables caching entirely (every Get is a miss).
+  void Put(const K& key, V value) {
+    if (capacity_ == 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+    if (order_.size() > capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Drop every entry (epoch swap). Counters are cumulative and survive.
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return order_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+  /// Keys in most-recent-first order (test introspection).
+  std::vector<K> Keys() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<K> keys;
+    keys.reserve(order_.size());
+    for (const auto& [k, v] : order_) keys.push_back(k);
+    return keys;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::pair<K, V>> order_;  // front = most recent
+  std::unordered_map<K, typename std::list<std::pair<K, V>>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_SERVE_LRU_CACHE_H_

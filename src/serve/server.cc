@@ -1,0 +1,332 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace dd {
+
+namespace {
+
+/// Wall clock shared by admission timestamps; one process-wide origin so
+/// enqueue_ms values from different threads are comparable.
+double NowMillis() {
+  static const auto origin = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+std::string CacheKey(QueryKind kind, const std::string& relation, int64_t row) {
+  std::string key;
+  key.push_back(kind == QueryKind::kMarginal ? 'm' : 'f');
+  key.push_back('\0');
+  key += relation;
+  key.push_back('\0');
+  key += StrFormat("%lld", static_cast<long long>(row));
+  return key;
+}
+
+}  // namespace
+
+KbcServer::KbcServer(ServerOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_entries),
+      retry_rng_(options_.retry_seed) {}
+
+KbcServer::~KbcServer() { Stop(); }
+
+Status KbcServer::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (started_) return Status::InvalidArgument("server already started");
+  started_ = true;
+  stopping_ = false;
+  const size_t workers = std::max<size_t>(options_.num_workers, 1);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void KbcServer::Stop() {
+  std::vector<std::thread> workers;
+  std::deque<std::unique_ptr<PendingRequest>> drained;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_) return;
+    stopping_ = true;
+    started_ = false;
+    drained.swap(queue_);
+    workers.swap(workers_);
+  }
+  queue_cv_.notify_all();
+  for (auto& pending : drained) {
+    pending->promise.set_value(
+        Status::Unavailable("server stopping; request not executed"));
+  }
+  for (auto& t : workers) t.join();
+}
+
+Status KbcServer::SwapTo(std::shared_ptr<const ServingEpoch> epoch) {
+  if (epoch == nullptr) {
+    return Status::InvalidArgument("cannot swap to a null epoch");
+  }
+  Status injected;
+  DD_FAILPOINT(failpoints::kServeEpochSwap, &injected);
+  if (!injected.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.swap_rejected_invalid;
+    return injected;
+  }
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    if (epoch_ != nullptr && epoch->epoch() <= epoch_->epoch()) {
+      uint64_t current = epoch_->epoch();
+      DD_LOG(Warning) << "refusing epoch swap to " << epoch->epoch()
+                      << ": current epoch " << current << " is newer or equal";
+      DD_COUNTER_ADD("serve.swap_rejected_stale", 1);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.swap_rejected_stale;
+      return Status::InvalidArgument(
+          StrFormat("stale epoch %llu rejected; serving %llu",
+                    static_cast<unsigned long long>(epoch->epoch()),
+                    static_cast<unsigned long long>(current)));
+    }
+    // The swap itself: readers that already pinned the old shared_ptr
+    // finish on it; the mapping unmaps when the last reference drops.
+    epoch_ = std::move(epoch);
+  }
+  // Invalidate after the swap commits. A worker racing us may still
+  // insert a result computed on the retiring epoch *after* this Clear,
+  // which is why cached values carry an epoch stamp checked on read.
+  cache_.Clear();
+  DD_COUNTER_ADD("serve.swaps", 1);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.swaps;
+  }
+  return Status::OK();
+}
+
+Status KbcServer::LoadAndSwap(const std::string& path) {
+  RetryOptions retry = options_.load_retry;
+  if (!retry.should_retry) {
+    // Corruption is permanent: the file's bytes are wrong and rereading
+    // them cannot help. Transient I/O (and injected Internal faults)
+    // may clear.
+    retry.should_retry = [](const Status& s) {
+      return s.code() != StatusCode::kCorruption &&
+             s.code() != StatusCode::kInvalidArgument;
+    };
+  }
+  std::shared_ptr<const ServingEpoch> loaded;
+  Status st = RetryWithBackoff(
+      retry, &retry_rng_,
+      [&]() -> Status {
+        Result<ServingEpoch> result = ServingEpoch::Load(path);
+        if (!result.ok()) return result.status();
+        loaded = std::make_shared<const ServingEpoch>(std::move(result).value());
+        return Status::OK();
+      },
+      /*sleep_fn=*/{},
+      [&](int attempt, const Status& error, double sleep_ms) {
+        DD_LOG(Warning) << "epoch load of " << path << " failed ("
+                        << error.ToString() << "); retry attempt " << attempt
+                        << " after " << sleep_ms << "ms";
+        DD_COUNTER_ADD("serve.load_retries", 1);
+      });
+  if (!st.ok()) {
+    DD_LOG(Warning) << "epoch load of " << path << " rejected ("
+                    << st.ToString() << "); keeping current epoch "
+                    << current_epoch_id();
+    DD_COUNTER_ADD("serve.load_rejected", 1);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.swap_rejected_invalid;
+    return st;
+  }
+  return SwapTo(std::move(loaded));
+}
+
+Status KbcServer::LoadCurrent(const EpochDirectory& dir) {
+  Result<std::string> file = dir.CurrentEpochFile();
+  if (!file.ok()) return file.status();
+  return LoadAndSwap(*file);
+}
+
+std::shared_ptr<const ServingEpoch> KbcServer::current_epoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+uint64_t KbcServer::current_epoch_id() const {
+  auto epoch = current_epoch();
+  return epoch == nullptr ? 0 : epoch->epoch();
+}
+
+Result<QueryResponse> KbcServer::Query(const QueryRequest& request) {
+  DD_RETURN_IF_ERROR(request.deadline.Check("admission"));
+  auto pending = std::make_unique<PendingRequest>();
+  pending->request = request;
+  pending->enqueue_ms = NowMillis();
+  std::future<Result<QueryResponse>> future = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stopping_) {
+      return Status::Unavailable("server not running");
+    }
+    if (queue_.size() >= options_.max_queue) {
+      DD_COUNTER_ADD("serve.shed_queue_full", 1);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed_queue_full;
+      return Status::Unavailable(
+          StrFormat("admission queue full (%zu requests)", queue_.size()));
+    }
+    queue_.push_back(std::move(pending));
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    ++stats_.admitted;
+  }
+  queue_cv_.notify_one();
+  return future.get();
+}
+
+void KbcServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<PendingRequest> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_, queue drained by Stop()
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Shed-on-dequeue: a request that sat in the queue past the budget
+    // is refused rather than executed late — under sustained overload
+    // this bounds the latency of everything we *do* execute.
+    const double waited_ms = NowMillis() - pending->enqueue_ms;
+    if (options_.queue_budget_ms > 0 && waited_ms > options_.queue_budget_ms) {
+      DD_COUNTER_ADD("serve.shed_queue_budget", 1);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.shed_queue_budget;
+      }
+      pending->promise.set_value(Status::Unavailable(
+          StrFormat("request shed after %.1fms in queue (budget %.1fms)",
+                    waited_ms, options_.queue_budget_ms)));
+      continue;
+    }
+    // Pin the epoch for the whole execution: a concurrent swap retires
+    // the old mapping only after this shared_ptr drops.
+    std::shared_ptr<const ServingEpoch> epoch = current_epoch();
+    Result<QueryResponse> result = Execute(pending->request, epoch);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      if (result.ok()) {
+        ++stats_.completed;
+      } else if (result.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      }
+    }
+    pending->promise.set_value(std::move(result));
+  }
+}
+
+Result<QueryResponse> KbcServer::Execute(
+    const QueryRequest& request,
+    const std::shared_ptr<const ServingEpoch>& epoch) {
+  if (epoch == nullptr) {
+    return Status::Unavailable("no epoch loaded yet");
+  }
+  DD_RETURN_IF_ERROR(request.deadline.Check("execute"));
+  if (options_.synthetic_delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.synthetic_delay_ms));
+    DD_RETURN_IF_ERROR(request.deadline.Check("execute"));
+  }
+
+  QueryResponse response;
+  response.epoch = epoch->epoch();
+
+  switch (request.kind) {
+    case QueryKind::kMarginal:
+    case QueryKind::kFact: {
+      // Hot path: epoch-stamped cache first.
+      const std::string key =
+          CacheKey(QueryKind::kMarginal, request.relation, request.row);
+      CachedValue cached;
+      bool hit = cache_.Get(key, &cached) && cached.epoch == epoch->epoch();
+      if (hit) {
+        response.probability = cached.probability;
+        response.from_cache = true;
+        DD_COUNTER_ADD("serve.cache_hits", 1);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.cache_hits;
+      } else {
+        DD_COUNTER_ADD("serve.cache_misses", 1);
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.cache_misses;
+        }
+        DD_RETURN_IF_ERROR(request.deadline.Check("lookup"));
+        DD_ASSIGN_OR_RETURN(uint32_t var,
+                            epoch->FindVar(request.relation, request.row));
+        response.probability = epoch->marginal(var);
+        cache_.Put(key, CachedValue{epoch->epoch(), response.probability});
+      }
+      if (request.kind == QueryKind::kFact) {
+        response.is_fact = response.probability >= request.threshold;
+      }
+      return response;
+    }
+    case QueryKind::kTopK: {
+      DD_RETURN_IF_ERROR(request.deadline.Check("scan"));
+      const int rel = epoch->RelationId(request.relation);
+      if (rel < 0) {
+        return Status::NotFound("unknown relation '" + request.relation + "'");
+      }
+      // Bounded min-heap over a full scan of the relation's variables;
+      // the deadline is rechecked every few thousand rows so a scan of a
+      // huge epoch cannot blow a tight budget unnoticed.
+      std::vector<TopKEntry> heap;
+      auto worse = [](const TopKEntry& a, const TopKEntry& b) {
+        return a.probability > b.probability ||
+               (a.probability == b.probability && a.row < b.row);
+      };
+      const size_t n = epoch->num_variables();
+      for (uint32_t v = 0; v < n; ++v) {
+        if ((v & 0xFFF) == 0xFFF) {
+          DD_RETURN_IF_ERROR(request.deadline.Check("scan"));
+        }
+        if (epoch->RelationOfVar(v) != rel || !epoch->var_live(v)) continue;
+        TopKEntry entry{epoch->var_row(v), epoch->marginal(v)};
+        if (heap.size() < request.k) {
+          heap.push_back(entry);
+          std::push_heap(heap.begin(), heap.end(), worse);
+        } else if (!heap.empty() && worse(entry, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), worse);
+          heap.back() = entry;
+          std::push_heap(heap.begin(), heap.end(), worse);
+        }
+      }
+      // sort_heap under this comparator leaves descending probability
+      // (ties broken by ascending row).
+      std::sort_heap(heap.begin(), heap.end(), worse);
+      response.top = std::move(heap);
+      return response;
+    }
+  }
+  return Status::Internal("unknown query kind");
+}
+
+ServerStats KbcServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace dd

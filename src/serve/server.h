@@ -1,0 +1,187 @@
+#ifndef DEEPDIVE_SERVE_SERVER_H_
+#define DEEPDIVE_SERVE_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/epoch.h"
+#include "serve/lru_cache.h"
+#include "util/deadline.h"
+#include "util/result.h"
+#include "util/retry.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// ---- Resilient KBC serving ---------------------------------------------
+///
+/// KbcServer answers fact/marginal/top-k queries against the newest
+/// *epoch* (an immutable ServingEpoch snapshot) while the batch pipeline
+/// keeps publishing fresher ones. The design goals, in order:
+///
+///   1. Never crash, never serve a torn epoch. Epochs are handed to
+///      readers as shared_ptr<const ServingEpoch>; a swap replaces the
+///      pointer under a brief mutex, and the retiring epoch stays mapped
+///      until its last in-flight reader drops the reference (refcounted
+///      retirement). A candidate that fails validation is rejected and
+///      the previous epoch keeps serving — degradation, not downtime.
+///   2. Bounded latency under overload. Requests pass a bounded
+///      admission queue; when it is full, or a request's queue time
+///      exceeds the budget, the request is shed with Unavailable instead
+///      of growing the tail. Per-request Deadlines are checked at each
+///      pipeline stage and inside long scans (DeadlineExceeded).
+///   3. Monotone epochs. SwapTo refuses an epoch id <= the current one,
+///      loudly (log + counter): the server never silently regresses to
+///      an older knowledge base.
+
+/// What a query asks for.
+enum class QueryKind {
+  kMarginal,  ///< marginal of one (relation, row) fact
+  kFact,      ///< is the fact live and above the threshold?
+  kTopK,      ///< highest-marginal live facts of one relation
+};
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kMarginal;
+  std::string relation;
+  int64_t row = 0;          ///< kMarginal / kFact
+  double threshold = 0.9;   ///< kFact
+  size_t k = 10;            ///< kTopK
+  Deadline deadline;        ///< default: no deadline
+};
+
+struct TopKEntry {
+  int64_t row = 0;
+  double probability = 0.0;
+};
+
+struct QueryResponse {
+  uint64_t epoch = 0;  ///< epoch that answered (monotone across a client)
+  double probability = 0.0;  ///< kMarginal / kFact
+  bool is_fact = false;      ///< kFact
+  std::vector<TopKEntry> top;  ///< kTopK, descending probability
+  bool from_cache = false;
+};
+
+struct ServerOptions {
+  /// Admission queue bound; an arriving request finding the queue full
+  /// is shed immediately.
+  size_t max_queue = 256;
+  /// A request that waited longer than this in the queue is shed when a
+  /// worker picks it up (its deadline budget is likely gone anyway).
+  double queue_budget_ms = 250.0;
+  size_t num_workers = 2;
+  /// Entries in the epoch-stamped result cache (0 disables).
+  size_t cache_entries = 1024;
+  /// Test/bench hook: every executed query burns this long before
+  /// touching the epoch, making queue saturation and deadline expiry
+  /// deterministic to provoke.
+  double synthetic_delay_ms = 0.0;
+  /// Retry policy for LoadAndSwap (transient I/O only; Corruption is
+  /// permanent — retrying a bad file cannot fix it).
+  RetryOptions load_retry;
+  uint64_t retry_seed = 0x5e471e5eedULL;
+};
+
+struct ServerStats {
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_queue_budget = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t completed = 0;
+  uint64_t swaps = 0;
+  uint64_t swap_rejected_stale = 0;
+  uint64_t swap_rejected_invalid = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+};
+
+class KbcServer {
+ public:
+  explicit KbcServer(ServerOptions options = {});
+  ~KbcServer();
+
+  KbcServer(const KbcServer&) = delete;
+  KbcServer& operator=(const KbcServer&) = delete;
+
+  /// Start worker threads. InvalidArgument if already started.
+  Status Start();
+  /// Stop workers; queued requests are failed with Unavailable, never
+  /// dropped silently. Idempotent.
+  void Stop();
+
+  /// Install `epoch` as current. Refuses ids <= the current epoch's
+  /// (InvalidArgument, logged, counted) — in-flight readers keep the
+  /// epoch they pinned; the retiring epoch unmaps when the last one
+  /// finishes. The result cache is invalidated wholesale.
+  Status SwapTo(std::shared_ptr<const ServingEpoch> epoch);
+
+  /// Load `path` (with the transient-error retry policy), validate, and
+  /// SwapTo. On any failure the current epoch keeps serving.
+  Status LoadAndSwap(const std::string& path);
+
+  /// Convenience: LoadAndSwap the epoch CURRENT points at in `dir`.
+  Status LoadCurrent(const EpochDirectory& dir);
+
+  /// Execute a query: admission queue -> worker -> epoch read. Blocks
+  /// until the response or a shed/deadline/stop error. Safe from any
+  /// number of threads.
+  Result<QueryResponse> Query(const QueryRequest& request);
+
+  /// The epoch currently serving (nullptr before the first swap).
+  std::shared_ptr<const ServingEpoch> current_epoch() const;
+  /// Current epoch id, 0 before the first swap.
+  uint64_t current_epoch_id() const;
+
+  ServerStats stats() const;
+
+ private:
+  struct PendingRequest {
+    QueryRequest request;
+    std::promise<Result<QueryResponse>> promise;
+    double enqueue_ms = 0.0;  ///< Stopwatch time at admission
+  };
+
+  void WorkerLoop();
+  /// The actual read path, running on a pinned epoch.
+  Result<QueryResponse> Execute(const QueryRequest& request,
+                                const std::shared_ptr<const ServingEpoch>& epoch);
+
+  const ServerOptions options_;
+
+  mutable std::mutex epoch_mu_;
+  std::shared_ptr<const ServingEpoch> epoch_;
+
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<PendingRequest>> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<std::thread> workers_;
+
+  /// Cached values are stamped with the epoch they were computed on;
+  /// Get() ignores entries whose stamp differs from the pinned epoch, so
+  /// an insert racing a swap (computed on the retiring epoch, inserted
+  /// after Clear()) can never be served against the new one.
+  struct CachedValue {
+    uint64_t epoch = 0;
+    double probability = 0.0;
+  };
+  LruCache<std::string, CachedValue> cache_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+  Rng retry_rng_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_SERVE_SERVER_H_

@@ -711,6 +711,17 @@ Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
     }
     ::close(fd);
   }
+  // A fired snapshot.mmap simulates mmap(2) refusing the mapping (ENOMEM,
+  // filesystem without mmap support): discard whatever was mapped and
+  // exercise the checked-read heap fallback below.
+  Status mmap_refused;
+  DD_FAILPOINT(failpoints::kSnapshotMmap, &mmap_refused);
+  if (!mmap_refused.ok() && snap.map_base_ != nullptr) {
+    ::munmap(snap.map_base_, snap.map_len_);
+    snap.map_base_ = nullptr;
+    snap.map_len_ = 0;
+    snap.bytes_ = std::string_view();
+  }
   if (snap.map_base_ == nullptr) {
     // Heap fallback into an 8-byte-aligned buffer so section contents
     // keep the alignment the pads establish relative to file offsets.
@@ -720,6 +731,11 @@ Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
     snap.bytes_ = std::string_view(
         reinterpret_cast<const char*>(snap.heap_.get()), data.size());
   }
+  // Injected container-validation failure (the mapped bytes are
+  // unreadable garbage): surfaces exactly like a real corrupt file.
+  Status validate_injected;
+  DD_FAILPOINT(failpoints::kSnapshotValidate, &validate_injected);
+  if (!validate_injected.ok()) return validate_injected;
   DD_ASSIGN_OR_RETURN(snap.view_, SnapshotView::Parse(snap.bytes_));
   return snap;
 }

@@ -1,0 +1,58 @@
+#ifndef DEEPDIVE_UTIL_DEADLINE_H_
+#define DEEPDIVE_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <string>
+
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+/// A point on the steady clock after which a request should stop being
+/// worked on. Cheap to copy and pass by value down a query pipeline;
+/// every stage calls Check() (or expired() in a loop) and returns the
+/// resulting DeadlineExceeded instead of a late answer.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires (the default for code paths without a budget).
+  Deadline() : when_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now; ms <= 0 is already expired.
+  static Deadline AfterMillis(double ms) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(ms));
+    return d;
+  }
+
+  bool infinite() const { return when_ == Clock::time_point::max(); }
+  bool expired() const { return !infinite() && Clock::now() >= when_; }
+
+  /// Milliseconds until expiry (negative once past; a large positive
+  /// value when infinite).
+  double remaining_millis() const {
+    if (infinite()) return 1e300;
+    return std::chrono::duration<double, std::milli>(when_ - Clock::now())
+        .count();
+  }
+
+  /// OK while time remains; DeadlineExceeded naming the pipeline stage
+  /// that noticed otherwise.
+  Status Check(const char* stage) const {
+    if (!expired()) return Status::OK();
+    return Status::DeadlineExceeded(
+        StrFormat("deadline exceeded at stage '%s'", stage));
+  }
+
+ private:
+  Clock::time_point when_;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_DEADLINE_H_

@@ -26,6 +26,11 @@ inline constexpr const char* kLearnerEpoch = "learner.epoch";
 inline constexpr const char* kInferenceSweep = "inference.sweep";
 inline constexpr const char* kPipelineExtractor = "pipeline.extractor";
 inline constexpr const char* kPipelinePhase = "pipeline.phase";
+inline constexpr const char* kSnapshotMmap = "snapshot.mmap";
+inline constexpr const char* kSnapshotValidate = "snapshot.validate";
+inline constexpr const char* kServeEpochLoad = "serve.epoch_load";
+inline constexpr const char* kServeEpochSwap = "serve.epoch_swap";
+inline constexpr const char* kServePublish = "serve.publish";
 }  // namespace failpoints
 
 /// What a fired failpoint does to the site that evaluated it.

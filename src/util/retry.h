@@ -1,0 +1,88 @@
+#ifndef DEEPDIVE_UTIL_RETRY_H_
+#define DEEPDIVE_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// Retry policy shared by every retrying caller in the library (extractor
+/// UDFs, epoch loads): truncated exponential backoff with symmetric
+/// jitter. Defined in one place so "how hard do we retry" is a reviewable
+/// policy, not a per-call-site accident.
+struct RetryOptions {
+  /// Total attempts including the first one; <= 1 means no retry.
+  int max_attempts = 3;
+  /// Sleep before attempt 2. 0 disables sleeping entirely (the
+  /// deterministic immediate-retry mode the extractor uses).
+  double initial_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_ms = 1000.0;
+  /// Each sleep is drawn uniformly from backoff * [1-j, 1+j]. Draws come
+  /// from the caller's explicitly seeded Rng, so schedules are
+  /// reproducible.
+  double jitter_fraction = 0.2;
+  /// Which errors are worth retrying. Default: everything non-OK.
+  /// Callers with permanent failure modes (e.g. Corruption of an
+  /// immutable snapshot) narrow this.
+  std::function<bool(const Status&)> should_retry;
+};
+
+/// Backoff (before jitter) preceding `attempt`, where attempt 2 is the
+/// first retry: initial * multiplier^(attempt-2), capped at max.
+inline double BackoffMillis(const RetryOptions& options, int attempt) {
+  double ms = options.initial_backoff_ms;
+  for (int i = 2; i < attempt; ++i) ms *= options.backoff_multiplier;
+  return std::min(ms, options.max_backoff_ms);
+}
+
+/// Jittered sleep preceding `attempt`, deterministic given *rng's state.
+inline double JitteredBackoffMillis(const RetryOptions& options, int attempt,
+                                    Rng* rng) {
+  double ms = BackoffMillis(options, attempt);
+  if (options.jitter_fraction > 0 && ms > 0) {
+    double factor = 1.0 + options.jitter_fraction * (2.0 * rng->NextDouble() - 1.0);
+    ms *= factor;
+  }
+  return ms;
+}
+
+/// Run `fn` until it returns OK, retries are exhausted, or an error the
+/// policy deems permanent appears. Returns the last Status. `sleep_fn`
+/// is injectable so tests assert the schedule without wall-clock sleeps;
+/// `on_retry(attempt, error, sleep_ms)` fires before each retry (attempt
+/// is the upcoming attempt number) so callers can count/log/reset state.
+inline Status RetryWithBackoff(
+    const RetryOptions& options, Rng* rng, const std::function<Status()>& fn,
+    const std::function<void(double)>& sleep_fn = {},
+    const std::function<void(int, const Status&, double)>& on_retry = {}) {
+  Status last;
+  const int attempts = std::max(options.max_attempts, 1);
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    if (attempt > 1) {
+      double sleep_ms = JitteredBackoffMillis(options, attempt, rng);
+      if (on_retry) on_retry(attempt, last, sleep_ms);
+      if (sleep_ms > 0) {
+        if (sleep_fn) {
+          sleep_fn(sleep_ms);
+        } else {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(sleep_ms));
+        }
+      }
+    }
+    last = fn();
+    if (last.ok()) return last;
+    if (options.should_retry && !options.should_retry(last)) return last;
+  }
+  return last;
+}
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_RETRY_H_

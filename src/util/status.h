@@ -21,6 +21,8 @@ enum class StatusCode {
   kUnimplemented,
   kCorruption,   ///< on-disk data failed validation (truncation, bad CRC)
   kIoError,      ///< the OS refused an I/O operation (open/write/fsync/rename)
+  kDeadlineExceeded,  ///< a request's deadline passed before it finished
+  kUnavailable,  ///< transient refusal: overload shedding, no epoch loaded
 };
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
@@ -62,6 +64,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -86,6 +94,8 @@ class Status {
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kCorruption: return "Corruption";
       case StatusCode::kIoError: return "IoError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

@@ -6,6 +6,9 @@
 #include <string>
 #include <vector>
 
+#include "factor/io.h"
+#include "storage/snapshot.h"
+
 namespace dd {
 namespace {
 
@@ -161,6 +164,55 @@ TEST_F(FailpointTest, CorruptionActionAlias) {
   Status status;
   DD_FAILPOINT("test.corrupt", &status);
   EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+// ---- Sites on the MappedSnapshot read path --------------------------------
+
+std::string WriteTinySnapshot(const std::string& name) {
+  GraphSnapshot snapshot;
+  snapshot.has_graph = true;
+  uint32_t w = snapshot.graph.AddWeight(0.5, false, "fp-test-weight");
+  uint32_t v = snapshot.graph.AddVariable();
+  EXPECT_TRUE(
+      snapshot.graph.AddFactor(FactorFunc::kIsTrue, w, {{v, true}}).ok());
+  EXPECT_TRUE(snapshot.graph.Finalize().ok());
+  std::string path = ::testing::TempDir() + name;
+  EXPECT_TRUE(WriteGraphSnapshot(snapshot, path).ok());
+  return path;
+}
+
+TEST_F(FailpointTest, SnapshotMmapSiteForcesHeapFallback) {
+  std::string path = WriteTinySnapshot("fp_mmap_fallback.snap");
+  // Baseline: the platform maps the file.
+  {
+    auto snap = MappedSnapshot::Open(path);
+    ASSERT_TRUE(snap.ok());
+    EXPECT_TRUE(snap->mapped());
+  }
+  // With the site armed, Open succeeds through the 8-aligned heap
+  // fallback instead of failing — mmap refusal is a degradation, not an
+  // error.
+  Failpoints::Instance().Enable(failpoints::kSnapshotMmap, FailpointConfig());
+  auto snap = MappedSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap->mapped());
+  EXPECT_EQ(Failpoints::Instance().fired_count(failpoints::kSnapshotMmap), 1u);
+  // The fallback still parses and serves sections.
+  auto pool = snap->Pool();
+  ASSERT_TRUE(pool.ok());
+  EXPECT_TRUE(snap->Graph(*pool).ok());
+}
+
+TEST_F(FailpointTest, SnapshotValidateSiteInjectsBeforeParse) {
+  std::string path = WriteTinySnapshot("fp_validate.snap");
+  FailpointConfig config;
+  config.code = StatusCode::kCorruption;
+  Failpoints::Instance().Enable(failpoints::kSnapshotValidate, config);
+  auto snap = MappedSnapshot::Open(path);
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), StatusCode::kCorruption);
+  Failpoints::Instance().Reset();
+  EXPECT_TRUE(MappedSnapshot::Open(path).ok());
 }
 
 }  // namespace

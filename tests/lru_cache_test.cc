@@ -1,0 +1,111 @@
+#include "serve/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dd {
+namespace {
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache<std::string, int> cache(4);
+  int v = 0;
+  EXPECT_FALSE(cache.Get("a", &v));
+  cache.Put("a", 7);
+  EXPECT_TRUE(cache.Get("a", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> cache(3);
+  cache.Put(1, 1);
+  cache.Put(2, 2);
+  cache.Put(3, 3);
+  // Touch 1 so 2 becomes the LRU entry.
+  int v = 0;
+  ASSERT_TRUE(cache.Get(1, &v));
+  cache.Put(4, 4);  // evicts 2
+  EXPECT_FALSE(cache.Get(2, &v));
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_TRUE(cache.Get(3, &v));
+  EXPECT_TRUE(cache.Get(4, &v));
+  EXPECT_EQ(cache.evictions(), 1u);
+
+  cache.Put(5, 5);  // evicts 1 (least recent after the touches above)
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(LruCacheTest, PutOverwriteRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // overwrite: 2 is now LRU
+  cache.Put(3, 30);  // evicts 2
+  int v = 0;
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 11);
+  EXPECT_FALSE(cache.Get(2, &v));
+  std::vector<int> keys = cache.Keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 1);  // most recent (the hit above)
+}
+
+TEST(LruCacheTest, ClearDropsEntriesKeepsCounters) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 1);
+  int v = 0;
+  EXPECT_TRUE(cache.Get(1, &v));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1, &v));  // invalidated, counts as a miss
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 1);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// Hammer one cache from several threads (lookups, inserts, clears) and
+// check the exactness invariant: every Get incremented exactly one of
+// hits/misses, so the counters sum to the number of lookups. Run under
+// TSan this is also the data-race test for the serving hot path.
+TEST(LruCacheTest, ConcurrentCountersSumExactly) {
+  LruCache<int, int> cache(64);
+  constexpr int kThreads = 4;
+  constexpr int kLookupsPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        int key = (t * 31 + i) % 128;
+        int v = 0;
+        if (!cache.Get(key, &v)) cache.Put(key, key);
+      }
+    });
+  }
+  // One thread invalidating concurrently, as an epoch swapper would.
+  threads.emplace_back([&cache] {
+    for (int i = 0; i < 50; ++i) {
+      cache.Clear();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads) * kLookupsPerThread);
+  EXPECT_LE(cache.size(), 64u);
+}
+
+}  // namespace
+}  // namespace dd

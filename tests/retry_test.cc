@@ -1,0 +1,165 @@
+#include "util/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace dd {
+namespace {
+
+TEST(RetryTest, SucceedsFirstTryCallsOnce) {
+  Rng rng(1);
+  int calls = 0;
+  Status st = RetryWithBackoff(RetryOptions(), &rng, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesUntilSuccess) {
+  Rng rng(1);
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_ms = 0;  // no sleeping in tests
+  int calls = 0;
+  Status st = RetryWithBackoff(options, &rng, [&]() -> Status {
+    ++calls;
+    if (calls < 3) return Status::IoError("flaky");
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ExhaustionReturnsLastError) {
+  Rng rng(1);
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0;
+  int calls = 0;
+  Status st = RetryWithBackoff(options, &rng, [&]() -> Status {
+    ++calls;
+    return Status::IoError("always " + std::to_string(calls));
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("always 3"), std::string::npos);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, PermanentErrorStopsImmediately) {
+  Rng rng(1);
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.initial_backoff_ms = 0;
+  options.should_retry = [](const Status& s) {
+    return s.code() != StatusCode::kCorruption;
+  };
+  int calls = 0;
+  Status st = RetryWithBackoff(options, &rng, [&]() -> Status {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kCorruption);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, MaxAttemptsBelowOneStillRunsOnce) {
+  Rng rng(1);
+  RetryOptions options;
+  options.max_attempts = 0;
+  int calls = 0;
+  Status st = RetryWithBackoff(options, &rng, [&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, BackoffGrowsGeometricallyAndTruncates) {
+  RetryOptions options;
+  options.initial_backoff_ms = 10;
+  options.backoff_multiplier = 2;
+  options.max_backoff_ms = 35;
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 3), 20.0);
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 4), 35.0);  // 40 truncated
+  EXPECT_DOUBLE_EQ(BackoffMillis(options, 5), 35.0);
+}
+
+TEST(RetryTest, JitterStaysWithinFractionAndIsDeterministic) {
+  RetryOptions options;
+  options.initial_backoff_ms = 100;
+  options.jitter_fraction = 0.2;
+  Rng a(42), b(42);
+  for (int attempt = 2; attempt < 8; ++attempt) {
+    double base = BackoffMillis(options, attempt);
+    double first = JitteredBackoffMillis(options, attempt, &a);
+    double second = JitteredBackoffMillis(options, attempt, &b);
+    EXPECT_DOUBLE_EQ(first, second);  // same seed, same schedule
+    EXPECT_GE(first, base * 0.8);
+    EXPECT_LE(first, base * 1.2);
+  }
+}
+
+TEST(RetryTest, SleepFnReceivesSchedule) {
+  Rng rng(7);
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff_ms = 10;
+  options.jitter_fraction = 0;
+  std::vector<double> slept;
+  Status st = RetryWithBackoff(
+      options, &rng, [] { return Status::IoError("nope"); },
+      [&](double ms) { slept.push_back(ms); });
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  ASSERT_EQ(slept.size(), 3u);
+  EXPECT_DOUBLE_EQ(slept[0], 10.0);
+  EXPECT_DOUBLE_EQ(slept[1], 20.0);
+  EXPECT_DOUBLE_EQ(slept[2], 40.0);
+}
+
+TEST(RetryTest, OnRetryFiresBeforeEachRetryWithLastError) {
+  Rng rng(7);
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0;
+  std::vector<int> attempts;
+  std::vector<std::string> errors;
+  int calls = 0;
+  RetryWithBackoff(
+      options, &rng,
+      [&]() -> Status {
+        ++calls;
+        return Status::IoError("err" + std::to_string(calls));
+      },
+      /*sleep_fn=*/{},
+      [&](int attempt, const Status& error, double /*sleep_ms*/) {
+        attempts.push_back(attempt);
+        errors.push_back(std::string(error.message()));
+      });
+  ASSERT_EQ(attempts.size(), 2u);
+  EXPECT_EQ(attempts[0], 2);
+  EXPECT_EQ(attempts[1], 3);
+  EXPECT_EQ(errors[0], "err1");
+  EXPECT_EQ(errors[1], "err2");
+}
+
+TEST(RetryTest, ZeroBackoffNeverSleeps) {
+  Rng rng(7);
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.initial_backoff_ms = 0;
+  int sleeps = 0;
+  RetryWithBackoff(
+      options, &rng, [] { return Status::IoError("nope"); },
+      [&](double) { ++sleeps; });
+  EXPECT_EQ(sleeps, 0);
+}
+
+}  // namespace
+}  // namespace dd
