@@ -1,0 +1,207 @@
+// EXP-STREAM — streaming log extraction throughput. The logs-workload
+// corpus is ingested through the bounded-memory streaming front end
+// (chunker -> bounded queues -> N extraction workers -> ordered merger
+// -> catalog tables) at 1/2/4/8 workers; every run's tables must be
+// CRC-identical to a sequential batch loop over the same records, and
+// the in-flight high-water mark must stay within the byte budget. The
+// wall-clock inside Ingest() gives MB/s into relational tables.
+//
+// Writes BENCH_streaming.json (gated by ci/bench_gate.py: identity and
+// budget unconditionally, an absolute single-worker MB/s floor, and the
+// core-aware stream_speedup_Nt ratchet). hardware_concurrency is
+// recorded so the gate can tell a regression from a small machine.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddlog/parser.h"
+#include "storage/catalog.h"
+#include "storage/tsv.h"
+#include "stream/ingester.h"
+#include "testdata/corpus_logs.h"
+#include "testdata/logs_app.h"
+#include "util/crc32c.h"
+#include "util/parallel.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+// Per-table CRCs of the serialized (row-id-sensitive) table contents.
+std::map<std::string, uint32_t> CatalogCrcs(const dd::Catalog& catalog) {
+  std::map<std::string, uint32_t> crcs;
+  for (const std::string& name : catalog.TableNames()) {
+    std::string tsv = dd::TableToTsv(**catalog.GetTable(name));
+    crcs[name] = dd::Crc32c(tsv.data(), tsv.size());
+  }
+  return crcs;
+}
+
+struct RunResult {
+  double seconds = 0;
+  dd::IngestStats stats;
+  std::map<std::string, uint32_t> crcs;
+  bool ok = false;
+};
+
+RunResult IngestOnce(const std::string& text, const dd::DdlogProgram& program,
+                     size_t workers, size_t chunk_bytes, size_t byte_budget) {
+  RunResult r;
+  dd::StreamOptions options;
+  options.chunk_bytes = chunk_bytes;
+  options.byte_budget = byte_budget;
+  options.num_workers = workers;
+  dd::StreamIngester ingester(options, dd::MakeLogsStreamExtractor());
+  dd::StringSource source(text);
+  dd::Catalog catalog;
+  dd::CatalogStreamSink sink(&catalog, &program);
+  if (!ingester.Ingest(&source, &sink).ok()) return r;
+  r.seconds = ingester.stats().seconds;
+  r.stats = ingester.stats();
+  r.crcs = CatalogCrcs(catalog);
+  r.ok = true;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const size_t hw = dd::HardwareThreads();
+  const int repeats = EnvInt("DD_BENCH_REPEATS", 3);
+  const size_t chunk_bytes =
+      static_cast<size_t>(EnvInt("DD_BENCH_STREAM_CHUNK", 64 * 1024));
+  const size_t byte_budget =
+      static_cast<size_t>(EnvInt("DD_BENCH_STREAM_BUDGET", 4 * 1024 * 1024));
+  const std::vector<size_t> worker_counts = {1, 2, 4, 8};
+
+  std::printf("=== EXP-STREAM: streaming log extraction throughput ===\n");
+  std::printf("hardware_concurrency: %zu  repeats (best-of): %d\n", hw,
+              repeats);
+
+  dd::LogsCorpusOptions corpus_options;
+  corpus_options.num_windows = EnvInt("DD_BENCH_STREAM_WINDOWS", 20000);
+  corpus_options.seed = 71;
+  dd::LogsCorpus corpus = dd::GenerateLogsCorpus(corpus_options);
+  const double mb = static_cast<double>(corpus.text.size()) / 1e6;
+  std::printf("corpus: %.2f MB, %zu records\n", mb, corpus.lines.size());
+  std::printf("chunk_bytes: %zu  byte_budget: %zu\n\n", chunk_bytes,
+              byte_budget);
+
+  auto program = dd::ParseDdlog(dd::LogsDdlog());
+  if (!program.ok() || !dd::AnalyzeProgram(*program).ok()) {
+    std::fprintf(stderr, "logs DDlog failed to parse/analyze\n");
+    return 1;
+  }
+
+  // Sequential batch oracle: the same extractor over the same records,
+  // one at a time, no chunking, no queues, no threads.
+  dd::Catalog oracle_catalog;
+  dd::StreamExtractor extractor = dd::MakeLogsStreamExtractor();
+  {
+    uint64_t index = 0;
+    size_t start = 0;
+    while (start < corpus.text.size()) {
+      size_t end = corpus.text.find('\n', start);
+      if (end == std::string::npos) end = corpus.text.size();
+      dd::StreamRecord record;
+      record.index = index++;
+      record.line =
+          std::string_view(corpus.text.data() + start, end - start);
+      dd::TupleEmitter emitter;
+      if (!extractor(record, &emitter).ok()) {
+        std::fprintf(stderr, "batch oracle extraction failed\n");
+        return 1;
+      }
+      for (const auto& [relation, rows] : emitter.emitted()) {
+        const dd::RelationDecl* decl = program->FindDecl(relation);
+        if (decl == nullptr) continue;
+        auto table = oracle_catalog.GetOrCreateTable(relation, decl->schema);
+        if (!table.ok()) return 1;
+        for (const dd::Tuple& t : rows) (void)(*table)->Insert(t);
+      }
+      start = end + 1;
+    }
+  }
+  const std::map<std::string, uint32_t> oracle_crcs =
+      CatalogCrcs(oracle_catalog);
+  if (oracle_crcs.empty()) {
+    std::fprintf(stderr, "batch oracle produced no tables\n");
+    return 1;
+  }
+
+  std::map<size_t, RunResult> best;
+  bool identical = true;
+  bool budget_respected = true;
+  size_t peak_bytes_max = 0;
+  std::printf("%-10s %-12s %-10s %-14s %s\n", "workers", "seconds", "MB/s",
+              "peak/budget", "crc-match");
+  for (size_t w : worker_counts) {
+    RunResult b;
+    for (int rep = 0; rep < repeats; ++rep) {
+      RunResult r =
+          IngestOnce(corpus.text, *program, w, chunk_bytes, byte_budget);
+      if (!r.ok) {
+        std::fprintf(stderr, "ingest failed at %zu workers\n", w);
+        return 1;
+      }
+      bool match = r.crcs == oracle_crcs;
+      identical = identical && match;
+      budget_respected =
+          budget_respected && r.stats.peak_in_flight_bytes <= byte_budget;
+      if (r.stats.peak_in_flight_bytes > peak_bytes_max) {
+        peak_bytes_max = r.stats.peak_in_flight_bytes;
+      }
+      if (rep == 0 || r.seconds < b.seconds) b = r;
+    }
+    best[w] = b;
+    std::printf("%-10zu %-12.4f %-10.1f %8zu/%-5zu %s\n", w, b.seconds,
+                mb / b.seconds, b.stats.peak_in_flight_bytes, byte_budget,
+                b.crcs == oracle_crcs ? "yes" : "NO");
+  }
+
+  auto mbps = [&](size_t w) { return mb / best[w].seconds; };
+
+  FILE* out = std::fopen("BENCH_streaming.json", "w");
+  if (out) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"experiment\": \"EXP-STREAM streaming log extraction\",\n"
+        "  \"hardware_concurrency\": %zu,\n"
+        "  \"repeats\": %d,\n"
+        "  \"corpus_bytes\": %zu,\n"
+        "  \"corpus_records\": %zu,\n"
+        "  \"chunk_bytes\": %zu,\n"
+        "  \"byte_budget\": %zu,\n"
+        "  \"peak_in_flight_bytes\": %zu,\n"
+        "  \"mbps\": {\"t1\": %.2f, \"t2\": %.2f, \"t4\": %.2f, \"t8\": %.2f},\n"
+        "  \"streaming_mbps\": %.2f,\n"
+        "  \"stream_speedup_2t\": %.3f,\n"
+        "  \"stream_speedup_4t\": %.3f,\n"
+        "  \"stream_speedup_8t\": %.3f,\n"
+        "  \"budget_respected\": %s,\n"
+        "  \"tables_identical\": %s\n"
+        "}\n",
+        hw, repeats, corpus.text.size(), corpus.lines.size(), chunk_bytes,
+        byte_budget, peak_bytes_max, mbps(1), mbps(2), mbps(4), mbps(8),
+        mbps(1), mbps(2) / mbps(1), mbps(4) / mbps(1), mbps(8) / mbps(1),
+        budget_respected ? "true" : "false", identical ? "true" : "false");
+    std::fclose(out);
+    std::printf("\nwrote BENCH_streaming.json\n");
+  }
+  if (hw < 2) {
+    std::printf(
+        "note: this machine has %zu core(s); multi-worker numbers above are\n"
+        "oversubscribed and reflect scheduling overhead, not scaling.\n",
+        hw);
+  }
+  return (identical && budget_respected) ? 0 : 2;
+}

@@ -41,6 +41,15 @@ Two modes, auto-detected from the JSON shape:
   columnar memory below the row store. Ratios are single-threaded and
   machine-local, so the committed-baseline comparison only warns.
 
+* Streaming mode (``streaming_mbps`` present, from ``bench_streaming``):
+  the streamed tables must be CRC-identical to the sequential batch
+  oracle (``tables_identical``) and the in-flight high-water mark must
+  respect the byte budget (``budget_respected``) — always, on any
+  machine. Single-worker MB/s has a wide absolute floor; the
+  multi-worker scaling ratchets like grounding mode
+  (``stream_speedup_Nt``), and the committed-baseline MB/s comparison
+  only warns (machine-local throughput).
+
 * Serving mode (``serving_qps`` present, from ``bench_serving``): the
   resilience identities of DESIGN.md §13 are unconditional — sampled
   responses bitwise-match the epoch they claim (``responses_consistent``),
@@ -50,6 +59,11 @@ Two modes, auto-detected from the JSON shape:
   floors with wide margin: sustained QPS >= 1000 and p99 <= 100 ms, both
   steady-state and with mid-run swaps. Throughput is machine-local, so
   the committed-baseline comparison only warns.
+
+Every ratchet also emits a machine-greppable
+``bench-gate: ratchet-summary: <label>=<hard|soft|skipped>`` line so
+ci/check.sh can print a one-line digest of which bars actually gated
+the run and which only warned.
 
 Environment:
   DD_BENCH_GATE_SKIP=1        skip the gate entirely (exit 0); for noisy
@@ -67,6 +81,12 @@ def fail(msg: str) -> "int":
     return 1
 
 
+def summary(label: str, mode: str) -> None:
+    """One greppable line per ratchet: did it gate (hard), only warn
+    (soft), or not engage at all on this machine (skipped)?"""
+    print(f"bench-gate: ratchet-summary: {label}={mode}")
+
+
 def ratchet_speedup(baseline, fresh, tolerance, prefix, label, json_name) -> int:
     """Shared serial-vs-parallel speedup ratchet over ``<prefix>_Nt`` keys.
 
@@ -79,6 +99,7 @@ def ratchet_speedup(baseline, fresh, tolerance, prefix, label, json_name) -> int
         print(f"bench-gate: {label} speedup ratchet skipped (fresh machine "
               f"has {hw} core(s) — parallel timing would measure "
               f"oversubscription, not scaling)")
+        summary(f"{label}-speedup", "skipped")
         return 0
 
     # Largest thread count both JSONs measured that the fresh machine can
@@ -91,6 +112,7 @@ def ratchet_speedup(baseline, fresh, tolerance, prefix, label, json_name) -> int
             break
     if gate_t is None:
         print(f"bench-gate: no common feasible {prefix}_Nt key; ratchet skipped")
+        summary(f"{label}-speedup", "skipped")
         return 0
 
     key = f"{prefix}_{gate_t}t"
@@ -112,6 +134,7 @@ def ratchet_speedup(baseline, fresh, tolerance, prefix, label, json_name) -> int
         f"{base_hw} core(s) (limit {limit:.2f}x, "
         f"{'hard' if hard else 'soft'}) -> {verdict}"
     )
+    summary(f"{label}-speedup", "hard" if hard else "soft")
     if hard and fresh_speedup < limit:
         return fail(
             f"{label} speedup regressed: {fresh_speedup:.2f}x < "
@@ -149,6 +172,7 @@ def gate_scheduler(baseline, fresh, tolerance) -> int:
     base_hw = int(baseline.get("hardware_concurrency", 1))
     if hw < 2:
         print("bench-gate: overlap ratio check skipped (single-core runner)")
+        summary("overlap-ratio", "skipped")
         return 0
     ratio = float(fresh.get("overlap_ratio", 1.0))
     hard = base_hw >= 2
@@ -158,6 +182,7 @@ def gate_scheduler(baseline, fresh, tolerance) -> int:
     print(f"bench-gate: pipeline overlap ratio {ratio:.3f} "
           f"(overlapped/sequential wall clock, limit {limit:.3f}, "
           f"{'hard' if hard else 'soft'}) -> {verdict}")
+    summary("overlap-ratio", "hard" if hard else "soft")
     if hard and ratio > limit:
         return fail(
             f"overlapped pipeline is slower than the sequential schedule: "
@@ -213,6 +238,8 @@ def gate_storage(baseline, fresh, tolerance) -> int:
         else:
             print(f"bench-gate: {label} {value:.2f}x vs baseline "
                   f"{base:.2f}x -> OK")
+    summary("storage-floors", "hard")
+    summary("storage-baseline", "soft")
     return 0
 
 
@@ -269,6 +296,55 @@ def gate_serving(baseline, fresh, tolerance) -> int:
         else:
             print(f"bench-gate: {label} {value:.0f} vs baseline "
                   f"{base:.0f} -> OK")
+    summary("serving-floors", "hard")
+    summary("serving-baseline", "soft")
+    return 0
+
+
+def gate_streaming(baseline, fresh, tolerance) -> int:
+    # Identity is the contract, enforced on any machine: a fast ingest
+    # that reorders rows or blows the memory budget must not pass.
+    if fresh.get("tables_identical") is not True:
+        return fail("fresh run: streamed tables differ from the sequential "
+                    "batch oracle (tables_identical != true)")
+    if fresh.get("budget_respected") is not True:
+        return fail("fresh run: in-flight bytes exceeded the byte budget "
+                    "(budget_respected != true)")
+
+    # Absolute floor with wide margin (measured ~90 MB/s on a single
+    # Debug core): single-worker throughput is machine-local but a drop
+    # below this is a structural regression, not noise.
+    floor = 5.0
+    value = float(fresh.get("streaming_mbps", 0.0))
+    verdict = "OK" if value >= floor else "REGRESSION"
+    print(f"bench-gate: single-worker ingest {value:.1f} MB/s "
+          f"(floor {floor:.0f}) -> {verdict}")
+    summary("streaming-floor", "hard")
+    if value < floor:
+        return fail(
+            f"streaming ingest fell to {value:.1f} MB/s, below the "
+            f"{floor:.0f} MB/s floor (override with DD_BENCH_GATE_SKIP=1 "
+            f"or fix the regression)")
+
+    # Multi-worker scaling: same warn-then-harden, core-aware rule as the
+    # grounding speedup ratchet.
+    rc = ratchet_speedup(baseline, fresh, tolerance, "stream_speedup",
+                         "streaming", "BENCH_streaming.json")
+    if rc != 0:
+        return rc
+
+    # Baseline comparison: warn-only ratchet (MB/s is machine-local).
+    if "streaming_mbps" in baseline:
+        base = float(baseline["streaming_mbps"])
+        limit = base * (1.0 - tolerance)
+        if value < limit:
+            print(f"bench-gate: WARN: ingest {value:.1f} MB/s is below the "
+                  f"committed baseline {base:.1f} - {tolerance * 100:.0f}% "
+                  f"(soft: machine-local throughput)")
+        else:
+            print(f"bench-gate: ingest {value:.1f} MB/s vs baseline "
+                  f"{base:.1f} -> OK")
+    summary("streaming-baseline", "soft")
     return 0
 
 
@@ -315,6 +391,13 @@ def main(argv) -> int:
     if baseline_serving:
         return gate_serving(baseline, fresh, tolerance)
 
+    baseline_streaming = "streaming_mbps" in baseline
+    fresh_streaming = "streaming_mbps" in fresh
+    if baseline_streaming != fresh_streaming:
+        return fail("baseline and fresh JSONs are from different benchmarks")
+    if baseline_streaming:
+        return gate_streaming(baseline, fresh, tolerance)
+
     baseline_grounding = "graphs_identical" in baseline
     fresh_grounding = "graphs_identical" in fresh
     if baseline_grounding != fresh_grounding:
@@ -342,6 +425,7 @@ def main(argv) -> int:
         f"{base_ns:.2f} ns/delta ({ratio:.2f}x, limit {limit_ns:.2f} at "
         f"+{tolerance * 100:.0f}%) -> {verdict}"
     )
+    summary("kernel-ns-per-delta", "hard")
     if fresh_ns > limit_ns:
         return fail(
             f"compiled kernel regressed {ratio:.2f}x over baseline "

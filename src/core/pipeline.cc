@@ -4,6 +4,7 @@
 
 #include "core/diagnostics.h"
 #include "ddlog/parser.h"
+#include "stream/ingester.h"
 #include "serve/epoch.h"
 #include "util/failpoint.h"
 #include "util/retry.h"
@@ -50,6 +51,34 @@ Status DeepDivePipeline::AddDocument(std::string id, const std::string& text) {
 void DeepDivePipeline::QueueDelta(const std::string& relation, Tuple tuple,
                                   int64_t count) {
   queued_deltas_[relation][std::move(tuple)] += count;
+}
+
+namespace {
+
+/// Feeds merged chunk results straight into QueueDelta in exact record
+/// order — the same call sequence a batch loop over the same records
+/// would make, so everything downstream (delta-set iteration, table row
+/// ids, factor graph bytes) is identical to the batch path.
+class QueueDeltaSink : public StreamSink {
+ public:
+  explicit QueueDeltaSink(DeepDivePipeline* pipeline) : pipeline_(pipeline) {}
+  Status Apply(ChunkResult&& result) override {
+    for (auto& [relation, tuple] : result.tuples) {
+      pipeline_->QueueDelta(relation, std::move(tuple), 1);
+    }
+    return Status::OK();
+  }
+
+ private:
+  DeepDivePipeline* pipeline_;
+};
+
+}  // namespace
+
+Status DeepDivePipeline::IngestStream(StreamIngester* ingester,
+                                      ByteSource* source) {
+  QueueDeltaSink sink(this);
+  return ingester->Ingest(source, &sink);
 }
 
 Status DeepDivePipeline::ExtractDocument(const Document& doc,

@@ -20,6 +20,9 @@
 
 namespace dd {
 
+class StreamIngester;  // stream/ingester.h
+class ByteSource;      // stream/stream.h
+
 /// Collects the tuples a candidate-generation extractor produces. On the
 /// first Run() emissions are bulk-loaded; on later runs they become
 /// base-relation deltas for incremental grounding (§4.1).
@@ -140,6 +143,13 @@ class DeepDivePipeline {
   /// Queue raw base-relation deltas (insertions/deletions) for the next
   /// Run() — the path for non-document updates such as a grown KB.
   void QueueDelta(const std::string& relation, Tuple tuple, int64_t count);
+
+  /// Streaming ingestion (DESIGN.md §14): drive `ingester` over `source`
+  /// with bounded memory and backpressure, folding every extracted tuple
+  /// into the pipeline's queued base-relation deltas. The next Run()
+  /// then grounds them exactly as if QueueDelta had been called once per
+  /// emission — the batch/stream differential contract.
+  Status IngestStream(StreamIngester* ingester, ByteSource* source);
 
   /// Durability: give the pipeline a run directory. Run() then
   /// checkpoints learning and inference into it (crash-consistent

@@ -1,0 +1,299 @@
+#include "stream/ingester.h"
+
+#include <utility>
+
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/task_graph.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+#include "util/trace.h"
+
+namespace dd {
+
+size_t ChunkResult::ApproxBytes() const {
+  size_t bytes = sizeof(ChunkResult);
+  for (const auto& [relation, t] : tuples) {
+    bytes += relation.size() + 48 + 16 * t.size();  // pair + 16-byte Values
+  }
+  return bytes;
+}
+
+Status DeltaStreamSink::Apply(ChunkResult&& result) {
+  for (auto& [relation, t] : result.tuples) {
+    deltas_[relation][std::move(t)] += 1;
+  }
+  return Status::OK();
+}
+
+Status CatalogStreamSink::Apply(ChunkResult&& result) {
+  // Emissions interleave relations in record order; memoize the last
+  // relation's table so the common run-of-same-relation case is one
+  // pointer chase.
+  const std::string* last_relation = nullptr;
+  Table* table = nullptr;
+  for (auto& [relation, t] : result.tuples) {
+    if (last_relation == nullptr || relation != *last_relation) {
+      const RelationDecl* decl = program_->FindDecl(relation);
+      if (decl == nullptr) {
+        return Status::NotFound(
+            "stream extractor emitted into undeclared relation: " + relation);
+      }
+      DD_ASSIGN_OR_RETURN(table,
+                          catalog_->GetOrCreateTable(relation, decl->schema));
+      last_relation = &relation;
+    }
+    DD_RETURN_IF_ERROR(table->Insert(std::move(t)).status());
+  }
+  return Status::OK();
+}
+
+/// Per-Ingest plumbing shared by the three stage kinds. The chunk queue
+/// holds the end-to-end byte account (explicit release at merge); the
+/// result queue is a plain blocking hand-off whose entries are bounded
+/// because at most budget/chunk_bytes chunks are in flight.
+struct StreamIngester::Shared {
+  explicit Shared(const StreamOptions& options)
+      : chunk_queue(options.byte_budget, options.policy,
+                    BoundedByteQueue<Chunk>::ReleaseMode::kExplicit),
+        result_queue(options.byte_budget,
+                     BoundedByteQueue<ChunkResult>::Policy::kBlock,
+                     BoundedByteQueue<ChunkResult>::ReleaseMode::kOnPop) {}
+
+  /// Error teardown: discard queued work and unblock every stage. The
+  /// node that tripped it returns its Status; everyone else drains out
+  /// cleanly and the TaskGraph attributes the failure to the lowest id.
+  void Abort() {
+    chunk_queue.Abort();
+    result_queue.Abort();
+  }
+
+  /// Called by every worker exactly once on exit; the last one closes
+  /// the result queue so the merger knows the stream of results ended.
+  void WorkerDone() {
+    if (workers_left.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      result_queue.Close();
+    }
+  }
+
+  BoundedByteQueue<Chunk> chunk_queue;
+  BoundedByteQueue<ChunkResult> result_queue;
+  std::atomic<size_t> workers_left{0};
+};
+
+StreamIngester::StreamIngester(StreamOptions options, StreamExtractor extractor)
+    : options_(std::move(options)), extractor_(std::move(extractor)) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 1;
+  if (options_.byte_budget == 0) options_.byte_budget = 1;
+}
+
+Status StreamIngester::ProduceChunks(Shared* shared, ByteSource* source) {
+  ChunkerOptions copts;
+  copts.chunk_bytes = options_.chunk_bytes;
+  copts.max_record_bytes = options_.max_record_bytes;
+  Chunker chunker(source, copts);
+
+  uint64_t admit_seq = 0;  // merge order is over *admitted* chunks only
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_relaxed)) {
+      stats_.stopped_early = true;
+      break;
+    }
+    Chunk chunk;
+    Result<bool> more = chunker.Next(&chunk);
+    if (!more.ok()) {
+      shared->Abort();
+      stats_.bytes_in = chunker.bytes_read();
+      return more.status();
+    }
+    if (!*more) break;
+
+    Status injected;
+    DD_FAILPOINT(failpoints::kStreamHandoff, &injected);
+    if (!injected.ok()) {
+      shared->Abort();
+      stats_.bytes_in = chunker.bytes_read();
+      return injected;
+    }
+
+    const size_t bytes = chunk.bytes.size();
+    chunk.seq = admit_seq;  // shed chunks must not leave gaps in seq
+    const auto pushed = shared->chunk_queue.Push(std::move(chunk), bytes);
+    if (pushed == BoundedByteQueue<Chunk>::PushResult::kClosed) break;
+    if (pushed == BoundedByteQueue<Chunk>::PushResult::kShed) {
+      DD_COUNTER_ADD("dd.stream.chunks_shed", 1);
+      continue;
+    }
+    ++admit_seq;
+    ++stats_.chunks;
+    DD_COUNTER_ADD("dd.stream.chunks_admitted", 1);
+  }
+  stats_.bytes_in = chunker.bytes_read();
+  shared->chunk_queue.Close();
+  return Status::OK();
+}
+
+Status StreamIngester::ExtractOneChunk(const Chunk& chunk,
+                                       ChunkResult* result) {
+  result->seq = chunk.seq;
+  result->chunk_bytes = chunk.bytes.size();
+
+  Status injected;
+  DD_FAILPOINT(failpoints::kStreamParse, &injected);
+  DD_RETURN_IF_ERROR(injected);
+
+  const std::string& bytes = chunk.bytes;
+  size_t start = 0;
+  for (uint64_t r = 0; r < chunk.num_records; ++r) {
+    size_t end = bytes.find('\n', start);
+    if (end == std::string::npos) end = bytes.size();
+    StreamRecord record;
+    record.index = chunk.first_record + r;
+    record.line = std::string_view(bytes.data() + start, end - start);
+    start = end + 1;
+    ++result->num_records;
+
+    // Extraction UDFs are the flakiest stage of a KBC system (§3):
+    // retry once on a fresh emitter, then quarantine the record rather
+    // than kill the stream.
+    TupleEmitter emitter;
+    Status status = extractor_(record, &emitter);
+    if (!status.ok()) {
+      ++result->retries;
+      emitter = TupleEmitter();
+      status = extractor_(record, &emitter);
+    }
+    if (!status.ok()) {
+      ++result->quarantined;
+      if (result->first_quarantine_error.ok()) {
+        result->first_quarantine_error = status;
+      }
+      DD_COUNTER_ADD("dd.stream.records_quarantined", 1);
+      continue;
+    }
+    for (const auto& [relation, rows] : emitter.emitted()) {
+      for (const Tuple& t : rows) {
+        result->tuples.emplace_back(relation, t);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamIngester::ExtractChunks(Shared* shared) {
+  Chunk chunk;
+  while (shared->chunk_queue.Pop(&chunk)) {
+    ChunkResult result;
+    Status status = ExtractOneChunk(chunk, &result);
+    if (!status.ok()) {
+      shared->Abort();
+      shared->WorkerDone();
+      return status;
+    }
+    const size_t cost = result.ApproxBytes();
+    const auto pushed = shared->result_queue.Push(std::move(result), cost);
+    if (pushed != BoundedByteQueue<ChunkResult>::PushResult::kOk) break;
+  }
+  shared->WorkerDone();
+  return Status::OK();
+}
+
+Status StreamIngester::MergeResults(Shared* shared, StreamSink* sink) {
+  std::map<uint64_t, ChunkResult> pending;  // out-of-order reorder buffer
+  uint64_t next_seq = 0;
+  ChunkResult incoming;
+  while (shared->result_queue.Pop(&incoming)) {
+    pending.emplace(incoming.seq, std::move(incoming));
+    while (!pending.empty() && pending.begin()->first == next_seq) {
+      ChunkResult current = std::move(pending.begin()->second);
+      pending.erase(pending.begin());
+
+      Status injected;
+      DD_FAILPOINT(failpoints::kStreamMerge, &injected);
+      if (!injected.ok()) {
+        shared->Abort();
+        return injected;
+      }
+
+      stats_.records += current.num_records;
+      stats_.records_quarantined += current.quarantined;
+      stats_.extractor_retries += current.retries;
+      if (first_quarantine_error_.ok() &&
+          !current.first_quarantine_error.ok()) {
+        first_quarantine_error_ = current.first_quarantine_error;
+      }
+      const uint64_t chunk_bytes = current.chunk_bytes;
+      Status status = sink->Apply(std::move(current));
+      if (!status.ok()) {
+        shared->Abort();
+        return status;
+      }
+      shared->chunk_queue.Release(chunk_bytes);
+      ++next_seq;
+      ++stats_.merged_chunks;
+      DD_COUNTER_ADD("dd.stream.chunks_merged", 1);
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamIngester::Ingest(ByteSource* source, StreamSink* sink) {
+  stats_ = IngestStats();
+  stats_.byte_budget = options_.byte_budget;
+  first_quarantine_error_ = Status::OK();
+  stop_requested_.store(false, std::memory_order_relaxed);
+
+  const size_t workers =
+      options_.num_workers == 0 ? HardwareThreads() : options_.num_workers;
+  Shared shared(options_);
+  shared.workers_left.store(workers, std::memory_order_relaxed);
+
+  Stopwatch watch;
+  DD_TRACE_SPAN_VAR(ingest_span, "stream.ingest");
+
+  // The stages are concurrent nodes of one TaskGraph: no edges — they
+  // pipeline through the bounded queues, and Run() is the join. Node ids
+  // ascend read -> extract -> merge, so the lowest-id-failure rule
+  // attributes an aborted stream to its root cause, not to knock-on
+  // closures downstream. The pool is sized so every node has a thread
+  // even while others are parked on a queue (the caller helps too).
+  TaskGraph tg;
+  tg.set_trace_root(TraceSpan::CurrentPath());
+  tg.AddUntracedNode("stream.read",
+                     [this, &shared, source]() -> Status {
+                       return ProduceChunks(&shared, source);
+                     });
+  for (size_t w = 0; w < workers; ++w) {
+    tg.AddUntracedNode("stream.extract",
+                       [this, &shared]() -> Status {
+                         return ExtractChunks(&shared);
+                       });
+  }
+  tg.AddUntracedNode("stream.merge",
+                     [this, &shared, sink]() -> Status {
+                       return MergeResults(&shared, sink);
+                     });
+
+  ThreadPool pool(workers + 2);
+  Status status = tg.Run(&pool);
+
+  stats_.peak_in_flight_bytes = shared.chunk_queue.peak_bytes();
+  stats_.chunks_shed = shared.chunk_queue.shed_count();
+  stats_.shed_bytes = shared.chunk_queue.shed_bytes();
+  stats_.seconds = watch.Seconds();
+  DD_COUNTER_ADD("dd.stream.bytes_in", stats_.bytes_in);
+
+  if (!status.ok()) return status;
+  if (stats_.records_quarantined > 0 &&
+      static_cast<double>(stats_.records_quarantined) >
+          options_.max_quarantine_fraction *
+              static_cast<double>(stats_.records)) {
+    // Systematic extractor failure: surface the first record's error.
+    return first_quarantine_error_;
+  }
+  return Status::OK();
+}
+
+}  // namespace dd

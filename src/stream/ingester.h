@@ -1,0 +1,192 @@
+#ifndef DEEPDIVE_STREAM_INGESTER_H_
+#define DEEPDIVE_STREAM_INGESTER_H_
+
+// Streaming extraction front end (DESIGN.md §14): a bounded-memory,
+// backpressured pipeline from raw bytes to relational tuples.
+//
+//   ByteSource -> Chunker -> [bounded chunk queue] -> N extraction
+//   workers -> [bounded result queue] -> ordered merger -> StreamSink
+//
+// The stages run as concurrent nodes of a TaskGraph over a dedicated
+// ThreadPool (the same scheduler substrate as the batch phases; the pool
+// is private because every node parks on a queue, which must never
+// starve the pipeline's phase pool). Memory is bounded end-to-end: a
+// chunk's payload bytes are charged against StreamOptions::byte_budget
+// when the producer admits it and returned only after the merger has
+// applied its extraction results, so source bytes in flight — queued,
+// being extracted, or waiting for in-order merge — never exceed the
+// budget (plus at most one over-budget record, which is admitted alone).
+//
+// Determinism: workers extract chunks in whatever order the scheduler
+// hands them out, but the merger applies ChunkResults in strictly
+// ascending chunk sequence, and chunk decomposition is a pure function
+// of the stream bytes. The sink therefore observes exactly the record
+// order of the source — byte-identical tables and factor graphs at any
+// chunk size, worker count, or interleaving (the differential suite's
+// contract).
+//
+// Failure model (§8): errors at the chunk-read, hand-off, parse, and
+// merge sites (each a registered stream.* failpoint) propagate as clean
+// Status values: the failing node trips a shared abort that closes both
+// queues and unblocks every stage, Ingest() joins all nodes and returns
+// the lowest-node-id failure — never a hang, never a leak. A per-record
+// extractor failure is retried once and then quarantines the record
+// (counted, reported, stream continues), mirroring the batch pipeline's
+// UDF hardening.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "stream/stream.h"
+#include "util/bounded_queue.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// One record handed to the extractor: a view into the chunk's bytes
+/// (no copy) plus the stream-global record index, which is identical no
+/// matter how the stream was chunked.
+struct StreamRecord {
+  uint64_t index = 0;
+  std::string_view line;  ///< without the trailing '\n'
+};
+
+/// Record-level extraction UDF: parse one record, emit tuples. Must be
+/// deterministic and must not touch shared mutable state — instances run
+/// concurrently on different records.
+using StreamExtractor =
+    std::function<Status(const StreamRecord&, TupleEmitter*)>;
+
+/// Extraction output of one chunk, merged downstream in seq order.
+struct ChunkResult {
+  uint64_t seq = 0;
+  uint64_t chunk_bytes = 0;  ///< payload bytes to return to the budget
+  uint64_t num_records = 0;
+  uint64_t quarantined = 0;
+  uint64_t retries = 0;
+  Status first_quarantine_error;  ///< first record-level failure, if any
+  /// Emissions in exact record order (record-major, relation-sorted
+  /// within a record — the order a batch loop over the same records and
+  /// the same per-record TupleEmitter would produce). Keeping the
+  /// interleaving intact is what makes downstream insertion sequences —
+  /// and therefore hash-map iteration orders and table row ids —
+  /// byte-identical to the batch oracle's.
+  std::vector<std::pair<std::string, Tuple>> tuples;
+
+  /// Approximate heap footprint, the cost charged to the result queue.
+  size_t ApproxBytes() const;
+};
+
+/// Receives per-chunk extraction results in strictly ascending seq order
+/// from the merger node (single-threaded calls).
+class StreamSink {
+ public:
+  virtual ~StreamSink() = default;
+  virtual Status Apply(ChunkResult&& result) = 0;
+};
+
+/// Folds results into per-relation delta sets — the order-insensitive
+/// view (tests compare contents, not sequences).
+class DeltaStreamSink : public StreamSink {
+ public:
+  Status Apply(ChunkResult&& result) override;
+  const std::map<std::string, DeltaSet>& deltas() const { return deltas_; }
+  std::map<std::string, DeltaSet>* mutable_deltas() { return &deltas_; }
+
+ private:
+  std::map<std::string, DeltaSet> deltas_;
+};
+
+/// Inserts tuples straight into catalog tables in record order — row ids
+/// come out exactly as a batch loader inserting the same stream would
+/// assign them. Tables are created on demand from the program's
+/// declarations; an emission into an undeclared relation fails the
+/// stream.
+class CatalogStreamSink : public StreamSink {
+ public:
+  CatalogStreamSink(Catalog* catalog, const DdlogProgram* program)
+      : catalog_(catalog), program_(program) {}
+  Status Apply(ChunkResult&& result) override;
+
+ private:
+  Catalog* catalog_;
+  const DdlogProgram* program_;
+};
+
+struct StreamOptions {
+  /// Record-aligned chunking (CLP InputBuffer pattern).
+  size_t chunk_bytes = 64 * 1024;
+  size_t max_record_bytes = 1 << 20;
+  /// End-to-end in-flight byte budget (admission -> merge). The
+  /// backpressure contract: source bytes in flight never exceed this
+  /// (plus at most one over-budget record admitted alone).
+  size_t byte_budget = 4 * 1024 * 1024;
+  /// What a producer does when the budget is exhausted: wait for the
+  /// consumers (kBlock, lossless) or drop the chunk and count it
+  /// (kShed, for sources that must never stall).
+  BoundedByteQueue<Chunk>::Policy policy = BoundedByteQueue<Chunk>::Policy::kBlock;
+  /// Sharded extraction workers. 0 = hardware concurrency.
+  size_t num_workers = 0;
+  /// Like the batch pipeline: a record whose extractor fails is retried
+  /// once, then quarantined. When more than this fraction of all records
+  /// is quarantined the ingest itself fails with the first error.
+  double max_quarantine_fraction = 0.5;
+};
+
+struct IngestStats {
+  uint64_t bytes_in = 0;        ///< bytes consumed from the source
+  uint64_t records = 0;         ///< records extracted (incl. quarantined)
+  uint64_t chunks = 0;          ///< chunks admitted
+  uint64_t merged_chunks = 0;   ///< chunks whose results reached the sink
+  uint64_t records_quarantined = 0;
+  uint64_t extractor_retries = 0;
+  uint64_t chunks_shed = 0;     ///< kShed policy: chunks dropped at admission
+  uint64_t shed_bytes = 0;
+  size_t peak_in_flight_bytes = 0;  ///< high-water mark vs byte_budget
+  size_t byte_budget = 0;
+  bool stopped_early = false;   ///< RequestStop() cut the stream short
+  double seconds = 0;           ///< wall time inside Ingest()
+};
+
+class StreamIngester {
+ public:
+  StreamIngester(StreamOptions options, StreamExtractor extractor);
+
+  /// Drive the full pipeline until the source is exhausted (or
+  /// RequestStop(), or an error). Blocks; all worker state is joined
+  /// before returning. Reusable: each call starts from fresh stats.
+  Status Ingest(ByteSource* source, StreamSink* sink);
+
+  /// Graceful mid-stream shutdown, callable from any thread: the
+  /// producer stops admitting new chunks; everything already admitted is
+  /// extracted and merged (no loss of admitted records), then Ingest()
+  /// returns OK with stats().stopped_early set. The merged prefix is
+  /// always chunk-aligned: exactly chunks [0, stats().merged_chunks).
+  void RequestStop() { stop_requested_.store(true, std::memory_order_relaxed); }
+
+  const IngestStats& stats() const { return stats_; }
+
+ private:
+  struct Shared;  // per-Ingest queues and flags
+
+  Status ProduceChunks(Shared* shared, ByteSource* source);
+  Status ExtractChunks(Shared* shared);
+  Status MergeResults(Shared* shared, StreamSink* sink);
+  Status ExtractOneChunk(const Chunk& chunk, ChunkResult* result);
+
+  StreamOptions options_;
+  StreamExtractor extractor_;
+  std::atomic<bool> stop_requested_{false};
+  IngestStats stats_;
+  Status first_quarantine_error_;  ///< written only by the merger node
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STREAM_INGESTER_H_

@@ -1,0 +1,122 @@
+#include "stream/stream.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/failpoint.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+Result<size_t> StringSource::Read(char* buf, size_t n) {
+  const size_t remaining = bytes_.size() - pos_;
+  const size_t take = std::min(n, remaining);
+  std::memcpy(buf, bytes_.data() + pos_, take);
+  pos_ += take;
+  return take;
+}
+
+FileSource::~FileSource() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<size_t> FileSource::Read(char* buf, size_t n) {
+  if (!opened_) {
+    opened_ = true;
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IoError("cannot open stream source: " + path_);
+    }
+  }
+  if (file_ == nullptr) {
+    return Status::IoError("stream source failed to open: " + path_);
+  }
+  const size_t got = std::fread(buf, 1, n, file_);
+  if (got < n && std::ferror(file_) != 0) {
+    return Status::IoError("read error on stream source: " + path_);
+  }
+  return got;
+}
+
+Chunker::Chunker(ByteSource* source, ChunkerOptions options)
+    : source_(source), options_(options) {
+  if (options_.chunk_bytes == 0) options_.chunk_bytes = 1;
+  if (options_.max_record_bytes < options_.chunk_bytes) {
+    options_.max_record_bytes = options_.chunk_bytes;
+  }
+}
+
+Result<bool> Chunker::Next(Chunk* out) {
+  if (eof_ && carry_.empty()) return false;
+
+  std::string buffer = std::move(carry_);
+  carry_.clear();
+
+  // Fill until the buffer holds at least one whole record and reaches
+  // the target size (or the stream ends). The buffer only grows past
+  // chunk_bytes while it contains no record boundary at all — one
+  // over-long record, bounded by max_record_bytes.
+  while (!eof_) {
+    if (buffer.size() >= options_.chunk_bytes &&
+        buffer.find('\n') != std::string::npos) {
+      break;
+    }
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > options_.max_record_bytes) {
+      return Status::ParseError(StrFormat(
+          "stream record exceeds max_record_bytes (%zu): no record "
+          "terminator in the first %zu bytes",
+          options_.max_record_bytes, buffer.size()));
+    }
+    Status injected;
+    DD_FAILPOINT(failpoints::kStreamChunkRead, &injected);
+    if (!injected.ok()) return injected;
+
+    const size_t old_size = buffer.size();
+    // Refill to the target, or grow by a whole block while hunting for
+    // the boundary of an over-long record.
+    const size_t want = old_size < options_.chunk_bytes
+                            ? options_.chunk_bytes - old_size
+                            : options_.chunk_bytes;
+    buffer.resize(old_size + want);
+    DD_ASSIGN_OR_RETURN(const size_t got,
+                        source_->Read(buffer.data() + old_size, want));
+    buffer.resize(old_size + got);
+    bytes_read_ += got;
+    if (got == 0) eof_ = true;
+  }
+
+  if (buffer.empty()) return false;
+
+  // Cut at the last record boundary; the tail is carried into the next
+  // chunk. At end of stream an unterminated tail is the final record.
+  size_t cut = buffer.rfind('\n');
+  if (cut == std::string::npos) {
+    if (!eof_) {
+      return Status::ParseError(StrFormat(
+          "stream record exceeds max_record_bytes (%zu)",
+          options_.max_record_bytes));
+    }
+    cut = buffer.size();  // final unterminated record
+  } else {
+    cut += 1;  // keep the terminator with its record
+    if (!eof_ || cut < buffer.size()) {
+      carry_ = buffer.substr(cut);
+      buffer.resize(cut);
+    }
+  }
+
+  out->seq = next_seq_++;
+  out->first_record = next_record_;
+  uint64_t records = 0;
+  for (char c : buffer) {
+    if (c == '\n') ++records;
+  }
+  if (!buffer.empty() && buffer.back() != '\n') ++records;  // EOF tail
+  out->num_records = records;
+  next_record_ += records;
+  out->bytes = std::move(buffer);
+  return true;
+}
+
+}  // namespace dd

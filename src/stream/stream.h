@@ -1,0 +1,105 @@
+#ifndef DEEPDIVE_STREAM_STREAM_H_
+#define DEEPDIVE_STREAM_STREAM_H_
+
+// Buffer-based streaming front end, stage 1: byte sources and the
+// record-aligned chunker (DESIGN.md §14). The chunker is the CLP-style
+// InputBuffer: it reads fixed-size blocks from a ByteSource and cuts
+// them at record boundaries, so every chunk it emits holds only whole
+// records and the decomposition of a stream into chunks is a pure
+// function of (stream bytes, chunk_bytes) — never of timing or thread
+// count. That purity is what lets the differential harness demand
+// byte-identical output at any chunk size.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace dd {
+
+/// A pull-based byte stream. Read() fills up to `n` bytes and returns
+/// how many it produced; 0 means end of stream. Implementations need not
+/// be thread-safe: the chunker is the only reader.
+class ByteSource {
+ public:
+  virtual ~ByteSource() = default;
+  virtual Result<size_t> Read(char* buf, size_t n) = 0;
+};
+
+/// In-memory source over bytes the caller keeps alive (corpus text,
+/// test fixtures).
+class StringSource : public ByteSource {
+ public:
+  explicit StringSource(std::string_view bytes) : bytes_(bytes) {}
+  Result<size_t> Read(char* buf, size_t n) override;
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+/// Buffered file source (log files, fifos). Fails Read() with IoError if
+/// the file cannot be opened or a read fails.
+class FileSource : public ByteSource {
+ public:
+  explicit FileSource(std::string path) : path_(std::move(path)) {}
+  ~FileSource() override;
+  Result<size_t> Read(char* buf, size_t n) override;
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool opened_ = false;
+};
+
+/// A contiguous run of whole records cut from the stream. Records are
+/// '\n'-terminated lines; the final record of a stream may lack the
+/// terminator. `seq` numbers chunks densely from 0 in stream order and
+/// `first_record` is the stream-global index of the chunk's first
+/// record, so record numbering is identical no matter how the stream was
+/// chunked.
+struct Chunk {
+  uint64_t seq = 0;
+  uint64_t first_record = 0;
+  uint64_t num_records = 0;
+  std::string bytes;
+};
+
+struct ChunkerOptions {
+  /// Target chunk payload. A chunk closes at the last record boundary at
+  /// or before this size; it exceeds it only when a single record does.
+  size_t chunk_bytes = 64 * 1024;
+  /// A record longer than this is a malformed stream (ParseError) rather
+  /// than a license to buffer without bound.
+  size_t max_record_bytes = 1 << 20;
+};
+
+/// Cuts a ByteSource into record-aligned chunks. Single-threaded; owns
+/// the carry buffer for the partial record spanning two reads.
+class Chunker {
+ public:
+  Chunker(ByteSource* source, ChunkerOptions options);
+
+  /// Produce the next chunk. Returns false at end of stream (*out
+  /// untouched). Read errors and over-long records surface as Status;
+  /// the stream.chunk_read failpoint injects here.
+  Result<bool> Next(Chunk* out);
+
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  ByteSource* source_;
+  ChunkerOptions options_;
+  std::string carry_;  ///< partial record from the previous block
+  uint64_t next_seq_ = 0;
+  uint64_t next_record_ = 0;
+  uint64_t bytes_read_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_STREAM_STREAM_H_

@@ -1,0 +1,148 @@
+#include "testdata/corpus_logs.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string LogLine::Format() const {
+  return StrFormat("ts=%lld host=%s service=%s level=%s code=%s msg=\"%s\"",
+                   static_cast<long long>(ts), host.c_str(), service.c_str(),
+                   level.c_str(), code.c_str(), msg.c_str());
+}
+
+namespace {
+
+const char* const kServicePool[] = {
+    "auth",     "billing",  "cart",    "search", "checkout", "gateway",
+    "inventory", "payments", "profile", "shipping", "notify", "ledger"};
+constexpr int kServicePoolSize = 12;
+
+// Spontaneous error classes. E503 appears here too, so the cascade
+// signature below is informative but not a perfect label proxy (§8's
+// supervision-warning failure mode).
+const char* const kNoiseCodes[] = {"E500", "E404", "E429", "E503"};
+// Downstream errors of a cascade: overload/timeout classes.
+const char* const kCascadeCodes[] = {"E503", "E504"};
+
+const char* const kErrorMsgs[] = {"request failed", "upstream timeout",
+                                  "connection reset", "rpc deadline exceeded"};
+const char* const kInfoMsgs[] = {"heartbeat ok", "request served",
+                                 "cache refreshed", "gc pause 12ms"};
+
+}  // namespace
+
+LogsCorpus GenerateLogsCorpus(const LogsCorpusOptions& options) {
+  LogsCorpus corpus;
+  Rng rng(options.seed);
+
+  const int num_services = std::min(options.num_services, kServicePoolSize);
+  for (int i = 0; i < num_services; ++i) {
+    corpus.services.push_back(kServicePool[i]);
+  }
+  for (int i = 0; i < options.num_hosts; ++i) {
+    corpus.hosts.push_back(StrFormat("host-%d", i));
+  }
+
+  // Plant distinct ordered causal pairs.
+  std::set<std::pair<int, int>> used;
+  while (static_cast<int>(corpus.causal_pairs.size()) <
+             options.num_causal_pairs &&
+         static_cast<int>(used.size()) < num_services * (num_services - 1)) {
+    int a = static_cast<int>(rng.NextBounded(num_services));
+    int b = static_cast<int>(rng.NextBounded(num_services));
+    if (a == b || !used.insert({a, b}).second) continue;
+    corpus.causal_pairs.emplace_back(corpus.services[a], corpus.services[b]);
+  }
+  // Held-out planted pairs (beyond the first floor(fraction * n)) are
+  // the real test: they must be recovered through the weights the
+  // supervised pairs train, never through their own labels.
+  size_t kb_known = static_cast<size_t>(options.kb_fraction *
+                                        corpus.causal_pairs.size());
+  if (kb_known == 0 && !corpus.causal_pairs.empty()) kb_known = 1;
+  for (size_t i = 0; i < kb_known && i < corpus.causal_pairs.size(); ++i) {
+    corpus.kb_causes.push_back(corpus.causal_pairs[i]);
+  }
+  // Negative supervision: pairs known to be independent (never planted
+  // in either direction).
+  std::set<std::pair<std::string, std::string>> causal_set(
+      corpus.causal_pairs.begin(), corpus.causal_pairs.end());
+  int negatives_tried = 0;
+  while (static_cast<int>(corpus.kb_not_causes.size()) <
+             options.num_kb_negatives &&
+         ++negatives_tried < 1000) {
+    int a = static_cast<int>(rng.NextBounded(num_services));
+    int b = static_cast<int>(rng.NextBounded(num_services));
+    if (a == b) continue;
+    std::pair<std::string, std::string> pair(corpus.services[a],
+                                             corpus.services[b]);
+    std::pair<std::string, std::string> rev(pair.second, pair.first);
+    if (causal_set.count(pair) > 0 || causal_set.count(rev) > 0) continue;
+    if (std::find(corpus.kb_not_causes.begin(), corpus.kb_not_causes.end(),
+                  pair) != corpus.kb_not_causes.end()) {
+      continue;
+    }
+    corpus.kb_not_causes.push_back(pair);
+  }
+
+  auto pick = [&rng](const auto& list, size_t n) {
+    return list[rng.NextBounded(n)];
+  };
+  for (int w = 0; w < options.num_windows; ++w) {
+    const int64_t base_ts = static_cast<int64_t>(w) * options.window_seconds;
+    int64_t offset = 0;
+    auto emit = [&](const std::string& service, const std::string& level,
+                    const std::string& code, const std::string& msg) {
+      LogLine line;
+      line.ts = base_ts + offset;
+      offset = std::min<int64_t>(offset + 1 + rng.NextBounded(3),
+                                 options.window_seconds - 1);
+      line.host = corpus.hosts[rng.NextBounded(corpus.hosts.size())];
+      line.service = service;
+      line.level = level;
+      line.code = code;
+      line.msg = msg;
+      corpus.lines.push_back(std::move(line));
+    };
+
+    for (int i = 0; i < options.info_lines_per_window; ++i) {
+      emit(corpus.services[rng.NextBounded(corpus.services.size())], "INFO",
+           "-", pick(kInfoMsgs, 4));
+    }
+    // At most one incident per window: a cascade of one planted causal
+    // pair, or 1-2 spontaneous unrelated errors. Causal pairs therefore
+    // co-error in many windows while coincidence pairs co-error in few —
+    // the frequency signal the tied per-window factors turn into
+    // probability mass.
+    if (!rng.NextBernoulli(options.incident_rate)) continue;
+    if (!corpus.causal_pairs.empty() &&
+        rng.NextBernoulli(options.cascade_share)) {
+      const auto& [upstream, downstream] =
+          corpus.causal_pairs[rng.NextBounded(corpus.causal_pairs.size())];
+      emit(upstream, "ERROR", pick(kNoiseCodes, 4), pick(kErrorMsgs, 4));
+      emit(downstream, "ERROR", pick(kCascadeCodes, 2),
+           "upstream timeout from " + upstream);
+    } else {
+      const size_t first = rng.NextBounded(corpus.services.size());
+      emit(corpus.services[first], "ERROR", pick(kNoiseCodes, 4),
+           pick(kErrorMsgs, 4));
+      if (rng.NextBernoulli(0.5)) {
+        size_t second = rng.NextBounded(corpus.services.size());
+        if (second == first) second = (second + 1) % corpus.services.size();
+        emit(corpus.services[second], "ERROR", pick(kNoiseCodes, 4),
+             pick(kErrorMsgs, 4));
+      }
+    }
+  }
+
+  for (const LogLine& line : corpus.lines) {
+    corpus.text += line.Format();
+    corpus.text += '\n';
+  }
+  return corpus;
+}
+
+}  // namespace dd

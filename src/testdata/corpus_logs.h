@@ -1,0 +1,74 @@
+#ifndef DEEPDIVE_TESTDATA_CORPUS_LOGS_H_
+#define DEEPDIVE_TESTDATA_CORPUS_LOGS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dd {
+
+/// Synthetic machine-log stream for the log/telemetry KBC workload: a
+/// fleet of services emits `ts= host= service= level= code= msg=` lines,
+/// and a planted set of causal pairs (upstream -> downstream) makes the
+/// downstream service error shortly after the upstream one does. The KBC
+/// task is to recover "A causes B" (and the weaker "A co-occurs with B")
+/// from nothing but the interleaved text stream — the dark-data framing
+/// of the paper applied to telemetry instead of prose.
+struct LogsCorpusOptions {
+  int num_services = 8;
+  int num_hosts = 4;
+  /// Timeline length; one co-occurrence window per `window_seconds`.
+  int num_windows = 60;
+  int num_causal_pairs = 3;
+  /// Chance per window that an incident happens at all. Each window
+  /// carries at most one incident — either a cascade of one causal pair
+  /// or independent noise — so co-occurrence *frequency* separates
+  /// planted pairs from coincidence instead of being confounded by busy
+  /// windows.
+  double incident_rate = 0.95;
+  /// Of the incident windows, the fraction that are cascades (the rest
+  /// are 1-2 spontaneous unrelated errors).
+  double cascade_share = 0.6;
+  /// Fraction of planted causal pairs the distant-supervision KB knows
+  /// (the first ceil(fraction * n) pairs, deterministically).
+  double kb_fraction = 0.7;
+  /// Known-independent service pairs (negative supervision).
+  int num_kb_negatives = 6;
+  /// INFO-level filler per window (the "dark" 99% of a log stream).
+  int info_lines_per_window = 3;
+  int64_t window_seconds = 60;
+  uint64_t seed = 1234;
+};
+
+struct LogLine {
+  int64_t ts = 0;
+  std::string host;
+  std::string service;
+  std::string level;  ///< INFO | WARN | ERROR
+  std::string code;   ///< error class, e.g. "E503" ("-" for non-errors)
+  std::string msg;
+
+  /// The wire form: `ts=... host=... service=... level=... code=... msg="..."`.
+  std::string Format() const;
+};
+
+struct LogsCorpus {
+  std::vector<LogLine> lines;  ///< time-ordered
+  /// The '\n'-joined stream, ready for a StringSource / log file.
+  std::string text;
+  std::vector<std::string> services;
+  std::vector<std::string> hosts;
+  /// Planted truth: ordered (upstream, downstream) causal pairs.
+  std::vector<std::pair<std::string, std::string>> causal_pairs;
+  /// Distant supervision: the subset of causal pairs the KB knows...
+  std::vector<std::pair<std::string, std::string>> kb_causes;
+  /// ...and pairs the KB knows to be independent.
+  std::vector<std::pair<std::string, std::string>> kb_not_causes;
+};
+
+LogsCorpus GenerateLogsCorpus(const LogsCorpusOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_CORPUS_LOGS_H_

@@ -1,0 +1,160 @@
+#include "testdata/logs_app.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace dd {
+
+std::string LogsDdlog() {
+  return R"(
+    # Written by the streaming extractor: one row per ERROR-level line.
+    ErrorEvent(service: text, host: text, code: text, w: int).
+    # Distant-supervision KBs over service pairs.
+    KbCauses(s1: text, s2: text).
+    KbNotCauses(s1: text, s2: text).
+
+    # Query relations: directed causal dependence and plain coincidence.
+    Causes?(s1: text, s2: text).
+    Causes_Ev(s1: text, s2: text, label: bool).
+    CoOccurs?(s1: text, s2: text).
+
+    # Candidate mapping: two distinct services erroring in one window.
+    Causes(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2.
+    CoOccurs(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2.
+
+    # Co-occurrence alone is weak evidence of causation (prior), but each
+    # co-erroring window is strong evidence of co-occurrence.
+    Causes(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2
+        weight = -1.0.
+    CoOccurs(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2
+        weight = 2.0.
+
+    # FE: one tied weight per downstream error class — cascades surface
+    # as overload/timeout codes, so identity(c2) is the learnable signal.
+    Causes(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2
+        weight = identity(c2).
+
+    # Causation implies co-occurrence.
+    Causes(s1, s2) => CoOccurs(s1, s2) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2
+        weight = 3.0.
+
+    # Distant supervision from the (incomplete) dependency KB.
+    Causes_Ev(s1, s2, true) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2,
+        KbCauses(s1, s2).
+    Causes_Ev(s1, s2, false) :-
+        ErrorEvent(s1, h1, c1, w), ErrorEvent(s2, h2, c2, w), s1 != s2,
+        KbNotCauses(s1, s2).
+  )";
+}
+
+StreamExtractor MakeLogsStreamExtractor(const LogsAppOptions& options) {
+  const int64_t window_seconds =
+      options.window_seconds > 0 ? options.window_seconds : 1;
+  return [window_seconds](const StreamRecord& record,
+                          TupleEmitter* emitter) -> Status {
+    if (record.line.empty()) return Status::OK();
+    int64_t ts = -1;
+    std::string host, service, level, code;
+    for (const std::string& token : SplitWhitespace(std::string(record.line))) {
+      if (token.rfind("ts=", 0) == 0) {
+        ts = std::strtoll(token.c_str() + 3, nullptr, 10);
+      } else if (token.rfind("host=", 0) == 0) {
+        host = token.substr(5);
+      } else if (token.rfind("service=", 0) == 0) {
+        service = token.substr(8);
+      } else if (token.rfind("level=", 0) == 0) {
+        level = token.substr(6);
+      } else if (token.rfind("code=", 0) == 0) {
+        code = token.substr(5);
+      }
+    }
+    if (ts < 0 || host.empty() || service.empty() || level.empty()) {
+      return Status::ParseError(StrFormat(
+          "malformed log record %llu: missing ts/host/service/level",
+          static_cast<unsigned long long>(record.index)));
+    }
+    if (level != "ERROR") return Status::OK();  // the dark 99%
+    emitter->Emit("ErrorEvent",
+                  Tuple({Value::String(service), Value::String(host),
+                         Value::String(code), Value::Int(ts / window_seconds)}));
+    return Status::OK();
+  };
+}
+
+void LoadLogsKb(DeepDivePipeline* pipeline, const LogsCorpus& corpus) {
+  for (const auto& [a, b] : corpus.kb_causes) {
+    pipeline->QueueDelta("KbCauses",
+                         Tuple({Value::String(a), Value::String(b)}), 1);
+  }
+  for (const auto& [a, b] : corpus.kb_not_causes) {
+    pipeline->QueueDelta("KbNotCauses",
+                         Tuple({Value::String(a), Value::String(b)}), 1);
+  }
+}
+
+Result<std::unique_ptr<DeepDivePipeline>> MakeLogsPipeline(
+    const LogsCorpus& corpus, const PipelineOptions& pipeline_options,
+    const StreamOptions& stream_options, IngestStats* stats) {
+  auto pipeline = std::make_unique<DeepDivePipeline>(pipeline_options);
+  DD_RETURN_IF_ERROR(pipeline->LoadProgram(LogsDdlog()));
+  LoadLogsKb(pipeline.get(), corpus);
+  StreamIngester ingester(stream_options, MakeLogsStreamExtractor());
+  StringSource source(corpus.text);
+  DD_RETURN_IF_ERROR(pipeline->IngestStream(&ingester, &source));
+  if (stats != nullptr) *stats = ingester.stats();
+  return pipeline;
+}
+
+Result<std::unique_ptr<DeepDivePipeline>> MakeLogsBatchPipeline(
+    const LogsCorpus& corpus, const PipelineOptions& pipeline_options,
+    const LogsAppOptions& app_options) {
+  auto pipeline = std::make_unique<DeepDivePipeline>(pipeline_options);
+  DD_RETURN_IF_ERROR(pipeline->LoadProgram(LogsDdlog()));
+  LoadLogsKb(pipeline.get(), corpus);
+  StreamExtractor extractor = MakeLogsStreamExtractor(app_options);
+  uint64_t index = 0;
+  size_t start = 0;
+  while (start <= corpus.text.size()) {
+    size_t end = corpus.text.find('\n', start);
+    if (end == std::string::npos) {
+      if (start == corpus.text.size()) break;  // no unterminated tail
+      end = corpus.text.size();
+    }
+    StreamRecord record;
+    record.index = index++;
+    record.line =
+        std::string_view(corpus.text.data() + start, end - start);
+    TupleEmitter emitter;
+    DD_RETURN_IF_ERROR(extractor(record, &emitter));
+    for (const auto& [relation, rows] : emitter.emitted()) {
+      for (const Tuple& tuple : rows) {
+        pipeline->QueueDelta(relation, tuple, 1);
+      }
+    }
+    start = end + 1;
+  }
+  return pipeline;
+}
+
+std::set<std::pair<std::string, std::string>> ExtractedCauses(
+    const DeepDivePipeline& pipeline, double threshold) {
+  std::set<std::pair<std::string, std::string>> causes;
+  auto marginals = pipeline.Marginals("Causes");
+  if (!marginals.ok()) return causes;
+  for (const auto& [tuple, prob] : *marginals) {
+    if (prob >= threshold) {
+      causes.emplace(tuple.at(0).AsString(), tuple.at(1).AsString());
+    }
+  }
+  return causes;
+}
+
+}  // namespace dd

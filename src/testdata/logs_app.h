@@ -1,0 +1,60 @@
+#ifndef DEEPDIVE_TESTDATA_LOGS_APP_H_
+#define DEEPDIVE_TESTDATA_LOGS_APP_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/pipeline.h"
+#include "stream/ingester.h"
+#include "testdata/corpus_logs.h"
+
+namespace dd {
+
+/// The log/telemetry KBC application: entities are services, hosts, and
+/// error classes; the query relations are Causes (directed service
+/// dependence) and CoOccurs. Unlike the document apps, the input is a
+/// byte stream of log lines consumed through the streaming front end —
+/// the workload behind the stream-vs-batch differential suite and the
+/// streaming bench.
+struct LogsAppOptions {
+  /// Co-occurrence window: errors whose `ts / window_seconds` match are
+  /// candidate cause/effect pairs. Must match the corpus generator's.
+  int64_t window_seconds = 60;
+};
+
+std::string LogsDdlog();
+
+/// Record-level extractor for one log line. Emits
+/// ErrorEvent(service, host, code, window) for ERROR-level lines and
+/// nothing for the rest; malformed lines fail with ParseError (and are
+/// quarantined by the ingester's record hardening).
+StreamExtractor MakeLogsStreamExtractor(
+    const LogsAppOptions& options = LogsAppOptions());
+
+/// Distant supervision: load the corpus's KbCauses / KbNotCauses pairs.
+void LoadLogsKb(DeepDivePipeline* pipeline, const LogsCorpus& corpus);
+
+/// Pipeline fed through the streaming front end: program + KB loaded,
+/// corpus text ingested with `stream_options`, ready to Run(). When
+/// `stats` is non-null the ingest statistics are copied out.
+Result<std::unique_ptr<DeepDivePipeline>> MakeLogsPipeline(
+    const LogsCorpus& corpus, const PipelineOptions& pipeline_options,
+    const StreamOptions& stream_options, IngestStats* stats = nullptr);
+
+/// The batch oracle: identical program and KB, but the corpus lines are
+/// extracted sequentially in stream order with no chunking, no queues,
+/// and no workers. The differential contract says a streamed pipeline
+/// must be indistinguishable from this one.
+Result<std::unique_ptr<DeepDivePipeline>> MakeLogsBatchPipeline(
+    const LogsCorpus& corpus, const PipelineOptions& pipeline_options,
+    const LogsAppOptions& app_options = LogsAppOptions());
+
+/// Extracted (upstream, downstream) pairs with marginal >= threshold.
+std::set<std::pair<std::string, std::string>> ExtractedCauses(
+    const DeepDivePipeline& pipeline, double threshold);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_TESTDATA_LOGS_APP_H_

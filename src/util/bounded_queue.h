@@ -1,0 +1,172 @@
+#ifndef DEEPDIVE_UTIL_BOUNDED_QUEUE_H_
+#define DEEPDIVE_UTIL_BOUNDED_QUEUE_H_
+
+// Bounded-memory hand-off between pipeline stages (DESIGN.md §14).
+//
+// A BoundedByteQueue is a FIFO whose admission is governed by a byte
+// budget rather than an element count: every Push charges the item's
+// declared byte cost against the budget, and the charge is returned
+// either when the item is popped (ReleaseMode::kOnPop) or when the consumer
+// explicitly says the item's bytes are no longer in flight
+// (ReleaseMode::kExplicit — the streaming ingester's end-to-end accounting,
+// where a chunk's bytes stay charged from admission until its extraction
+// results have been merged downstream).
+//
+// Backpressure policy: with Policy::kBlock a producer whose item does
+// not fit waits until consumers free budget — the byte budget *is* the
+// flow control. With Policy::kShed the push returns kShed immediately
+// instead of waiting, for sources that must never stall (the caller
+// counts and drops). One item larger than the whole budget is admitted
+// alone when the queue is idle — refusing it would deadlock the stream
+// on its largest record — so peak occupancy is bounded by
+// max(budget, largest single item).
+//
+// Shutdown is two-phase: Close() stops admissions but lets consumers
+// drain everything already admitted (clean end-of-stream / graceful
+// stop); Abort() additionally discards queued items and unblocks every
+// waiter (error teardown). Both are idempotent and safe from any thread.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace dd {
+
+template <typename T>
+class BoundedByteQueue {
+ public:
+  enum class Policy { kBlock, kShed };
+  enum class ReleaseMode { kOnPop, kExplicit };
+  enum class PushResult { kOk, kShed, kClosed };
+
+  explicit BoundedByteQueue(size_t byte_budget, Policy policy = Policy::kBlock,
+                            ReleaseMode release = ReleaseMode::kOnPop)
+      : budget_(byte_budget == 0 ? 1 : byte_budget),
+        policy_(policy),
+        release_(release) {}
+
+  BoundedByteQueue(const BoundedByteQueue&) = delete;
+  BoundedByteQueue& operator=(const BoundedByteQueue&) = delete;
+
+  /// Enqueue `item` charging `bytes` against the budget. Blocks (kBlock)
+  /// or sheds (kShed) while the item does not fit; an oversized item is
+  /// admitted once in-flight bytes reach zero. Returns kClosed after
+  /// Close()/Abort() — the item was not enqueued.
+  PushResult Push(T item, size_t bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (closed_) return PushResult::kClosed;
+      if (Fits(bytes)) break;
+      if (policy_ == Policy::kShed) {
+        ++shed_count_;
+        shed_bytes_ += bytes;
+        return PushResult::kShed;
+      }
+      can_push_.wait(lock);
+    }
+    bytes_in_flight_ += bytes;
+    if (bytes_in_flight_ > peak_bytes_) peak_bytes_ = bytes_in_flight_;
+    items_.emplace_back(std::move(item), bytes);
+    can_pop_.notify_one();
+    return PushResult::kOk;
+  }
+
+  /// Dequeue into *out. Blocks while the queue is empty and open.
+  /// Returns false once the queue is closed (or aborted) and drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front().first);
+    const size_t bytes = items_.front().second;
+    items_.pop_front();
+    if (release_ == ReleaseMode::kOnPop) ReleaseLocked(bytes);
+    return true;
+  }
+
+  /// Return `bytes` of budget (ReleaseMode::kExplicit): the consumer
+  /// finished with an item's bytes end-to-end. No-op after Abort().
+  void Release(size_t bytes) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return;
+    ReleaseLocked(bytes);
+  }
+
+  /// Stop admissions; queued items remain poppable (drain semantics).
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  /// Close, discard queued items, zero the in-flight account, and wake
+  /// every waiter. For error teardown where drained data is dead anyway.
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    aborted_ = true;
+    items_.clear();
+    bytes_in_flight_ = 0;
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  size_t bytes_in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_in_flight_;
+  }
+  /// High-water mark of in-flight bytes over the queue's lifetime.
+  size_t peak_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_bytes_;
+  }
+  uint64_t shed_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_count_;
+  }
+  uint64_t shed_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shed_bytes_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  bool Fits(size_t bytes) const {
+    return bytes_in_flight_ == 0 || bytes_in_flight_ + bytes <= budget_;
+  }
+
+  void ReleaseLocked(size_t bytes) {
+    bytes_in_flight_ = bytes > bytes_in_flight_ ? 0 : bytes_in_flight_ - bytes;
+    can_push_.notify_all();
+  }
+
+  const size_t budget_;
+  const Policy policy_;
+  const ReleaseMode release_;
+
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<std::pair<T, size_t>> items_;
+  size_t bytes_in_flight_ = 0;
+  size_t peak_bytes_ = 0;
+  uint64_t shed_count_ = 0;
+  uint64_t shed_bytes_ = 0;
+  bool closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_UTIL_BOUNDED_QUEUE_H_

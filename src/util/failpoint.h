@@ -31,6 +31,10 @@ inline constexpr const char* kSnapshotValidate = "snapshot.validate";
 inline constexpr const char* kServeEpochLoad = "serve.epoch_load";
 inline constexpr const char* kServeEpochSwap = "serve.epoch_swap";
 inline constexpr const char* kServePublish = "serve.publish";
+inline constexpr const char* kStreamChunkRead = "stream.chunk_read";
+inline constexpr const char* kStreamHandoff = "stream.handoff";
+inline constexpr const char* kStreamParse = "stream.parse";
+inline constexpr const char* kStreamMerge = "stream.merge";
 }  // namespace failpoints
 
 /// What a fired failpoint does to the site that evaluated it.

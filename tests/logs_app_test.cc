@@ -1,0 +1,160 @@
+// Quality gates for the log/telemetry KBC workload: the pipeline must
+// recover the planted causal service pairs from the raw byte stream,
+// suppress KB-known-independent pairs, and degrade gracefully on
+// corrupted lines.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "testdata/corpus_logs.h"
+#include "testdata/logs_app.h"
+
+namespace dd {
+namespace {
+
+PipelineOptions FastOptions() {
+  PipelineOptions options;
+  options.learn.epochs = 200;
+  options.learn.learning_rate = 0.05;
+  options.inference.full_burn_in = 100;
+  options.inference.num_samples = 400;
+  options.strategy = PipelineOptions::Strategy::kSampling;
+  options.threshold = 0.8;
+  return options;
+}
+
+TEST(LogsCorpusTest, GeneratorPlantsStructure) {
+  LogsCorpus corpus = GenerateLogsCorpus(LogsCorpusOptions());
+  EXPECT_GE(corpus.lines.size(), 200u);
+  EXPECT_EQ(corpus.causal_pairs.size(), 3u);
+  EXPECT_FALSE(corpus.kb_causes.empty());
+  EXPECT_FALSE(corpus.kb_not_causes.empty());
+  // Deterministic: same seed, same bytes.
+  LogsCorpus again = GenerateLogsCorpus(LogsCorpusOptions());
+  EXPECT_EQ(corpus.text, again.text);
+  // Every line round-trips through the wire format.
+  size_t errors = 0;
+  for (const LogLine& line : corpus.lines) {
+    if (line.level == "ERROR") ++errors;
+  }
+  EXPECT_GT(errors, 50u);  // enough signal to learn from
+}
+
+TEST(LogsAppTest, RecoversPlantedCausalPairs) {
+  LogsCorpusOptions corpus_options;
+  corpus_options.seed = 31;
+  LogsCorpus corpus = GenerateLogsCorpus(corpus_options);
+
+  StreamOptions stream_options;
+  stream_options.chunk_bytes = 4096;
+  stream_options.num_workers = 4;
+  IngestStats stats;
+  auto pipeline =
+      MakeLogsPipeline(corpus, FastOptions(), stream_options, &stats);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(stats.records, corpus.lines.size());
+  EXPECT_EQ(stats.bytes_in, corpus.text.size());
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  auto extracted = ExtractedCauses(**pipeline, 0.8);
+  // Recall: the cascades fire often enough that the planted pairs
+  // dominate their windows.
+  size_t recovered = 0;
+  for (const auto& pair : corpus.causal_pairs) {
+    if (extracted.count(pair) > 0) ++recovered;
+  }
+  EXPECT_GE(recovered, 2u) << "of " << corpus.causal_pairs.size();
+  // Precision: extractions should be dominated by planted pairs (their
+  // reverses co-occur just as often, so allow them — direction comes
+  // only from the code feature, a weak signal).
+  size_t spurious = 0;
+  for (const auto& [a, b] : extracted) {
+    bool planted = false;
+    for (const auto& [u, d] : corpus.causal_pairs) {
+      if ((a == u && b == d) || (a == d && b == u)) planted = true;
+    }
+    if (!planted) ++spurious;
+  }
+  EXPECT_LE(spurious, extracted.size() / 2)
+      << "extracted=" << extracted.size();
+}
+
+TEST(LogsAppTest, KbNegativePairsAreSuppressed) {
+  LogsCorpusOptions corpus_options;
+  corpus_options.seed = 32;
+  LogsCorpus corpus = GenerateLogsCorpus(corpus_options);
+
+  StreamOptions stream_options;
+  auto pipeline = MakeLogsPipeline(corpus, FastOptions(), stream_options);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  auto extracted = ExtractedCauses(**pipeline, 0.8);
+  for (const auto& pair : corpus.kb_not_causes) {
+    EXPECT_EQ(extracted.count(pair), 0u)
+        << pair.first << " -> " << pair.second;
+  }
+}
+
+TEST(LogsAppTest, CoOccursIsSymmetricSuperset) {
+  LogsCorpusOptions corpus_options;
+  corpus_options.seed = 33;
+  corpus_options.num_windows = 40;
+  LogsCorpus corpus = GenerateLogsCorpus(corpus_options);
+
+  auto pipeline = MakeLogsPipeline(corpus, FastOptions(), StreamOptions());
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_TRUE((*pipeline)->Run().ok());
+
+  auto causes = ExtractedCauses(**pipeline, 0.8);
+  auto cooccurs = (*pipeline)->Extractions("CoOccurs");
+  ASSERT_TRUE(cooccurs.ok());
+  std::set<std::pair<std::string, std::string>> co;
+  for (const Tuple& t : *cooccurs) {
+    co.emplace(t.at(0).AsString(), t.at(1).AsString());
+  }
+  // The candidate mapping is symmetric and causation implies
+  // co-occurrence, so confident causal pairs must co-occur.
+  for (const auto& pair : causes) {
+    EXPECT_EQ(co.count(pair), 1u) << pair.first << " -> " << pair.second;
+  }
+}
+
+TEST(LogsAppTest, CorruptLinesQuarantinedNotFatal) {
+  LogsCorpusOptions corpus_options;
+  corpus_options.seed = 34;
+  corpus_options.num_windows = 30;
+  LogsCorpus corpus = GenerateLogsCorpus(corpus_options);
+  // Garble the stream: drop malformed lines between real ones.
+  std::string corrupted;
+  size_t garbage = 0;
+  size_t line_no = 0;
+  size_t start = 0;
+  while (start < corpus.text.size()) {
+    size_t end = corpus.text.find('\n', start);
+    if (end == std::string::npos) end = corpus.text.size();
+    corrupted.append(corpus.text, start, end - start + 1);
+    if (++line_no % 10 == 0) {
+      corrupted += "%% corrupted frame 0xdeadbeef\n";
+      ++garbage;
+    }
+    start = end + 1;
+  }
+
+  LogsCorpus dirty = corpus;
+  dirty.text = corrupted;
+  IngestStats stats;
+  auto pipeline =
+      MakeLogsPipeline(dirty, FastOptions(), StreamOptions(), &stats);
+  ASSERT_TRUE(pipeline.ok()) << pipeline.status().ToString();
+  EXPECT_EQ(stats.records_quarantined, garbage);
+  EXPECT_EQ(stats.records, corpus.lines.size() + garbage);
+  ASSERT_TRUE((*pipeline)->Run().ok());
+  // The KBC output still recovers structure from the clean majority.
+  auto extracted = ExtractedCauses(**pipeline, 0.8);
+  EXPECT_FALSE(extracted.empty());
+}
+
+}  // namespace
+}  // namespace dd
