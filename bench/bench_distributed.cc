@@ -1,0 +1,256 @@
+// EXP-DIST — sharded multi-process inference via model averaging. Three
+// measurements:
+//
+//  1. Identity: a 1-shard distributed run must be bit-identical to the
+//     single-node Learner + GibbsSampler pipeline — same weights, same
+//     marginals. The wire protocol, the shard worker, and the
+//     coordinator are all in the loop, so any drift is a protocol bug,
+//     not sampling noise.
+//  2. Inference fidelity: over a fixed (pre-learned) model, 2- and
+//     4-shard boundary-exchanged marginals against the single-node
+//     chain. Factor replication keeps every owner's Gibbs conditional
+//     complete, so the deviation must sit at the sampling noise floor
+//     (gated at 0.05 by ci/bench_gate.py). These numbers are
+//     deterministic per seed — they do not move across machines.
+//  3. Scaling: wall clock of the full learn + infer run at 1/2/4/8
+//     shards (thread launch mode), plus the single-node oracle, so the
+//     coordination overhead and the shard speedup are both visible.
+//     Speedups are only meaningful with real cores behind them;
+//     hardware_concurrency is recorded so the gate can tell a
+//     regression from a small machine.
+//
+// Writes BENCH_distributed.json (ratcheted by ci/bench_gate.py).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "inference/gibbs.h"
+#include "inference/learner.h"
+#include "testdata/synthetic_graphs.h"
+#include "util/timer.h"
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+struct Schedule {
+  int epochs = 20;
+  double learning_rate = 0.05;
+  double decay = 0.99;
+  double l2 = 0.01;
+  uint64_t learn_seed = 1234;
+  int burn_in = 300;
+  int num_samples = 6000;
+  uint64_t inference_seed = 7;
+};
+
+dd::FactorGraph MakeGraph(size_t num_variables) {
+  dd::SyntheticGraphOptions options;
+  options.num_variables = num_variables;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.2;
+  options.weight_scale = 0.5;
+  options.num_weights = 32;
+  options.seed = 17;
+  dd::FactorGraph graph = dd::MakeRandomGraph(options);
+  if (!graph.Finalize().ok()) {
+    std::fprintf(stderr, "graph finalize failed\n");
+    std::exit(1);
+  }
+  return graph;
+}
+
+dd::DistributedOptions DistOptions(const Schedule& s, int num_shards) {
+  dd::DistributedOptions options;
+  options.num_shards = num_shards;
+  options.launch = dd::DistLaunchMode::kThreads;
+  options.epochs = s.epochs;
+  options.learning_rate = s.learning_rate;
+  options.decay = s.decay;
+  options.l2 = s.l2;
+  options.learn_seed = s.learn_seed;
+  options.burn_in = s.burn_in;
+  options.num_samples = s.num_samples;
+  options.inference_seed = s.inference_seed;
+  return options;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double max = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    max = std::max(max, std::fabs(a[i] - b[i]));
+  }
+  return max;
+}
+
+}  // namespace
+
+int main() {
+  const size_t hw = std::thread::hardware_concurrency();
+  const int repeats = EnvInt("DD_BENCH_REPEATS", 3);
+  const int num_vars = EnvInt("DD_BENCH_VARS", 1200);
+
+  std::printf("=== EXP-DIST: sharded inference via model averaging ===\n");
+  std::printf("hardware_concurrency: %zu  repeats (best-of): %d  "
+              "variables: %d\n\n", hw, repeats, num_vars);
+
+  Schedule s;
+  dd::FactorGraph graph = MakeGraph(static_cast<size_t>(num_vars));
+
+  // --- single-node oracle: learn, then marginals --------------------
+  dd::FactorGraph oracle_graph = graph;
+  dd::LearnOptions learn;
+  learn.epochs = s.epochs;
+  learn.learning_rate = s.learning_rate;
+  learn.decay = s.decay;
+  learn.l2 = s.l2;
+  learn.seed = s.learn_seed;
+  double single_seconds = 0;
+  std::vector<double> oracle_marginals;
+  {
+    dd::Stopwatch timer;
+    if (!dd::Learner(&oracle_graph).Learn(learn).ok()) {
+      std::fprintf(stderr, "single-node learning failed\n");
+      return 1;
+    }
+    dd::GibbsOptions gibbs;
+    gibbs.burn_in = s.burn_in;
+    gibbs.num_samples = s.num_samples;
+    gibbs.seed = s.inference_seed;
+    gibbs.clamp_evidence = false;
+    dd::GibbsSampler sampler(&oracle_graph, gibbs);
+    auto marginals = sampler.RunMarginals();
+    if (!marginals.ok()) {
+      std::fprintf(stderr, "single-node inference failed\n");
+      return 1;
+    }
+    oracle_marginals = *marginals;
+    single_seconds = timer.Seconds();
+  }
+
+  // --- 1: identity --------------------------------------------------
+  bool one_shard_identical = true;
+  {
+    dd::FactorGraph g = graph;
+    auto result = dd::RunDistributed(&g, DistOptions(s, 1));
+    if (!result.ok()) {
+      std::fprintf(stderr, "1-shard run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    for (uint32_t w = 0; w < oracle_graph.num_weights(); ++w) {
+      if (result->weights[w] != oracle_graph.weight_value(w)) {
+        one_shard_identical = false;
+      }
+    }
+    if (result->marginals != oracle_marginals) one_shard_identical = false;
+  }
+  std::printf("1-shard vs single-node: %s\n",
+              one_shard_identical ? "bit-identical" : "DIVERGED");
+
+  // --- 2: inference fidelity over the learned model -----------------
+  double dev2 = 1.0, dev4 = 1.0;
+  uint64_t cut_edges = 0, initial_cut_edges = 0;
+  size_t boundary_vars = 0;
+  for (int shards : {2, 4}) {
+    dd::FactorGraph g = oracle_graph;  // learned weights stand
+    dd::DistributedOptions options = DistOptions(s, shards);
+    options.epochs = 0;
+    auto result = dd::RunDistributed(&g, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%d-shard inference failed: %s\n", shards,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const double dev = MaxAbsDiff(result->marginals, oracle_marginals);
+    if (shards == 2) dev2 = dev;
+    if (shards == 4) {
+      dev4 = dev;
+      cut_edges = result->cut_edges;
+      initial_cut_edges = result->initial_cut_edges;
+      boundary_vars = result->boundary_vars;
+    }
+    std::printf("%d-shard inference max |dev| vs single-node: %.4f "
+                "(cut %llu/%llu edges, %zu boundary vars)\n",
+                shards, dev,
+                static_cast<unsigned long long>(result->cut_edges),
+                static_cast<unsigned long long>(result->initial_cut_edges),
+                result->boundary_vars);
+  }
+
+  // --- 3: scaling ----------------------------------------------------
+  std::printf("\nfull learn + infer wall clock (thread launch mode)\n");
+  std::printf("%-10s %-14s %s\n", "shards", "seconds", "speedup");
+  std::vector<std::pair<int, double>> seconds;
+  for (int shards : {1, 2, 4, 8}) {
+    double best = 0;
+    for (int r = 0; r < repeats; ++r) {
+      dd::FactorGraph g = graph;
+      dd::Stopwatch timer;
+      auto result = dd::RunDistributed(&g, DistOptions(s, shards));
+      const double elapsed = timer.Seconds();
+      if (!result.ok()) {
+        std::fprintf(stderr, "%d-shard run failed: %s\n", shards,
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      if (r == 0 || elapsed < best) best = elapsed;
+    }
+    seconds.emplace_back(shards, best);
+    std::printf("%-10d %-14.4f %6.2fx\n", shards, best,
+                seconds.front().second / best);
+  }
+  const double t1 = seconds[0].second;
+  const double overhead = single_seconds > 0 ? t1 / single_seconds : 0;
+  std::printf("single-node (no coordinator): %.4fs -> 1-shard coordination "
+              "overhead %.2fx\n", single_seconds, overhead);
+
+  FILE* out = std::fopen("BENCH_distributed.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_distributed.json\n");
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"experiment\": \"EXP-DIST sharded inference via model averaging\",\n"
+      "  \"hardware_concurrency\": %zu,\n"
+      "  \"repeats\": %d,\n"
+      "  \"graph\": {\"num_variables\": %zu, \"num_factors\": %zu},\n"
+      "  \"partition_4shard\": {\"cut_edges\": %llu, "
+      "\"initial_cut_edges\": %llu, \"boundary_vars\": %zu},\n"
+      "  \"one_shard_identical\": %s,\n"
+      "  \"inference_max_dev_2shard\": %.4f,\n"
+      "  \"inference_max_dev_4shard\": %.4f,\n"
+      "  \"seconds\": {\"single\": %.4f, \"t1\": %.4f, \"t2\": %.4f, "
+      "\"t4\": %.4f, \"t8\": %.4f},\n"
+      "  \"coordination_overhead\": %.3f,\n"
+      "  \"shard_speedup_2t\": %.3f,\n"
+      "  \"shard_speedup_4t\": %.3f,\n"
+      "  \"shard_speedup_8t\": %.3f\n"
+      "}\n",
+      hw, repeats, graph.num_variables(), graph.num_factors(),
+      static_cast<unsigned long long>(cut_edges),
+      static_cast<unsigned long long>(initial_cut_edges), boundary_vars,
+      one_shard_identical ? "true" : "false", dev2, dev4, single_seconds,
+      seconds[0].second, seconds[1].second, seconds[2].second,
+      seconds[3].second, overhead, t1 / seconds[1].second,
+      t1 / seconds[2].second, t1 / seconds[3].second);
+  std::fclose(out);
+  std::printf("\nwrote BENCH_distributed.json\n");
+  if (hw < 8) {
+    std::printf("note: this machine has %zu core(s); shard speedups above "
+                "its core count\nmeasure oversubscription, not scaling — "
+                "the gate knows to only warn.\n", hw);
+  }
+  return one_shard_identical ? 0 : 1;
+}

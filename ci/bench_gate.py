@@ -50,6 +50,16 @@ Two modes, auto-detected from the JSON shape:
   (``stream_speedup_Nt``), and the committed-baseline MB/s comparison
   only warns (machine-local throughput).
 
+* Distributed mode (``one_shard_identical`` present, from
+  ``bench_distributed``): the DESIGN.md §15 identities are unconditional
+  — a 1-shard run must be bit-identical to the single-node sampler
+  (``one_shard_identical``), and 2-/4-shard inference over a fixed model
+  must stay within the 0.05 deviation ceiling of the single-node
+  marginals (``inference_max_dev_{2,4}shard`` — deterministic per seed,
+  machine-independent). The shard-speedup scaling ratchets like
+  grounding mode (``shard_speedup_Nt``): hard on real multicore
+  baselines, a warning when the baseline machine lacked the cores.
+
 * Serving mode (``serving_qps`` present, from ``bench_serving``): the
   resilience identities of DESIGN.md §13 are unconditional — sampled
   responses bitwise-match the epoch they claim (``responses_consistent``),
@@ -243,6 +253,42 @@ def gate_storage(baseline, fresh, tolerance) -> int:
     return 0
 
 
+def gate_distributed(baseline, fresh, tolerance) -> int:
+    # Identity is the contract, enforced on any machine: one shard must
+    # BE the single-node sampler, bit for bit — the wire protocol, the
+    # shard worker, and the coordinator are all in that loop.
+    if fresh.get("one_shard_identical") is not True:
+        return fail("fresh run: 1-shard distributed run diverged bitwise "
+                    "from the single-node sampler "
+                    "(one_shard_identical != true)")
+
+    # Sharded inference over a fixed model must track the single-node
+    # marginals. These deviations are deterministic per seed (thread
+    # launch mode, one worker per shard), so the ceiling holds on any
+    # machine; a cut factor missing from a shard's conditionals shows up
+    # here as a 0.15+ boundary bias.
+    ceiling = 0.05
+    for shards in (2, 4):
+        key = f"inference_max_dev_{shards}shard"
+        value = float(fresh.get(key, 1.0))
+        ok = 0.0 <= value <= ceiling
+        verdict = "OK" if ok else "REGRESSION"
+        print(f"bench-gate: {shards}-shard inference max deviation "
+              f"{value:.4f} (ceiling {ceiling:.2f}) -> {verdict}")
+        if not ok:
+            return fail(
+                f"{shards}-shard marginals deviate {value:.4f} from the "
+                f"single-node chain, past the {ceiling:.2f} ceiling "
+                f"(override with DD_BENCH_GATE_SKIP=1 or fix the "
+                f"regression)")
+    summary("distributed-identity", "hard")
+
+    # Shard scaling: same warn-then-harden, core-aware rule as the
+    # grounding speedup ratchet.
+    return ratchet_speedup(baseline, fresh, tolerance, "shard_speedup",
+                           "distributed", "BENCH_distributed.json")
+
+
 def gate_serving(baseline, fresh, tolerance) -> int:
     # Resilience identities are the contract, enforced on any machine: a
     # fast server that tears epochs or drops requests must not pass.
@@ -390,6 +436,13 @@ def main(argv) -> int:
         return fail("baseline and fresh JSONs are from different benchmarks")
     if baseline_serving:
         return gate_serving(baseline, fresh, tolerance)
+
+    baseline_distributed = "one_shard_identical" in baseline
+    fresh_distributed = "one_shard_identical" in fresh
+    if baseline_distributed != fresh_distributed:
+        return fail("baseline and fresh JSONs are from different benchmarks")
+    if baseline_distributed:
+        return gate_distributed(baseline, fresh, tolerance)
 
     baseline_streaming = "streaming_mbps" in baseline
     fresh_streaming = "streaming_mbps" in fresh

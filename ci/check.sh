@@ -92,6 +92,20 @@ else
   python3 ci/bench_gate.py BENCH_streaming.json build/BENCH_streaming.json | tee -a "$gate_log"
 fi
 
+echo "=== bench gate (distributed: 1-shard identity + inference fidelity) ==="
+# Sharded learning + inference across coordinator/worker loopback. The
+# DESIGN.md §15 identities are enforced unconditionally: a 1-shard run
+# bitwise-matches the single-node sampler, and 2-/4-shard inference over
+# a fixed model stays within the 0.05 deviation ceiling (deterministic
+# per seed, machine-independent). The shard-speedup ratchet engages on
+# machines with >= 2 cores (see ci/bench_gate.py). Same overrides.
+if [ "${DD_BENCH_GATE_SKIP:-0}" = "1" ]; then
+  echo "bench gate skipped (DD_BENCH_GATE_SKIP=1)"
+else
+  (cd build && ./bench/bench_distributed)
+  python3 ci/bench_gate.py BENCH_distributed.json build/BENCH_distributed.json | tee -a "$gate_log"
+fi
+
 echo "=== bench ratchet summary ==="
 if [ -s "$gate_log" ]; then
   echo "bench ratchets:" $(sed -n 's/^bench-gate: ratchet-summary: //p' "$gate_log" | tr '\n' ' ')

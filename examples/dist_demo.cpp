@@ -1,0 +1,122 @@
+// Sharded inference demo: partition a factor graph across forked worker
+// processes, learn by model averaging, infer with boundary exchange, and
+// survive a worker kill mid-run.
+//
+// The run demonstrates the full DESIGN.md §15 machinery:
+//   1. greedy min-cut partitioning (cut size vs the random baseline),
+//   2. one fork()ed shard worker per shard, wired to the coordinator
+//      over the length-prefixed CRC'd frame protocol,
+//   3. epoch-synchronous learning — every epoch each shard runs one
+//      contrastive-divergence step and the coordinator averages the
+//      weights (Zinkevich-style parameter mixing),
+//   4. boundary-value exchange during sampling so cut factors see
+//      fresh ghost values,
+//   5. per-shard checkpoints: a crash-injected worker is respawned and
+//      resumes bit-identically — the final marginals match a clean run.
+//
+// Build & run:  ./build/examples/dist_demo
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace {
+
+dd::FactorGraph MakeDemoGraph() {
+  dd::SyntheticGraphOptions options;
+  options.num_variables = 600;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.25;
+  options.weight_scale = 0.5;
+  options.num_weights = 24;
+  options.seed = 42;
+  dd::FactorGraph graph = dd::MakeRandomGraph(options);
+  if (!graph.Finalize().ok()) {
+    std::fprintf(stderr, "graph finalize failed\n");
+    std::exit(1);
+  }
+  return graph;
+}
+
+dd::DistributedOptions DemoOptions(const std::string& checkpoint_dir) {
+  dd::DistributedOptions options;
+  options.num_shards = 4;
+  options.launch = dd::DistLaunchMode::kForkedProcesses;
+  options.epochs = 12;
+  options.learning_rate = 0.05;
+  options.burn_in = 100;
+  options.num_samples = 1000;
+  options.sweeps_per_exchange = 8;
+  options.checkpoint_dir = checkpoint_dir;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== sharded inference across forked workers ===\n\n");
+  dd::FactorGraph graph = MakeDemoGraph();
+  std::printf("graph: %zu variables, %zu factors, %zu weights\n",
+              graph.num_variables(), graph.num_factors(),
+              graph.num_weights());
+
+  const std::string dir = "/tmp/dd_dist_demo_";
+  std::vector<double> clean_marginals;
+  {
+    dd::FactorGraph g = graph;
+    auto result = dd::RunDistributed(&g, DemoOptions(dir + "clean"));
+    if (!result.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\npartition (4 shards, greedy min-cut refinement):\n"
+                "  cut edges:     %llu (random baseline %llu)\n"
+                "  boundary vars: %zu of %zu\n",
+                static_cast<unsigned long long>(result->cut_edges),
+                static_cast<unsigned long long>(result->initial_cut_edges),
+                result->boundary_vars, graph.num_variables());
+    std::printf("run: %d learning epochs, %llu samples accumulated, "
+                "%d worker restarts\n",
+                result->epochs_run,
+                static_cast<unsigned long long>(result->num_accumulated),
+                result->restarts);
+    double positive = 0;
+    for (double m : result->marginals) positive += m > 0.5 ? 1 : 0;
+    std::printf("marginals: %zu variables, %.0f%% above 0.5\n",
+                result->marginals.size(),
+                100.0 * positive / result->marginals.size());
+    clean_marginals = result->marginals;
+  }
+
+  // Same run, but shard 2 is told to crash mid-learning. The
+  // coordinator respawns it from its checkpoint; the replay is
+  // bit-exact, so the marginals must match the clean run.
+  std::printf("\n=== crash shard 2 mid-run, resume from checkpoint ===\n\n");
+  {
+    dd::FactorGraph g = graph;
+    dd::DistributedOptions options = DemoOptions(dir + "faulty");
+    options.shard_failpoints[2] = "dist.barrier=crash(skip=6,hits=1)";
+    auto result = dd::RunDistributed(&g, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "faulty run failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("run completed with %d worker restart(s)\n",
+                result->restarts);
+    if (result->marginals == clean_marginals) {
+      std::printf("recovered marginals are bit-identical to the clean "
+                  "run's — checkpoint resume is exact\n");
+    } else {
+      std::printf("ERROR: recovered marginals diverged from the clean "
+                  "run\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "core/checkpoint.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 
@@ -53,7 +54,29 @@ Status RunDirectory::Clear() const {
       return Status::IoError("remove " + path + ": " + std::strerror(errno));
     }
   }
-  return Status::OK();
+  return ClearShardSnapshots();
+}
+
+Status RunDirectory::ClearShardSnapshots() const {
+  DIR* dir = opendir(path_.c_str());
+  if (dir == nullptr) {
+    return Status::IoError("opendir " + path_ + ": " + std::strerror(errno));
+  }
+  Status status;
+  while (struct dirent* entry = readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("shard", 0) != 0 || name.size() < 11 ||
+        name.compare(name.size() - 5, 5, ".snap") != 0) {
+      continue;
+    }
+    const std::string path = path_ + "/" + name;
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      status = Status::IoError("remove " + path + ": " + std::strerror(errno));
+      break;
+    }
+  }
+  closedir(dir);
+  return status;
 }
 
 uint32_t GraphFingerprint(const FactorGraph& graph) {

@@ -15,6 +15,8 @@ namespace dd {
 ///                         last phase known to have completed, seed
 ///   <dir>/learn.snap      learner checkpoint (written by Learner)
 ///   <dir>/infer.snap      inference-materialization checkpoint
+///   <dir>/shard<k>.snap   distributed shard k's epoch checkpoint
+///                         (written by the shard worker, dist/shard.cc)
 ///
 /// Every file is written with the crash-consistent snapshot protocol
 /// (temp + fsync + atomic rename), so at any kill point the directory
@@ -32,6 +34,9 @@ class RunDirectory {
   std::string ManifestPath() const { return path_ + "/manifest.snap"; }
   std::string LearnSnapshotPath() const { return path_ + "/learn.snap"; }
   std::string InferenceSnapshotPath() const { return path_ + "/infer.snap"; }
+  std::string ShardSnapshotPath(int shard) const {
+    return path_ + "/shard" + std::to_string(shard) + ".snap";
+  }
 
   bool HasManifest() const;
   /// Atomic manifest replacement (key=value map, CRC-protected).
@@ -41,6 +46,12 @@ class RunDirectory {
   /// Delete all snapshots + manifest — the fresh-run reset that keeps a
   /// stale checkpoint from leaking into an unrelated run.
   Status Clear() const;
+
+  /// Delete only the distributed shard checkpoints (shard<k>.snap for
+  /// any k — the shard count of the previous run is unknown, so scan).
+  /// The distributed coordinator calls this at the start of a fresh run;
+  /// manifest and single-node snapshots are left alone.
+  Status ClearShardSnapshots() const;
 
  private:
   std::string path_;

@@ -149,6 +149,104 @@ Status DeepDivePipeline::RunExtraction(std::map<std::string, DeltaSet>* deltas) 
   return Status::OK();
 }
 
+Status DeepDivePipeline::RunGrounding(
+    const std::map<std::string, DeltaSet>& deltas) {
+  if (!has_run_) {
+    // Bulk-load the first batch directly into the base tables.
+    for (const auto& [relation, delta] : deltas) {
+      const RelationDecl* decl = program_.FindDecl(relation);
+      if (decl == nullptr) {
+        return Status::NotFound(
+            "extractor emitted into undeclared relation: " + relation);
+      }
+      DD_ASSIGN_OR_RETURN(Table * table,
+                          catalog_.GetOrCreateTable(relation, decl->schema));
+      for (const auto& [tuple, count] : delta) {
+        if (count <= 0) continue;  // deletions meaningless on first load
+        DD_RETURN_IF_ERROR(table->Insert(tuple).status());
+      }
+    }
+    GroundingOptions grounding_options;
+    grounding_options.holdout_fraction = options_.holdout_fraction;
+    grounding_options.pool = pool_.get();
+    // Sequential pipeline => sequential grounder (the full oracle).
+    if (pool_ == nullptr) grounding_options.num_threads = 1;
+    grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
+                                           grounding_options);
+    DD_RETURN_IF_ERROR(grounder_->Initialize());
+  } else if (!deltas.empty()) {
+    DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
+  }
+  return Status::OK();
+}
+
+Status DeepDivePipeline::RunCalibration() {
+  run_calibration_.clear();
+  for (const RelationDecl& decl : program_.declarations) {
+    if (!decl.is_query) continue;
+    DD_ASSIGN_OR_RETURN(CalibrationPair pair, Calibration(decl.name));
+    run_calibration_.emplace(decl.name, std::move(pair));
+  }
+  return Status::OK();
+}
+
+Result<DistributedResult> DeepDivePipeline::RunDistributed(
+    const DistributedOptions& dist) {
+  if (!program_loaded_) return Status::Internal("LoadProgram() before Run()");
+  DD_TRACE_SPAN_VAR(run_span, "pipeline.distributed");
+
+  Stopwatch extraction_watch;
+  std::map<std::string, DeltaSet> deltas;
+  DD_RETURN_IF_ERROR(RunExtraction(&deltas));
+  timings_.extraction_seconds = extraction_watch.Seconds();
+
+  Stopwatch grounding_watch;
+  DD_RETURN_IF_ERROR(RunGrounding(deltas));
+  timings_.grounding_seconds = grounding_watch.Seconds();
+
+  DD_RETURN_IF_ERROR(PrepareRunDirectory());
+
+  // Topology comes from the caller; the schedule always comes from the
+  // pipeline's own options so RunDistributed() answers the same question
+  // Run() answers (and with one shard, with the same bits).
+  DistributedOptions opts = dist;
+  opts.epochs = options_.learn.epochs;
+  opts.learning_rate = options_.learn.learning_rate;
+  opts.decay = options_.learn.decay;
+  opts.l2 = options_.learn.l2;
+  opts.sweeps_per_epoch = options_.learn.sweeps_per_epoch;
+  opts.learn_seed = options_.learn.seed;
+  opts.burn_in = options_.inference.full_burn_in;
+  opts.num_samples = options_.inference.num_samples;
+  opts.inference_seed = options_.inference.seed;
+  if (opts.checkpoint_dir.empty() && run_dir_ != nullptr) {
+    opts.checkpoint_dir = run_dir_->path();
+  }
+
+  Stopwatch dist_watch;
+  FactorGraph* graph = grounder_->mutable_graph();
+  DD_RETURN_IF_ERROR(graph->Finalize());
+  DD_ASSIGN_OR_RETURN(DistributedResult result,
+                      dd::RunDistributed(graph, opts));
+  grounder_->SaveWeights();
+  marginals_ = result.marginals;
+  // Distributed sampling leaves no single-node materialization to reuse;
+  // a later incremental Run() rebuilds inference state from scratch.
+  chosen_strategy_ = MaterializationStrategy::kSampling;
+  inference_ = nullptr;
+  inference_materialized_ = false;
+  timings_.learning_seconds = 0;
+  timings_.inference_seconds = dist_watch.Seconds();
+  DD_RETURN_IF_ERROR(UpdateManifestPhase("done"));
+  has_run_ = true;
+
+  Stopwatch calibration_watch;
+  DD_RETURN_IF_ERROR(RunCalibration());
+  timings_.calibration_seconds = calibration_watch.Seconds();
+  run_span.Attr("num_shards", static_cast<double>(opts.num_shards));
+  return result;
+}
+
 Status DeepDivePipeline::SetRunDirectory(const std::string& dir) {
   if (has_run_) return Status::Internal("SetRunDirectory() before Run()");
   run_dir_ = std::make_unique<RunDirectory>(dir);
@@ -258,35 +356,7 @@ Status DeepDivePipeline::Run() {
   // graph (datalog strata + factor build) nests inside this node.
   const TaskGraph::NodeId grounding =
       tg.AddNode("grounding", [this, &deltas](TraceSpan* span) -> Status {
-        if (!has_run_) {
-          // Bulk-load the first batch directly into the base tables.
-          for (const auto& [relation, delta] : deltas) {
-            const RelationDecl* decl = program_.FindDecl(relation);
-            if (decl == nullptr) {
-              return Status::NotFound(
-                  "extractor emitted into undeclared relation: " + relation);
-            }
-            DD_ASSIGN_OR_RETURN(
-                Table * table,
-                catalog_.GetOrCreateTable(relation, decl->schema));
-            for (const auto& [tuple, count] : delta) {
-              if (count <= 0) continue;  // deletions meaningless on first load
-              DD_RETURN_IF_ERROR(table->Insert(tuple).status());
-            }
-          }
-          GroundingOptions grounding_options;
-          grounding_options.holdout_fraction = options_.holdout_fraction;
-          grounding_options.pool = pool_.get();
-          // Sequential pipeline => sequential grounder (the full oracle).
-          if (pool_ == nullptr) grounding_options.num_threads = 1;
-          grounder_ = std::make_unique<Grounder>(&catalog_, &program_, &udfs_,
-                                                 grounding_options);
-          DD_RETURN_IF_ERROR(grounder_->Initialize());
-        } else {
-          if (!deltas.empty()) {
-            DD_RETURN_IF_ERROR(grounder_->ApplyDeltas(deltas));
-          }
-        }
+        DD_RETURN_IF_ERROR(RunGrounding(deltas));
         if (span != nullptr) {
           span->Attr("variables",
                      static_cast<double>(grounder_->stats().num_variables));
@@ -369,12 +439,7 @@ Status DeepDivePipeline::Run() {
   // measured, because the developer loop reads these plots every cycle.
   const TaskGraph::NodeId calibration =
       tg.AddNode("calibration", [this](TraceSpan* span) -> Status {
-        run_calibration_.clear();
-        for (const RelationDecl& decl : program_.declarations) {
-          if (!decl.is_query) continue;
-          DD_ASSIGN_OR_RETURN(CalibrationPair pair, Calibration(decl.name));
-          run_calibration_.emplace(decl.name, std::move(pair));
-        }
+        DD_RETURN_IF_ERROR(RunCalibration());
         if (span != nullptr) {
           span->Attr("relations", static_cast<double>(run_calibration_.size()));
         }

@@ -11,6 +11,7 @@
 #include "core/checkpoint.h"
 #include "core/udf.h"
 #include "ddlog/ast.h"
+#include "dist/coordinator.h"
 #include "grounding/grounder.h"
 #include "inference/incremental.h"
 #include "inference/learner.h"
@@ -170,6 +171,21 @@ class DeepDivePipeline {
   /// incremental path over queued documents/deltas.
   Status Run();
 
+  /// Like Run(), but learning + inference execute as a sharded
+  /// distributed run (DESIGN.md §15): the grounded graph is partitioned,
+  /// one worker per shard runs epoch-synchronous learning with model
+  /// averaging followed by exchange-synchronous sampling, and the
+  /// assembled marginals land exactly where Run()'s would. Only the
+  /// topology fields of `dist` are honored (num_shards, launch mode,
+  /// endpoint, partition, sweeps_per_exchange, restart budget, fault
+  /// specs); the learning/inference schedule always comes from
+  /// PipelineOptions, so a num_shards == 1 call is bit-identical to
+  /// Run() with the sampling strategy. With a run directory set, shards
+  /// checkpoint into it and a killed shard resumes bit-identically.
+  /// Learning + inference wall-clock is reported jointly under
+  /// timings().inference_seconds.
+  Result<DistributedResult> RunDistributed(const DistributedOptions& dist);
+
   /// Robustness counters for the last Run().
   const RunStats& run_stats() const { return run_stats_; }
 
@@ -230,7 +246,11 @@ class DeepDivePipeline {
  private:
   Status RunExtraction(std::map<std::string, DeltaSet>* deltas);
   Status ExtractDocument(const Document& doc, TupleEmitter* emitter);
+  /// Bulk-load + ground the first batch, or apply deltas incrementally —
+  /// the body of Run()'s grounding node, shared with RunDistributed().
+  Status RunGrounding(const std::map<std::string, DeltaSet>& deltas);
   Status RunInference();
+  Status RunCalibration();
   MaterializationStrategy PickStrategy() const;
   /// Fresh run: reset the run directory; resume: verify the manifest's
   /// graph fingerprint. Called once the graph is grounded.

@@ -1,0 +1,101 @@
+#ifndef DEEPDIVE_DIST_COORDINATOR_H_
+#define DEEPDIVE_DIST_COORDINATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dist/partition.h"
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// How the coordinator launches its shard workers. Both run the same
+/// RunShardWorker entry point over the same wire protocol.
+enum class DistLaunchMode {
+  /// In-process threads. No respawn on failure (a dead thread took its
+  /// address space with it); the worker's own Status is preferred in the
+  /// error report. TSan-safe — workers share no mutable state with the
+  /// coordinator except the sockets.
+  kThreads,
+  /// fork()ed child processes, one per shard. A worker that dies from a
+  /// transient fault (socket error, crash, deadline) is respawned up to
+  /// max_shard_restarts times and resumes from its shard checkpoint.
+  kForkedProcesses,
+};
+
+/// Configuration for one distributed learning + inference run. The
+/// learning block mirrors LearnOptions and the inference block mirrors
+/// the single-node sampling schedule so that a num_shards == 1 run is
+/// bit-identical to Learner::Learn + GibbsSampler marginals.
+struct DistributedOptions {
+  int num_shards = 2;
+  DistLaunchMode launch = DistLaunchMode::kThreads;
+  /// "tcp:127.0.0.1:0" (free port) or "unix:/path".
+  std::string endpoint = "tcp:127.0.0.1:0";
+  PartitionOptions partition;
+
+  // Learning schedule (mirrors LearnOptions).
+  int epochs = 200;
+  double learning_rate = 0.1;
+  double decay = 0.99;
+  double l2 = 0.01;
+  int sweeps_per_epoch = 1;
+  uint64_t learn_seed = 1234;
+
+  // Inference schedule (mirrors the single-node sampling pipeline).
+  int burn_in = 300;
+  int num_samples = 1000;
+  uint64_t inference_seed = 7;
+  /// Sweeps each shard runs between boundary-value exchanges. Exchange
+  /// frequency trades marginal quality on the cut against wire traffic;
+  /// it never perturbs the sweep/accumulate schedule itself.
+  int sweeps_per_exchange = 8;
+
+  /// When non-empty, each shard checkpoints <dir>/shard<k>.snap after
+  /// every exchange and a respawned worker resumes bit-identically.
+  std::string checkpoint_dir;
+  /// Per-shard respawn budget (fork mode only).
+  int max_shard_restarts = 2;
+  double io_deadline_ms = 30000;
+  double accept_deadline_ms = 30000;
+
+  /// Fault injection for fork-mode tests: failpoint spec (see
+  /// Failpoints::Configure) applied inside shard k's child process right
+  /// after fork — first spawn and respawns respectively. The coordinator
+  /// process itself is never reconfigured.
+  std::map<uint32_t, std::string> shard_failpoints;
+  std::map<uint32_t, std::string> respawn_failpoints;
+};
+
+struct DistributedResult {
+  /// P(v = 1) for every global variable, assembled from the owning
+  /// shards' accumulators.
+  std::vector<double> marginals;
+  /// Final model-averaged weights, one per global weight id.
+  std::vector<double> weights;
+  /// Samples behind each shard's marginals (identical across shards).
+  uint64_t num_accumulated = 0;
+  int epochs_run = 0;
+  /// Partition quality, copied from the GraphPartition.
+  uint64_t cut_edges = 0;
+  uint64_t initial_cut_edges = 0;
+  size_t boundary_vars = 0;
+  /// Total worker respawns the run needed (fork mode).
+  int restarts = 0;
+};
+
+/// Run distributed learning + inference over `graph` (must be
+/// finalized): partition into shards, launch one worker per shard,
+/// drive epoch-synchronous exchanges — averaged weights plus boundary
+/// values every learning epoch, boundary values every inference round —
+/// and assemble the global marginals. On success the graph's weights
+/// hold the averaged learned values.
+Result<DistributedResult> RunDistributed(FactorGraph* graph,
+                                         const DistributedOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DIST_COORDINATOR_H_

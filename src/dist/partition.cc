@@ -1,0 +1,259 @@
+#include "dist/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace dd {
+
+namespace {
+
+/// Cut contribution of factor f under `var_shard`: the number of its
+/// literals living off the shard of its first literal (the owner).
+uint64_t FactorCut(const FactorGraph& graph,
+                   const std::vector<uint32_t>& var_shard, uint32_t f) {
+  size_t n = 0;
+  const Literal* lits = graph.factor_literals(f, &n);
+  if (n == 0) return 0;
+  const uint32_t owner = var_shard[lits[0].var];
+  uint64_t cut = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (var_shard[lits[i].var] != owner) ++cut;
+  }
+  return cut;
+}
+
+uint64_t TotalCut(const FactorGraph& graph,
+                  const std::vector<uint32_t>& var_shard) {
+  uint64_t cut = 0;
+  for (uint32_t f = 0; f < graph.num_factors(); ++f) {
+    cut += FactorCut(graph, var_shard, f);
+  }
+  return cut;
+}
+
+}  // namespace
+
+Result<GraphPartition> PartitionGraph(const FactorGraph& graph,
+                                      const PartitionOptions& options) {
+  Status injected;
+  DD_FAILPOINT(failpoints::kDistPartition, &injected);
+  DD_RETURN_IF_ERROR(injected);
+
+  if (!graph.finalized()) {
+    return Status::InvalidArgument("PartitionGraph requires a finalized graph");
+  }
+  const size_t nv = graph.num_variables();
+  const size_t nf = graph.num_factors();
+  const int shards = options.num_shards;
+  if (shards < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_shards must be >= 1, got %d", shards));
+  }
+  if (nv > 0 && static_cast<size_t>(shards) > nv) {
+    return Status::InvalidArgument(
+        StrFormat("cannot cut %zu variables into %d shards", nv, shards));
+  }
+
+  GraphPartition p;
+  p.num_shards = shards;
+  p.var_shard.assign(nv, 0);
+
+  // Balanced seeded random initial partition: Fisher-Yates shuffle of
+  // the variable ids, dealt round-robin. Shard sizes differ by <= 1.
+  Rng rng(options.seed);
+  std::vector<uint32_t> order(nv);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = nv; i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(order[i - 1], order[j]);
+  }
+  for (size_t i = 0; i < nv; ++i) {
+    p.var_shard[order[i]] = static_cast<uint32_t>(i % shards);
+  }
+  p.initial_cut_edges = TotalCut(graph, p.var_shard);
+
+  // Greedy refinement: visit variables in the shuffled order, move one
+  // to whichever shard strictly decreases the cut the most, subject to
+  // the balance envelope. Only strict improvements are accepted, so the
+  // cut decreases monotonically from the random baseline.
+  if (shards > 1 && nv > 0) {
+    std::vector<size_t> shard_size(shards, 0);
+    for (uint32_t v = 0; v < nv; ++v) ++shard_size[p.var_shard[v]];
+    const size_t max_size = static_cast<size_t>(
+        static_cast<double>((nv + shards - 1) / shards) *
+        (1.0 + options.balance_slack)) + 1;
+
+    // Cut delta of moving v to shard `to`: recompute the contribution of
+    // every factor touching v (moves can change a factor's owner when v
+    // is its first literal, so per-edge bookkeeping is not enough).
+    auto move_delta = [&](uint32_t v, uint32_t to) -> int64_t {
+      size_t nfac = 0;
+      const uint32_t* facs = graph.var_factors(v, &nfac);
+      int64_t before = 0, after = 0;
+      for (size_t i = 0; i < nfac; ++i) {
+        before += static_cast<int64_t>(FactorCut(graph, p.var_shard, facs[i]));
+      }
+      const uint32_t from = p.var_shard[v];
+      p.var_shard[v] = to;
+      for (size_t i = 0; i < nfac; ++i) {
+        after += static_cast<int64_t>(FactorCut(graph, p.var_shard, facs[i]));
+      }
+      p.var_shard[v] = from;
+      return after - before;
+    };
+
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+      bool moved = false;
+      for (uint32_t v : order) {
+        const uint32_t from = p.var_shard[v];
+        if (shard_size[from] <= 1) continue;  // never empty a shard
+        int64_t best_delta = 0;
+        int best_to = -1;
+        for (int to = 0; to < shards; ++to) {
+          if (static_cast<uint32_t>(to) == from) continue;
+          if (shard_size[to] + 1 > max_size) continue;
+          const int64_t delta = move_delta(v, static_cast<uint32_t>(to));
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_to = to;
+          }
+        }
+        if (best_to >= 0) {
+          p.var_shard[v] = static_cast<uint32_t>(best_to);
+          --shard_size[from];
+          ++shard_size[best_to];
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+  }
+
+  // Factor ownership + the boundary catalog fall out of var_shard.
+  p.factor_shard.assign(nf, 0);
+  p.shard_vars.assign(shards, {});
+  p.shard_factors.assign(shards, {});
+  p.shard_ghosts.assign(shards, {});
+  for (uint32_t v = 0; v < nv; ++v) {
+    p.shard_vars[p.var_shard[v]].push_back(v);
+  }
+  p.cut_edges = 0;
+  // readers[v] = sorted unique shards hosting a ghost replica of v. A
+  // cut factor is replicated onto every shard owning one of its
+  // variables, so each variable's owner samples it with the factor's
+  // contribution present (its Gibbs conditional stays complete); every
+  // replica-holding shard therefore needs ghosts of all the factor's
+  // variables it does not own.
+  std::vector<std::vector<uint32_t>> readers(nv);
+  std::vector<uint32_t> incident;
+  for (uint32_t f = 0; f < nf; ++f) {
+    size_t n = 0;
+    const Literal* lits = graph.factor_literals(f, &n);
+    const uint32_t owner = n == 0 ? 0 : p.var_shard[lits[0].var];
+    p.factor_shard[f] = owner;
+    p.shard_factors[owner].push_back(f);
+    incident.clear();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t s = p.var_shard[lits[i].var];
+      if (s != owner) ++p.cut_edges;
+      if (std::find(incident.begin(), incident.end(), s) == incident.end()) {
+        incident.push_back(s);
+      }
+    }
+    if (incident.size() <= 1) continue;  // fully internal factor
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t v = lits[i].var;
+      for (uint32_t s : incident) {
+        if (s == p.var_shard[v]) continue;
+        auto& r = readers[v];
+        if (std::find(r.begin(), r.end(), s) == r.end()) r.push_back(s);
+      }
+    }
+  }
+  for (uint32_t v = 0; v < nv; ++v) {
+    if (readers[v].empty()) continue;
+    std::sort(readers[v].begin(), readers[v].end());
+    for (uint32_t s : readers[v]) p.shard_ghosts[s].push_back(v);
+    p.boundary.push_back({v, p.var_shard[v], std::move(readers[v])});
+  }
+  return p;
+}
+
+Result<ShardGraph> BuildShardGraph(const FactorGraph& graph,
+                                   const GraphPartition& partition,
+                                   uint32_t shard) {
+  if (shard >= static_cast<uint32_t>(partition.num_shards)) {
+    return Status::InvalidArgument(
+        StrFormat("shard %u out of range (%d shards)", shard,
+                  partition.num_shards));
+  }
+  ShardGraph sg;
+  sg.shard = shard;
+  sg.num_shards = static_cast<uint32_t>(partition.num_shards);
+
+  const std::vector<uint32_t>& owned = partition.shard_vars[shard];
+  const std::vector<uint32_t>& ghosts = partition.shard_ghosts[shard];
+  sg.num_owned = owned.size();
+  sg.local_to_global.reserve(owned.size() + ghosts.size());
+  std::vector<uint32_t> global_to_local(graph.num_variables(), UINT32_MAX);
+  // Owned variables first, ascending global id, so the local scan order
+  // (and thus the chains' RNG consumption) matches a single-node run
+  // when there is one shard. Ghosts follow, also ascending, marked
+  // evidence so clamping chains pin them at the exchanged values.
+  for (uint32_t v : owned) {
+    global_to_local[v] = static_cast<uint32_t>(sg.local_to_global.size());
+    sg.local_to_global.push_back(v);
+    sg.graph.AddVariable(graph.is_evidence(v), graph.evidence_value(v));
+  }
+  for (uint32_t v : ghosts) {
+    global_to_local[v] = static_cast<uint32_t>(sg.local_to_global.size());
+    sg.local_to_global.push_back(v);
+    sg.graph.AddVariable(true, graph.is_evidence(v) && graph.evidence_value(v));
+  }
+  for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+    const Weight& weight = graph.weight(w);
+    sg.graph.AddWeight(graph.weight_value(w), weight.is_fixed,
+                       weight.description);
+  }
+  auto add_factor = [&](uint32_t f) -> Status {
+    size_t n = 0;
+    const Literal* lits = graph.factor_literals(f, &n);
+    std::vector<Literal> local(n);
+    for (size_t i = 0; i < n; ++i) {
+      local[i] = {global_to_local[lits[i].var], lits[i].is_positive};
+    }
+    return sg.graph.AddFactor(graph.factor_func(f), graph.factor_weight(f),
+                              std::move(local));
+  };
+  // Owned factors first, ascending global id (the identity map when
+  // there is one shard) — the shard's gradient domain. Replicas of cut
+  // factors owned elsewhere follow, also ascending: they complete the
+  // sampling neighborhoods of this shard's boundary variables but are
+  // excluded from its gradient (their owner counts them).
+  sg.num_owned_factors = partition.shard_factors[shard].size();
+  for (uint32_t f : partition.shard_factors[shard]) {
+    DD_RETURN_IF_ERROR(add_factor(f));
+  }
+  for (uint32_t f = 0; f < graph.num_factors(); ++f) {
+    if (partition.factor_shard[f] == shard) continue;
+    size_t n = 0;
+    const Literal* lits = graph.factor_literals(f, &n);
+    bool incident = false;
+    for (size_t i = 0; i < n && !incident; ++i) {
+      incident = partition.var_shard[lits[i].var] == shard;
+    }
+    if (incident) DD_RETURN_IF_ERROR(add_factor(f));
+  }
+  DD_RETURN_IF_ERROR(sg.graph.Finalize());
+
+  for (const BoundaryVar& b : partition.boundary) {
+    if (b.owner == shard) sg.owned_boundary.push_back(global_to_local[b.var]);
+  }
+  return sg;
+}
+
+}  // namespace dd

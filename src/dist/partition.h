@@ -1,0 +1,100 @@
+#ifndef DEEPDIVE_DIST_PARTITION_H_
+#define DEEPDIVE_DIST_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "factor/graph.h"
+#include "util/result.h"
+
+namespace dd {
+
+/// One boundary (cut) variable: a variable appearing in at least one
+/// cut factor. `readers` lists every non-owner shard holding a ghost
+/// replica of it, ascending.
+struct BoundaryVar {
+  uint32_t var = 0;
+  uint32_t owner = 0;
+  std::vector<uint32_t> readers;
+};
+
+struct PartitionOptions {
+  int num_shards = 2;
+  uint64_t seed = 0x9e3779b9;
+  /// Greedy refinement passes over the variables after the seeded random
+  /// initial partition. Every accepted move strictly decreases the cut,
+  /// so the final cut is <= the random baseline by construction.
+  int refine_passes = 4;
+  /// A shard may grow to ceil(nv / shards) * (1 + balance_slack)
+  /// variables during refinement (and never shrink to zero).
+  double balance_slack = 0.10;
+};
+
+/// A deterministic partition of a finalized factor graph's bipartite
+/// variable/factor graph. Every variable is owned by exactly one shard;
+/// every factor lives on the shard owning its first literal's variable
+/// (the DimmWitted convention the NUMA learner also uses), so factor
+/// ownership is a pure function of variable ownership.
+struct GraphPartition {
+  int num_shards = 1;
+  std::vector<uint32_t> var_shard;     ///< size num_variables
+  std::vector<uint32_t> factor_shard;  ///< size num_factors
+  /// Per shard, the globally ascending ids it owns / hosts.
+  std::vector<std::vector<uint32_t>> shard_vars;
+  std::vector<std::vector<uint32_t>> shard_factors;
+  /// Per shard, the ascending global ids of variables it hosts as ghost
+  /// replicas: every variable of a cut factor the shard holds (owned or
+  /// replicated) that it does not own. Cut factors are replicated onto
+  /// each shard owning one of their variables so owners always sample
+  /// with complete Gibbs conditionals.
+  std::vector<std::vector<uint32_t>> shard_ghosts;
+  /// The boundary-variable catalog, ascending by variable id. Complete:
+  /// a variable of any cut factor appears here with every non-owner
+  /// shard holding that factor as a reader.
+  std::vector<BoundaryVar> boundary;
+  /// Cut size: number of (factor, literal) edges whose variable lives on
+  /// a different shard than the factor.
+  uint64_t cut_edges = 0;
+  /// Cut of the seeded random initial partition, before refinement —
+  /// the baseline the greedy passes improve on.
+  uint64_t initial_cut_edges = 0;
+};
+
+/// Partition `graph` into `options.num_shards` shards: balanced seeded
+/// random assignment, then greedy min-cut refinement accepting only
+/// strictly-improving balanced moves. Deterministic for a given
+/// (graph, options). Honors the dist.partition failpoint.
+Result<GraphPartition> PartitionGraph(const FactorGraph& graph,
+                                      const PartitionOptions& options);
+
+/// One shard's materialized subgraph. Local variable ids are the shard's
+/// owned variables in ascending global order (so chain RNG consumption
+/// matches a single-node run when num_shards == 1), followed by its
+/// ghost replicas in ascending global order. Ghosts are marked evidence
+/// in the subgraph so clamping chains pin them; their values are poked
+/// each exchange. All weights are replicated with their global ids —
+/// weight tying spans shards, which is what model averaging averages.
+struct ShardGraph {
+  FactorGraph graph;
+  uint32_t shard = 0;
+  uint32_t num_shards = 1;
+  size_t num_owned = 0;  ///< local ids [0, num_owned) are owned
+  /// Local factor ids [0, num_owned_factors) are owned by this shard
+  /// (ascending global order — the gradient domain); the rest are
+  /// replicas of cut factors owned elsewhere, present so boundary
+  /// variables sample with their full neighborhoods. A replica is
+  /// recognizable locally: its first literal is a ghost.
+  size_t num_owned_factors = 0;
+  std::vector<uint32_t> local_to_global;
+  /// Local ids (ascending) of owned variables some other shard reads —
+  /// the values this shard publishes each exchange.
+  std::vector<uint32_t> owned_boundary;
+};
+
+Result<ShardGraph> BuildShardGraph(const FactorGraph& graph,
+                                   const GraphPartition& partition,
+                                   uint32_t shard);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DIST_PARTITION_H_

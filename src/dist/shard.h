@@ -1,0 +1,40 @@
+#ifndef DEEPDIVE_DIST_SHARD_H_
+#define DEEPDIVE_DIST_SHARD_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace dd {
+
+/// Bootstrap parameters of one shard worker — everything else (the
+/// subgraph, schedules, checkpoint path) arrives over the wire in the
+/// kMsgAssign handshake, so a worker process needs only an endpoint and
+/// its identity. The coordinator launches workers as threads or forked
+/// processes; both run this entry point.
+struct ShardWorkerOptions {
+  std::string endpoint;
+  uint32_t shard = 0;
+  /// Per frame-operation deadline; also bounds the initial dial.
+  double io_deadline_ms = 30000;
+};
+
+/// Run one shard worker to completion: dial the coordinator, receive the
+/// subgraph assignment, then serve epoch-synchronous learning exchanges
+/// followed by inference rounds until kMsgFinish.
+///
+/// Durability: when the assignment names a checkpoint path, the worker
+/// snapshots its full sampler state (chains, RNG states, replica
+/// weights, marginal tallies) after every exchange, *before* sending the
+/// result. A respawned worker therefore resumes in one of exactly two
+/// positions — about to redo the interrupted exchange, or holding its
+/// finished result — and reports both through kMsgReady so the
+/// coordinator replays or consumes deterministically; the resumed run is
+/// bit-identical to an uninterrupted one. Honors the dist.barrier
+/// failpoint at every exchange boundary.
+Status RunShardWorker(const ShardWorkerOptions& options);
+
+}  // namespace dd
+
+#endif  // DEEPDIVE_DIST_SHARD_H_

@@ -28,12 +28,29 @@ Status GibbsSampler::Init() {
   const size_t nv = graph_->num_variables();
   assignment_.resize(nv);
   free_vars_.clear();
-  for (uint32_t v = 0; v < nv; ++v) {
-    if (options_.clamp_evidence && graph_->is_evidence(v)) {
-      assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
-    } else {
-      assignment_[v] = rng_.NextBernoulli(0.5) ? 1 : 0;
-      free_vars_.push_back(v);
+  if (options_.free_set != nullptr) {
+    // Explicit free set: draw initial values for exactly its members, in
+    // ascending variable order (the same RNG consumption pattern the
+    // clamp-based path uses for its free variables), pin everything else.
+    size_t next = 0;
+    for (uint32_t v = 0; v < nv; ++v) {
+      if (next < options_.free_set->size() && (*options_.free_set)[next] == v) {
+        assignment_[v] = rng_.NextBernoulli(0.5) ? 1 : 0;
+        free_vars_.push_back(v);
+        ++next;
+      } else {
+        assignment_[v] =
+            graph_->is_evidence(v) && graph_->evidence_value(v) ? 1 : 0;
+      }
+    }
+  } else {
+    for (uint32_t v = 0; v < nv; ++v) {
+      if (options_.clamp_evidence && graph_->is_evidence(v)) {
+        assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
+      } else {
+        assignment_[v] = rng_.NextBernoulli(0.5) ? 1 : 0;
+        free_vars_.push_back(v);
+      }
     }
   }
   true_counts_.assign(nv, 0);
@@ -63,12 +80,19 @@ Status GibbsSampler::RestoreState(const std::vector<uint8_t>& assignment,
   }
   assignment_ = assignment;
   free_vars_.clear();
-  for (uint32_t v = 0; v < nv; ++v) {
-    if (options_.clamp_evidence && graph_->is_evidence(v)) {
-      // Defend against a snapshot taken under different clamp settings.
-      assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
-    } else {
-      free_vars_.push_back(v);
+  if (options_.free_set != nullptr) {
+    // Pinned values (ghost replicas) travel in the checkpointed
+    // assignment verbatim; the caller re-pins them from the next
+    // exchange before sweeping.
+    free_vars_ = *options_.free_set;
+  } else {
+    for (uint32_t v = 0; v < nv; ++v) {
+      if (options_.clamp_evidence && graph_->is_evidence(v)) {
+        // Defend against a snapshot taken under different clamp settings.
+        assignment_[v] = graph_->evidence_value(v) ? 1 : 0;
+      } else {
+        free_vars_.push_back(v);
+      }
     }
   }
   true_counts_ = true_counts.empty() ? std::vector<uint64_t>(nv, 0) : true_counts;

@@ -23,6 +23,16 @@ struct GibbsOptions {
   /// interpreted CSR path is kept as a reference oracle; both produce
   /// bit-for-bit identical chains.
   bool use_compiled = true;
+  /// Optional explicit free set (sorted ascending variable ids, owned by
+  /// the caller, must outlive the sampler). When set it overrides
+  /// clamp_evidence entirely: exactly these variables are resampled;
+  /// every other variable is pinned — at its evidence value if it is an
+  /// evidence variable, otherwise at 0 until the caller pokes the
+  /// assignment. The distributed shards use this to sweep only the
+  /// variables they own while ghost replicas stay pinned at the values
+  /// exchanged with their owners. With free_set covering every variable
+  /// the chain is bit-identical to clamp_evidence = false.
+  const std::vector<uint32_t>* free_set = nullptr;
 };
 
 /// Sequential Gibbs sampler over a finalized FactorGraph. One "sweep"

@@ -35,6 +35,11 @@ inline constexpr const char* kStreamChunkRead = "stream.chunk_read";
 inline constexpr const char* kStreamHandoff = "stream.handoff";
 inline constexpr const char* kStreamParse = "stream.parse";
 inline constexpr const char* kStreamMerge = "stream.merge";
+inline constexpr const char* kDistConnect = "dist.connect";
+inline constexpr const char* kDistSend = "dist.send";
+inline constexpr const char* kDistRecv = "dist.recv";
+inline constexpr const char* kDistPartition = "dist.partition";
+inline constexpr const char* kDistBarrier = "dist.barrier";
 }  // namespace failpoints
 
 /// What a fired failpoint does to the site that evaluated it.

@@ -1,0 +1,393 @@
+// Shard-vs-single-node differential tests (DESIGN.md §15). The contract
+// under test:
+//
+//   * a 1-shard distributed run is *bit-identical* to the single-node
+//     Learner + GibbsSampler pipeline — same weights, same marginals,
+//     same graph fingerprint for the shard subgraph;
+//   * multi-shard *inference* (boundary exchange over a fixed model)
+//     stays within the NUMA tolerance (0.04) of the single-node
+//     marginals and is deterministic per seed (two runs agree bitwise);
+//   * multi-shard *learning* (model averaging) is statistically
+//     indistinguishable from single-node CD-SGD: its marginal deviation
+//     from the oracle stays inside the single-node seed-to-seed noise
+//     envelope, measured in-test. (CD-SGD is itself a noisy estimator —
+//     two single-node runs differing only in learn seed land ~0.11 mean
+//     marginal diff apart on this graph — so a fixed tight tolerance on
+//     learned weights would be dishonest for any sampler, sharded or
+//     not.)
+//   * the pipeline-level entry point RunDistributed() lands its
+//     marginals exactly where Run() with the sampling strategy would.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/pipeline.h"
+#include "dist/coordinator.h"
+#include "dist/partition.h"
+#include "inference/gibbs.h"
+#include "inference/learner.h"
+#include "testdata/spouse_app.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace dd {
+namespace {
+
+// One learning + inference schedule shared by the oracle and the
+// distributed runs. Small enough to keep the test fast, large enough
+// that the sampling noise floor sits well below the 0.04 tolerance.
+struct Schedule {
+  int epochs = 30;
+  double learning_rate = 0.05;
+  double decay = 0.99;
+  double l2 = 0.01;
+  int sweeps_per_epoch = 1;
+  uint64_t learn_seed = 1234;
+  int burn_in = 300;
+  int num_samples = 3000;
+  uint64_t inference_seed = 7;
+};
+
+FactorGraph MakeTestGraph(size_t num_variables, uint64_t seed) {
+  SyntheticGraphOptions options;
+  options.num_variables = num_variables;
+  options.factors_per_variable = 2.0;
+  options.evidence_fraction = 0.2;
+  options.weight_scale = 0.5;
+  options.num_weights = 16;
+  options.seed = seed;
+  FactorGraph graph = MakeRandomGraph(options);
+  EXPECT_TRUE(graph.Finalize().ok());
+  return graph;
+}
+
+struct SingleNodeRun {
+  std::vector<double> weights;
+  std::vector<double> marginals;
+};
+
+// The oracle: exactly what the single-node pipeline runs — Learner SGD
+// followed by unconditional Gibbs marginals.
+SingleNodeRun RunSingleNode(FactorGraph graph, const Schedule& s) {
+  LearnOptions learn;
+  learn.epochs = s.epochs;
+  learn.learning_rate = s.learning_rate;
+  learn.decay = s.decay;
+  learn.l2 = s.l2;
+  learn.sweeps_per_epoch = s.sweeps_per_epoch;
+  learn.seed = s.learn_seed;
+  EXPECT_TRUE(Learner(&graph).Learn(learn).ok());
+
+  GibbsOptions gibbs;
+  gibbs.burn_in = s.burn_in;
+  gibbs.num_samples = s.num_samples;
+  gibbs.seed = s.inference_seed;
+  gibbs.clamp_evidence = false;
+  GibbsSampler sampler(&graph, gibbs);
+  auto marginals = sampler.RunMarginals();
+  EXPECT_TRUE(marginals.ok()) << marginals.status().ToString();
+
+  SingleNodeRun run;
+  for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+    run.weights.push_back(graph.weight_value(w));
+  }
+  run.marginals = *marginals;
+  return run;
+}
+
+DistributedOptions MakeDistOptions(const Schedule& s, int num_shards) {
+  DistributedOptions options;
+  options.num_shards = num_shards;
+  options.launch = DistLaunchMode::kThreads;
+  options.epochs = s.epochs;
+  options.learning_rate = s.learning_rate;
+  options.decay = s.decay;
+  options.l2 = s.l2;
+  options.sweeps_per_epoch = s.sweeps_per_epoch;
+  options.learn_seed = s.learn_seed;
+  options.burn_in = s.burn_in;
+  options.num_samples = s.num_samples;
+  options.inference_seed = s.inference_seed;
+  return options;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double max = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    max = std::max(max, std::fabs(a[i] - b[i]));
+  }
+  return max;
+}
+
+// ---- 1 shard == single node, bitwise ----------------------------------
+
+TEST(DistDifferentialTest, OneShardBitIdenticalToSingleNode) {
+  Schedule s;
+  FactorGraph graph = MakeTestGraph(200, 11);
+  SingleNodeRun oracle = RunSingleNode(graph, s);
+
+  FactorGraph dist_graph = graph;
+  auto result = RunDistributed(&dist_graph, MakeDistOptions(s, 1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->epochs_run, s.epochs);
+  EXPECT_EQ(result->num_accumulated, static_cast<uint64_t>(s.num_samples));
+  EXPECT_EQ(result->cut_edges, 0u);
+  EXPECT_EQ(result->boundary_vars, 0u);
+
+  // Weights: exact. Model averaging over one shard is sum / 1.0.
+  ASSERT_EQ(result->weights.size(), oracle.weights.size());
+  for (size_t w = 0; w < oracle.weights.size(); ++w) {
+    EXPECT_EQ(result->weights[w], oracle.weights[w]) << "weight " << w;
+  }
+  // The graph's weights were written back too.
+  for (uint32_t w = 0; w < dist_graph.num_weights(); ++w) {
+    EXPECT_EQ(dist_graph.weight_value(w), oracle.weights[w]);
+  }
+  // Marginals: exact — same chain, same RNG stream, same schedule.
+  ASSERT_EQ(result->marginals.size(), oracle.marginals.size());
+  for (size_t v = 0; v < oracle.marginals.size(); ++v) {
+    EXPECT_EQ(result->marginals[v], oracle.marginals[v]) << "variable " << v;
+  }
+}
+
+TEST(DistDifferentialTest, OneShardSubgraphIsTheGraph) {
+  // The 1-shard subgraph must be byte-identical to the global graph
+  // (local ids are the identity map), so the shard worker's chains
+  // consume the RNG stream exactly like a single-node sampler.
+  FactorGraph graph = MakeTestGraph(150, 5);
+  PartitionOptions popts;
+  popts.num_shards = 1;
+  auto partition = PartitionGraph(graph, popts);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_EQ(partition->cut_edges, 0u);
+  EXPECT_TRUE(partition->boundary.empty());
+
+  auto shard = BuildShardGraph(graph, *partition, 0);
+  ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+  EXPECT_EQ(shard->num_owned, graph.num_variables());
+  EXPECT_TRUE(shard->owned_boundary.empty());
+  for (size_t v = 0; v < shard->local_to_global.size(); ++v) {
+    EXPECT_EQ(shard->local_to_global[v], v);
+  }
+  ASSERT_TRUE(shard->graph.Finalize().ok());
+  EXPECT_EQ(GraphFingerprint(shard->graph), GraphFingerprint(graph));
+}
+
+// ---- N shards: inference within tolerance, deterministic --------------
+
+double MeanAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  if (a.empty()) return 0;
+  double sum = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    sum += std::fabs(a[i] - b[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+class DistShardCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistShardCountTest, InferenceWithinToleranceAndDeterministic) {
+  // Fix the model (learned once, single-node) and compare the sharded
+  // sampler's marginals against the single-node chain over the same
+  // weights. This isolates the distributed machinery — partitioning,
+  // factor replication, ghost pinning, boundary exchange, assembly —
+  // from CD-SGD's own seed noise, so the 0.04 tolerance bites: a cut
+  // factor missing from one shard's conditionals shows up here as a
+  // 0.15+ boundary-variable bias.
+  const int num_shards = GetParam();
+  Schedule s;
+  s.num_samples = 8000;  // sampling noise floor ~0.02, tolerance 0.04
+  s.burn_in = 400;
+  FactorGraph graph = MakeTestGraph(300, 17);
+  LearnOptions learn;
+  learn.epochs = s.epochs;
+  learn.learning_rate = s.learning_rate;
+  learn.decay = s.decay;
+  learn.l2 = s.l2;
+  learn.seed = s.learn_seed;
+  ASSERT_TRUE(Learner(&graph).Learn(learn).ok());
+
+  GibbsOptions gibbs;
+  gibbs.burn_in = s.burn_in;
+  gibbs.num_samples = s.num_samples;
+  gibbs.seed = s.inference_seed;
+  gibbs.clamp_evidence = false;
+  GibbsSampler sampler(&graph, gibbs);
+  auto oracle = sampler.RunMarginals();
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  DistributedOptions options = MakeDistOptions(s, num_shards);
+  options.epochs = 0;  // inference only: the learned weights stand
+  if (num_shards == 2) {
+    // Cover the unix-socket transport on one of the configurations.
+    options.endpoint =
+        "unix:" + ::testing::TempDir() + "dd_dist_diff.sock";
+  }
+
+  FactorGraph run1 = graph;
+  auto result1 = RunDistributed(&run1, options);
+  ASSERT_TRUE(result1.ok()) << result1.status().ToString();
+  EXPECT_EQ(result1->num_accumulated, static_cast<uint64_t>(s.num_samples));
+  EXPECT_GT(result1->boundary_vars, 0u);
+  EXPECT_LE(result1->cut_edges, result1->initial_cut_edges);
+
+  // Weights pass through learning untouched (epochs == 0).
+  ASSERT_EQ(result1->weights.size(), graph.num_weights());
+  for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+    EXPECT_EQ(result1->weights[w], graph.weight_value(w)) << "weight " << w;
+  }
+  // The boundary-exchanged marginals track the single-node chain within
+  // the NUMA tolerance.
+  ASSERT_EQ(result1->marginals.size(), oracle->size());
+  EXPECT_LE(MaxAbsDiff(result1->marginals, *oracle), 0.04);
+
+  // Determinism: an identical second run agrees bitwise.
+  FactorGraph run2 = graph;
+  auto result2 = RunDistributed(&run2, options);
+  ASSERT_TRUE(result2.ok()) << result2.status().ToString();
+  EXPECT_EQ(result1->marginals, result2->marginals);
+  EXPECT_EQ(result1->weights, result2->weights);
+  EXPECT_EQ(result1->cut_edges, result2->cut_edges);
+}
+
+TEST_P(DistShardCountTest, LearningStaysInSeedNoiseEnvelope) {
+  // End-to-end learning + inference. Model averaging cannot reproduce
+  // the single-node weight trajectory (different chains see different
+  // samples), but it must be *statistically equivalent*: its marginal
+  // deviation from the oracle stays within the single-node learner's
+  // own seed-to-seed noise, measured right here rather than hard-coded.
+  // Everything is seeded, so the assertion is deterministic.
+  const int num_shards = GetParam();
+  Schedule s;
+  const FactorGraph graph = MakeTestGraph(300, 17);
+  SingleNodeRun oracle = RunSingleNode(graph, s);
+
+  Schedule reseeded = s;
+  reseeded.learn_seed = 999;
+  SingleNodeRun reseeded_run = RunSingleNode(graph, reseeded);
+  const double envelope = MeanAbsDiff(reseeded_run.marginals, oracle.marginals);
+  ASSERT_GT(envelope, 0.0);
+
+  FactorGraph dist_graph = graph;
+  auto result = RunDistributed(&dist_graph, MakeDistOptions(s, num_shards));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (double w : result->weights) EXPECT_TRUE(std::isfinite(w));
+  ASSERT_EQ(result->marginals.size(), oracle.marginals.size());
+  const double dist_diff = MeanAbsDiff(result->marginals, oracle.marginals);
+  // Measured: 1.1x (2 shards) / 1.3x (4 shards) the envelope; 2x flags
+  // a real regression without penalizing inherent CD noise.
+  EXPECT_LE(dist_diff, 2.0 * envelope)
+      << "distributed learning drifted beyond single-node seed noise: "
+      << dist_diff << " vs envelope " << envelope;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, DistShardCountTest, ::testing::Values(2, 4));
+
+// ---- Option validation ------------------------------------------------
+
+TEST(DistDifferentialTest, RejectsBadOptions) {
+  FactorGraph graph = MakeTestGraph(20, 3);
+  Schedule s;
+
+  DistributedOptions zero_shards = MakeDistOptions(s, 0);
+  EXPECT_EQ(RunDistributed(&graph, zero_shards).status().code(),
+            StatusCode::kInvalidArgument);
+
+  DistributedOptions too_many = MakeDistOptions(s, 1000);
+  EXPECT_EQ(RunDistributed(&graph, too_many).status().code(),
+            StatusCode::kInvalidArgument);
+
+  DistributedOptions no_samples = MakeDistOptions(s, 1);
+  no_samples.num_samples = 0;
+  EXPECT_EQ(RunDistributed(&graph, no_samples).status().code(),
+            StatusCode::kInvalidArgument);
+
+  FactorGraph unfinalized;
+  unfinalized.AddVariable();
+  EXPECT_FALSE(RunDistributed(&unfinalized, MakeDistOptions(s, 1)).ok());
+}
+
+// ---- Pipeline entry point ---------------------------------------------
+
+PipelineOptions FastPipelineOptions() {
+  PipelineOptions options;
+  options.learn.epochs = 80;
+  options.learn.learning_rate = 0.05;
+  options.learn.decay = 0.99;
+  options.learn.l2 = 0.005;
+  options.inference.full_burn_in = 100;
+  options.inference.num_samples = 400;
+  options.strategy = PipelineOptions::Strategy::kSampling;
+  return options;
+}
+
+TEST(DistPipelineTest, OneShardRunDistributedMatchesRun) {
+  SpouseCorpusOptions corpus_opts;
+  corpus_opts.num_documents = 40;
+  corpus_opts.seed = 21;
+  SpouseCorpus corpus = GenerateSpouseCorpus(corpus_opts);
+  SpouseAppOptions app;
+
+  auto reference = MakeSpousePipeline(corpus, app, FastPipelineOptions());
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_TRUE((*reference)->Run().ok());
+
+  auto sharded = MakeSpousePipeline(corpus, app, FastPipelineOptions());
+  ASSERT_TRUE(sharded.ok());
+  DistributedOptions dist;
+  dist.num_shards = 1;
+  dist.launch = DistLaunchMode::kThreads;
+  auto result = (*sharded)->RunDistributed(dist);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE((*sharded)->has_run());
+
+  for (const char* relation : {"MarriedMention", "MarriedPair"}) {
+    auto want = (*reference)->Marginals(relation);
+    auto got = (*sharded)->Marginals(relation);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want->size(), got->size()) << relation;
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*want)[i].first, (*got)[i].first);
+      EXPECT_EQ((*want)[i].second, (*got)[i].second)
+          << relation << " tuple " << i;
+    }
+  }
+  // Learning + inference time is reported jointly (DESIGN.md §15).
+  EXPECT_GT((*sharded)->timings().inference_seconds, 0.0);
+  EXPECT_EQ((*sharded)->timings().learning_seconds, 0.0);
+}
+
+TEST(DistPipelineTest, TwoShardsProduceCalibratedMarginals) {
+  SpouseCorpusOptions corpus_opts;
+  corpus_opts.num_documents = 40;
+  corpus_opts.seed = 22;
+  SpouseCorpus corpus = GenerateSpouseCorpus(corpus_opts);
+  auto pipeline =
+      MakeSpousePipeline(corpus, SpouseAppOptions(), FastPipelineOptions());
+  ASSERT_TRUE(pipeline.ok());
+  DistributedOptions dist;
+  dist.num_shards = 2;
+  dist.launch = DistLaunchMode::kThreads;
+  auto result = (*pipeline)->RunDistributed(dist);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GE(result->boundary_vars, 0u);
+
+  auto marginals = (*pipeline)->Marginals("MarriedMention");
+  ASSERT_TRUE(marginals.ok());
+  EXPECT_FALSE(marginals->empty());
+  for (const auto& [tuple, p] : *marginals) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dd

@@ -1,0 +1,287 @@
+// Property tests for the greedy min-cut partitioner (dist/partition.h):
+// exact-once ownership, factor-follows-first-literal, a complete
+// boundary catalog, a cut no worse than the seeded random baseline,
+// balance, determinism per seed, and the shard-subgraph invariants
+// BuildShardGraph promises the shard workers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "dist/partition.h"
+#include "factor/graph.h"
+#include "testdata/synthetic_graphs.h"
+
+namespace dd {
+namespace {
+
+FactorGraph MakeGraph(size_t num_variables, uint64_t seed) {
+  SyntheticGraphOptions options;
+  options.num_variables = num_variables;
+  options.factors_per_variable = 3.0;
+  options.evidence_fraction = 0.15;
+  options.num_weights = 24;
+  options.seed = seed;
+  FactorGraph graph = MakeRandomGraph(options);
+  EXPECT_TRUE(graph.Finalize().ok());
+  return graph;
+}
+
+// Recompute every property of the partition from the graph alone and
+// compare against what PartitionGraph reported.
+void CheckPartition(const FactorGraph& graph, const GraphPartition& p,
+                    const PartitionOptions& options) {
+  const size_t nv = graph.num_variables();
+  const size_t nf = graph.num_factors();
+  const int shards = options.num_shards;
+  ASSERT_EQ(p.num_shards, shards);
+  ASSERT_EQ(p.var_shard.size(), nv);
+  ASSERT_EQ(p.factor_shard.size(), nf);
+  ASSERT_EQ(p.shard_vars.size(), static_cast<size_t>(shards));
+  ASSERT_EQ(p.shard_factors.size(), static_cast<size_t>(shards));
+  ASSERT_EQ(p.shard_ghosts.size(), static_cast<size_t>(shards));
+
+  // Every variable owned exactly once; shard_vars ascending and
+  // consistent with var_shard.
+  std::vector<uint32_t> seen;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_FALSE(p.shard_vars[s].empty()) << "empty shard " << s;
+    EXPECT_TRUE(std::is_sorted(p.shard_vars[s].begin(), p.shard_vars[s].end()));
+    for (uint32_t v : p.shard_vars[s]) {
+      ASSERT_LT(v, nv);
+      EXPECT_EQ(p.var_shard[v], static_cast<uint32_t>(s));
+      seen.push_back(v);
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), nv) << "variables assigned more or less than once";
+  for (size_t v = 0; v < nv; ++v) EXPECT_EQ(seen[v], v);
+
+  // Balance: refinement never grows a shard past the slack cap.
+  const size_t cap = static_cast<size_t>(
+      (nv + shards - 1) / shards * (1.0 + options.balance_slack) + 1);
+  for (int s = 0; s < shards; ++s) EXPECT_LE(p.shard_vars[s].size(), cap);
+
+  // Factor ownership is a pure function of variable ownership: the
+  // shard of the first literal's variable.
+  std::vector<uint32_t> factors_seen;
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_TRUE(
+        std::is_sorted(p.shard_factors[s].begin(), p.shard_factors[s].end()));
+    for (uint32_t f : p.shard_factors[s]) factors_seen.push_back(f);
+  }
+  std::sort(factors_seen.begin(), factors_seen.end());
+  ASSERT_EQ(factors_seen.size(), nf);
+  for (uint32_t f = 0; f < nf; ++f) {
+    EXPECT_EQ(factors_seen[f], f);
+    size_t count = 0;
+    const Literal* lits = graph.factor_literals(f, &count);
+    ASSERT_GT(count, 0u);
+    EXPECT_EQ(p.factor_shard[f], p.var_shard[lits[0].var]) << "factor " << f;
+  }
+
+  // Recompute the cut and the boundary catalog by scanning every
+  // (factor, literal) edge. Replication semantics: a cut factor lives
+  // on every shard owning one of its variables, so each of its
+  // variables is ghosted on every other incident shard.
+  uint64_t cut = 0;
+  std::map<uint32_t, std::set<uint32_t>> readers;  // var -> ghost hosts
+  for (uint32_t f = 0; f < nf; ++f) {
+    size_t count = 0;
+    const Literal* lits = graph.factor_literals(f, &count);
+    std::set<uint32_t> incident;
+    for (size_t i = 0; i < count; ++i) {
+      incident.insert(p.var_shard[lits[i].var]);
+      if (p.var_shard[lits[i].var] != p.factor_shard[f]) ++cut;
+    }
+    if (incident.size() <= 1) continue;  // fully internal factor
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t v = lits[i].var;
+      for (uint32_t s : incident) {
+        if (s != p.var_shard[v]) readers[v].insert(s);
+      }
+    }
+  }
+  EXPECT_EQ(p.cut_edges, cut);
+  EXPECT_LE(p.cut_edges, p.initial_cut_edges)
+      << "greedy refinement made the cut worse than the random baseline";
+
+  // Catalog completeness: exactly the recomputed boundary, ascending,
+  // with exactly the recomputed reader sets.
+  ASSERT_EQ(p.boundary.size(), readers.size());
+  size_t i = 0;
+  for (const auto& [v, shard_set] : readers) {
+    const BoundaryVar& entry = p.boundary[i++];
+    EXPECT_EQ(entry.var, v);
+    EXPECT_EQ(entry.owner, p.var_shard[v]);
+    std::vector<uint32_t> want(shard_set.begin(), shard_set.end());
+    EXPECT_EQ(entry.readers, want) << "boundary variable " << v;
+  }
+
+  // Ghost lists mirror the catalog: shard s hosts exactly the boundary
+  // variables it reads, ascending.
+  std::vector<std::vector<uint32_t>> want_ghosts(shards);
+  for (const auto& [v, shard_set] : readers) {
+    for (uint32_t s : shard_set) want_ghosts[s].push_back(v);
+  }
+  for (int s = 0; s < shards; ++s) {
+    EXPECT_EQ(p.shard_ghosts[s], want_ghosts[s]) << "shard " << s;
+  }
+}
+
+class PartitionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(PartitionPropertyTest, InvariantsHold) {
+  const int shards = std::get<0>(GetParam());
+  const uint64_t seed = std::get<1>(GetParam());
+  FactorGraph graph = MakeGraph(300, seed);
+  PartitionOptions options;
+  options.num_shards = shards;
+  options.seed = seed * 0x9e3779b9ull + 1;
+
+  auto partition = PartitionGraph(graph, options);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  CheckPartition(graph, *partition, options);
+
+  // Determinism: same graph + options, same partition, bit for bit.
+  auto again = PartitionGraph(graph, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(partition->var_shard, again->var_shard);
+  EXPECT_EQ(partition->cut_edges, again->cut_edges);
+  EXPECT_EQ(partition->initial_cut_edges, again->initial_cut_edges);
+
+  // A different seed is allowed to produce a different partition, but
+  // must satisfy the same invariants.
+  PartitionOptions other = options;
+  other.seed ^= 0x5bd1e995;
+  auto reseeded = PartitionGraph(graph, other);
+  ASSERT_TRUE(reseeded.ok());
+  CheckPartition(graph, *reseeded, other);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsBySeeds, PartitionPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8),
+                       ::testing::Values(1u, 2u, 3u)));
+
+TEST(PartitionTest, SingleShardHasNoCut) {
+  FactorGraph graph = MakeGraph(100, 9);
+  PartitionOptions options;
+  options.num_shards = 1;
+  auto partition = PartitionGraph(graph, options);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->cut_edges, 0u);
+  EXPECT_EQ(partition->initial_cut_edges, 0u);
+  EXPECT_TRUE(partition->boundary.empty());
+  CheckPartition(graph, *partition, options);
+}
+
+// ---- Shard subgraphs ---------------------------------------------------
+
+TEST(PartitionTest, ShardGraphInvariants) {
+  FactorGraph graph = MakeGraph(200, 29);
+  PartitionOptions options;
+  options.num_shards = 3;
+  auto partition = PartitionGraph(graph, options);
+  ASSERT_TRUE(partition.ok());
+
+  size_t total_owned = 0;
+  size_t total_factors = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    auto shard = BuildShardGraph(graph, *partition, s);
+    ASSERT_TRUE(shard.ok()) << shard.status().ToString();
+    EXPECT_EQ(shard->shard, s);
+    EXPECT_EQ(shard->num_shards, 3u);
+
+    // Local ids: owned variables ascending, then ghosts ascending.
+    ASSERT_EQ(shard->num_owned, partition->shard_vars[s].size());
+    ASSERT_EQ(shard->local_to_global.size(),
+              shard->num_owned + partition->shard_ghosts[s].size());
+    for (size_t i = 0; i < shard->num_owned; ++i) {
+      EXPECT_EQ(shard->local_to_global[i], partition->shard_vars[s][i]);
+    }
+    for (size_t i = 0; i < partition->shard_ghosts[s].size(); ++i) {
+      EXPECT_EQ(shard->local_to_global[shard->num_owned + i],
+                partition->shard_ghosts[s][i]);
+    }
+    EXPECT_EQ(shard->graph.num_variables(), shard->local_to_global.size());
+
+    // Ghosts are pinned as evidence; owned variables keep the global
+    // graph's evidence marking.
+    for (size_t i = 0; i < shard->local_to_global.size(); ++i) {
+      const uint32_t global = shard->local_to_global[i];
+      if (i < shard->num_owned) {
+        EXPECT_EQ(shard->graph.is_evidence(i), graph.is_evidence(global));
+        if (graph.is_evidence(global)) {
+          EXPECT_EQ(shard->graph.evidence_value(i),
+                    graph.evidence_value(global));
+        }
+      } else {
+        EXPECT_TRUE(shard->graph.is_evidence(i)) << "unpinned ghost " << global;
+      }
+    }
+
+    // owned_boundary: exactly the owned variables some other shard
+    // reads, as local ids, ascending.
+    std::vector<uint32_t> want;
+    for (const BoundaryVar& b : partition->boundary) {
+      if (b.owner != s) continue;
+      const auto& vars = partition->shard_vars[s];
+      const auto it = std::lower_bound(vars.begin(), vars.end(), b.var);
+      ASSERT_TRUE(it != vars.end() && *it == b.var);
+      want.push_back(static_cast<uint32_t>(it - vars.begin()));
+    }
+    EXPECT_EQ(shard->owned_boundary, want);
+
+    // Weight space replicated with global ids (tying spans shards).
+    ASSERT_EQ(shard->graph.num_weights(), graph.num_weights());
+    for (uint32_t w = 0; w < graph.num_weights(); ++w) {
+      EXPECT_EQ(shard->graph.weight_value(w), graph.weight_value(w));
+      EXPECT_EQ(shard->graph.weight(w).is_fixed, graph.weight(w).is_fixed);
+    }
+
+    // Factor layout: owned factors (the gradient domain) first, then
+    // replicas of cut factors owned elsewhere. A replica is locally
+    // recognizable by its first literal being a ghost; an owned factor's
+    // first literal is an owned variable by construction.
+    ASSERT_EQ(shard->num_owned_factors, partition->shard_factors[s].size());
+    size_t want_replicas = 0;
+    for (uint32_t f = 0; f < graph.num_factors(); ++f) {
+      if (partition->factor_shard[f] == s) continue;
+      size_t count = 0;
+      const Literal* lits = graph.factor_literals(f, &count);
+      for (size_t i = 0; i < count; ++i) {
+        if (partition->var_shard[lits[i].var] == s) {
+          ++want_replicas;
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(shard->graph.num_factors(),
+              shard->num_owned_factors + want_replicas);
+    for (uint32_t f = 0; f < shard->graph.num_factors(); ++f) {
+      size_t count = 0;
+      const Literal* lits = shard->graph.factor_literals(f, &count);
+      ASSERT_GT(count, 0u);
+      if (f < shard->num_owned_factors) {
+        EXPECT_LT(lits[0].var, shard->num_owned) << "owned factor " << f;
+      } else {
+        EXPECT_GE(lits[0].var, shard->num_owned) << "replica factor " << f;
+      }
+    }
+
+    total_owned += shard->num_owned;
+    total_factors += shard->num_owned_factors;
+  }
+  EXPECT_EQ(total_owned, graph.num_variables());
+  // Exact-once gradient ownership: owned-factor regions tile the graph.
+  EXPECT_EQ(total_factors, graph.num_factors());
+}
+
+}  // namespace
+}  // namespace dd

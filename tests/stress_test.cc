@@ -8,10 +8,12 @@
 #include <set>
 
 #include "ddlog/parser.h"
+#include "dist/coordinator.h"
 #include "storage/table.h"
 #include "testdata/ads_app.h"
 #include "testdata/genomics_app.h"
 #include "testdata/spouse_app.h"
+#include "testdata/synthetic_graphs.h"
 #include "util/rng.h"
 
 namespace dd {
@@ -74,6 +76,46 @@ TEST(SpouseAppMatrixTest, EveryOptionComboYieldsValidProgram) {
     auto reparsed = ParseDdlog(program->ToString());
     ASSERT_TRUE(reparsed.ok()) << "mask " << mask;
     EXPECT_EQ(program->rules.size(), reparsed->rules.size());
+  }
+}
+
+TEST(DistCoordinatorStressTest, RepeatedLoopbackRunsStayClean) {
+  // Hammer the coordinator/worker loopback under the sanitizers: several
+  // back-to-back runs over varying shard counts reuse ports, threads,
+  // sockets, and per-shard subgraphs; ASan/UBSan vet every teardown
+  // path, and determinism must hold across the repeats.
+  SyntheticGraphOptions graph_opts;
+  graph_opts.num_variables = 120;
+  graph_opts.factors_per_variable = 2.0;
+  graph_opts.evidence_fraction = 0.2;
+  graph_opts.num_weights = 12;
+  graph_opts.seed = 77;
+  const FactorGraph base = MakeRandomGraph(graph_opts);
+
+  DistributedOptions options;
+  options.launch = DistLaunchMode::kThreads;
+  options.epochs = 4;
+  options.burn_in = 8;
+  options.num_samples = 24;
+  options.sweeps_per_exchange = 4;
+
+  for (int num_shards : {1, 2, 3}) {
+    options.num_shards = num_shards;
+    std::vector<double> first_marginals;
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      FactorGraph graph = base;
+      ASSERT_TRUE(graph.Finalize().ok());
+      auto result = RunDistributed(&graph, options);
+      ASSERT_TRUE(result.ok())
+          << num_shards << " shards: " << result.status().ToString();
+      ASSERT_EQ(result->marginals.size(), base.num_variables());
+      if (repeat == 0) {
+        first_marginals = result->marginals;
+      } else {
+        EXPECT_EQ(result->marginals, first_marginals)
+            << num_shards << " shards: repeat run diverged";
+      }
+    }
   }
 }
 
